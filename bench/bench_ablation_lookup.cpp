@@ -1,0 +1,142 @@
+// A-lookup (DESIGN.md §4): the routing hot path, measured with
+// google-benchmark.
+//
+// Compares three ways a Matrix server could resolve the consistency set of
+// a spatially-tagged packet (paper §3.2.4):
+//
+//   * RegionIndex  — the shipped O(1) bucket-grid overlap-table lookup;
+//   * LinearRegions — scanning the overlap-region list (what a naive table
+//     implementation would do);
+//   * FullScan     — Eq. 1 evaluated against all N partitions (no table at
+//     all; also what the MC does for non-proximal lookups).
+//
+// The paper's claim: lookup cost must be O(1) and independent of the
+// number of servers, or routing latency creeps into the player-visible
+// budget as deployments grow.
+#include <benchmark/benchmark.h>
+
+#include "core/overlap.h"
+#include "core/partition.h"
+#include "core/quadtree_index.h"
+#include "util/rng.h"
+
+namespace matrix {
+namespace {
+
+PartitionMap make_grid_map(std::size_t n) {
+  // n must be a perfect square for a clean grid.
+  const auto side = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+  const double w = 1000.0 / static_cast<double>(side);
+  PartitionMap map;
+  std::size_t id = 1;
+  for (std::size_t y = 0; y < side; ++y) {
+    for (std::size_t x = 0; x < side; ++x) {
+      map.upsert({ServerId(id), NodeId(1000 + id), NodeId(2000 + id),
+                  Rect(static_cast<double>(x) * w, static_cast<double>(y) * w,
+                       static_cast<double>(x + 1) * w,
+                       static_cast<double>(y + 1) * w)});
+      ++id;
+    }
+  }
+  return map;
+}
+
+constexpr double kRadius = 25.0;
+
+struct Fixture {
+  explicit Fixture(std::size_t n)
+      : map(make_grid_map(n)),
+        home(*map.find(ServerId(1))),
+        regions(build_overlap_regions(map, home.server, kRadius,
+                                      Metric::kChebyshev)),
+        index(home.range, regions) {
+    Rng rng(42);
+    for (int i = 0; i < 4096; ++i) {
+      probes.push_back(
+          {rng.next_double_in(home.range.x0(), home.range.x1() - 1e-9),
+           rng.next_double_in(home.range.y0(), home.range.y1() - 1e-9)});
+    }
+  }
+
+  PartitionMap map;
+  PartitionEntry home;
+  std::vector<OverlapRegionWire> regions;
+  RegionIndex index;
+  std::vector<Vec2> probes;
+};
+
+void BM_RegionIndex(benchmark::State& state) {
+  Fixture fixture(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture.index.find(fixture.probes[i++ & 4095]));
+  }
+  state.SetLabel(std::to_string(fixture.regions.size()) + " regions");
+}
+
+void BM_QuadtreeIndex(benchmark::State& state) {
+  Fixture fixture(static_cast<std::size_t>(state.range(0)));
+  const QuadtreeIndex tree(fixture.home.range, fixture.regions);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.find(fixture.probes[i++ & 4095]));
+  }
+}
+
+void BM_LinearRegions(benchmark::State& state) {
+  Fixture fixture(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Vec2 p = fixture.probes[i++ & 4095];
+    const OverlapRegionWire* hit = nullptr;
+    for (const auto& region : fixture.regions) {
+      if (region.rect.contains(p)) {
+        hit = &region;
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(hit);
+  }
+}
+
+void BM_FullScan(benchmark::State& state) {
+  Fixture fixture(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(consistency_set_scan(
+        fixture.map, fixture.probes[i++ & 4095], kRadius,
+        Metric::kChebyshev));
+  }
+}
+
+BENCHMARK(BM_RegionIndex)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_QuadtreeIndex)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_LinearRegions)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_FullScan)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// Table construction cost (what the MC pays per server per recompute).
+void BM_BuildOverlapRegions(benchmark::State& state) {
+  const PartitionMap map =
+      make_grid_map(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        build_overlap_regions(map, ServerId(1), kRadius, Metric::kChebyshev));
+  }
+}
+BENCHMARK(BM_BuildOverlapRegions)->Arg(4)->Arg(64)->Arg(1024);
+
+// Index construction (what a Matrix server pays per table push).
+void BM_BuildRegionIndex(benchmark::State& state) {
+  Fixture fixture(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    RegionIndex index(fixture.home.range, fixture.regions);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_BuildRegionIndex)->Arg(4)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace matrix
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Shared helpers for the experiment harnesses (bench/).
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (see DESIGN.md §4 for the index and EXPERIMENTS.md for the
+// recorded outcomes).  Output convention: a header naming the experiment,
+// then plain whitespace-aligned columns — easy to eyeball, easy to plot.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/deployment.h"
+#include "sim/metrics.h"
+#include "sim/scenario.h"
+#include "util/sim_time.h"
+
+namespace matrix::bench {
+
+inline void header(const std::string& id, const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("============================================================\n");
+}
+
+/// The paper's evaluation parameters (Fig. 2 caption): overload at 300
+/// clients, underload below 150, BzFlag as the game.
+inline DeploymentOptions paper_options() {
+  using namespace time_literals;
+  DeploymentOptions options;
+  options.config.world = Rect(0, 0, 1000, 1000);
+  options.config.overload_clients = 300;
+  options.config.underload_clients = 150;
+  // The paper's overload signal is client count OR "system performance
+  // measurements" (§3.2.3).  The queue trigger matters for high-rate games
+  // (Quake-like): 300 clients × 20 Hz already exceeds one server's I/O.
+  options.config.overload_queue_length = 2000;
+  options.config.sustain_reports_to_split = 2;
+  options.config.topology_cooldown = 3_sec;
+  options.config.load_report_interval = 500_ms;
+  options.spec = bzflag_like();
+  options.config.visibility_radius = options.spec.visibility_radius;
+  options.initial_servers = 1;
+  options.pool_size = 11;
+  options.map_objects = 300;
+  options.seed = 2005;  // the venue year; any seed reproduces exactly
+  return options;
+}
+
+/// Aggregate split/reclaim counters across a deployment.
+struct TopologyTotals {
+  std::uint64_t splits = 0;
+  std::uint64_t reclaims = 0;
+  std::uint64_t denied = 0;
+};
+
+inline TopologyTotals topology_totals(const Deployment& deployment) {
+  TopologyTotals totals;
+  for (const MatrixServer* server : deployment.matrix_servers()) {
+    totals.splits += server->stats().splits_completed;
+    totals.reclaims += server->stats().reclaims_completed;
+    totals.denied += server->stats().split_denied_no_server;
+  }
+  return totals;
+}
+
+}  // namespace matrix::bench

@@ -1,0 +1,140 @@
+// Replicated-static baseline — the commercial-MMOG model of the paper's §5.
+//
+// "Commercial MMOG systems, such as Everquest and Final Fantasy XI,
+//  carefully partition the game world between different servers ...  To
+//  handle hotspots, they allocate multiple tightly-coupled (completely
+//  consistent) servers to handle the same partition, an approach that is
+//  neither efficient nor very scalable."
+//
+// Model: K static partitions × M replicas each.  Clients of a partition are
+// spread round-robin over its replicas.  Every game event must reach every
+// replica of its partition (tight coupling / complete consistency), plus —
+// as in Matrix — the replicas of neighbouring partitions when the event
+// falls in an overlap region.  The ReplicaRouter below plays the role a
+// Matrix server plays in a Matrix deployment, so game servers and bots run
+// unmodified; only the routing fabric differs.  That keeps the comparison
+// honest: the measured difference is purely the O(M) replication fan-out.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/overlap.h"
+#include "core/partition.h"
+#include "core/protocol_node.h"
+#include "game/bot_client.h"
+#include "game/game_model.h"
+#include "game/game_server.h"
+#include "net/network.h"
+
+namespace matrix {
+
+/// The routing process co-located with each replica's game server.
+/// Static: its partition, replica group, and overlap table are fixed at
+/// wiring time; there is no coordinator, pool, split, or reclaim.
+class ReplicaRouter : public ProtocolNode {
+ public:
+  ReplicaRouter(ServerId id, Config config)
+      : id_(id), config_(std::move(config)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "replica-router-" + std::to_string(id_.value());
+  }
+
+  struct StaticWiring {
+    NodeId game_node;
+    Rect range;
+    /// Game-server nodes of the OTHER replicas of this partition.
+    std::vector<NodeId> sibling_games;
+    /// Overlap regions against neighbouring partitions; peers listed as
+    /// router nodes (one per neighbouring partition's replica).
+    std::vector<OverlapRegionWire> overlap;
+    /// Full static map for owner queries (client migration), with one
+    /// representative game node per partition (round-robin happens at the
+    /// deployment layer via rotation).
+    PartitionMap static_map;
+  };
+
+  void wire_static(StaticWiring wiring) {
+    wiring_ = std::move(wiring);
+    index_ = RegionIndex(wiring_.range, wiring_.overlap);
+  }
+
+  struct Stats {
+    std::uint64_t packets_from_game = 0;
+    std::uint64_t replica_fanout = 0;   ///< copies to sibling replicas
+    std::uint64_t neighbour_fanout = 0; ///< copies to other partitions
+    std::uint64_t peer_packets_delivered = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Rect& range() const { return wiring_.range; }
+
+ protected:
+  void on_message(const Message& message, const Envelope& envelope) override;
+
+ private:
+  ServerId id_;
+  Config config_;
+  StaticWiring wiring_;
+  RegionIndex index_;
+  Stats stats_;
+};
+
+/// A complete replicated-static deployment: network, K×M server pairs,
+/// bots.  Mirrors sim::Deployment's surface where the benches need it.
+class ReplicatedDeployment {
+ public:
+  struct Options {
+    Config config;
+    GameModelSpec spec;
+    std::size_t partitions = 2;   ///< K, tiled as a grid
+    std::size_t replicas = 2;     ///< M per partition
+    std::uint64_t seed = 42;
+    LinkConfig wan{SimTime::from_ms(25), 12.5e6, 0.0};
+    LinkConfig lan{SimTime::from_us(300), 125e6, 0.0};
+    NodeConfig game_node{SimTime::from_us(200), SimTime::from_us(2), {}};
+    NodeConfig router_node{SimTime::from_us(20), SimTime::from_us(1), {}};
+  };
+
+  explicit ReplicatedDeployment(Options options);
+
+  [[nodiscard]] Network& network() { return network_; }
+  [[nodiscard]] const std::vector<GameServer*>& game_servers() const {
+    return game_ptrs_;
+  }
+  [[nodiscard]] const std::vector<ReplicaRouter*>& routers() const {
+    return router_ptrs_;
+  }
+  [[nodiscard]] const std::vector<BotClient*>& bots() const {
+    return bot_ptrs_;
+  }
+
+  /// Adds a bot at `position`, assigned round-robin across the replicas of
+  /// the owning partition.
+  BotClient* add_bot(Vec2 position,
+                     std::optional<Vec2> attraction = std::nullopt,
+                     double attraction_spread = 15.0);
+
+  void run_until(SimTime t) { network_.run_until(t); }
+
+  [[nodiscard]] std::size_t total_clients() const;
+  /// Total matrix-role (router↔router and router↔game fan-out) bytes.
+  [[nodiscard]] std::uint64_t routing_bytes() const;
+
+ private:
+  Options options_;
+  Network network_;
+  Rng rng_;
+  std::vector<std::unique_ptr<ReplicaRouter>> routers_;
+  std::vector<std::unique_ptr<GameServer>> game_servers_;
+  std::vector<std::unique_ptr<BotClient>> bots_;
+  std::vector<ReplicaRouter*> router_ptrs_;
+  std::vector<GameServer*> game_ptrs_;
+  std::vector<BotClient*> bot_ptrs_;
+  std::vector<Rect> partitions_;
+  std::vector<std::size_t> next_replica_;  ///< round-robin per partition
+  IdGenerator<ClientId> client_ids_;
+};
+
+}  // namespace matrix

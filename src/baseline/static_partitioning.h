@@ -1,0 +1,41 @@
+// Static-partitioning baseline (paper §4, related work §5).
+//
+// Commercial MMOGs of the paper's era statically assigned world regions to
+// servers.  Matrix with splits and reclaims disabled *is* that scheme — the
+// routing path (overlap tables, consistency sets) is identical, so the
+// comparison isolates exactly the paper's contribution: dynamic
+// repartitioning.  This header packages that configuration so benches and
+// tests can't accidentally compare against a subtly different router.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/deployment.h"
+
+namespace matrix {
+
+/// Deployment options for a static N-server grid over `base.config.world`.
+/// Starts from `base` so game model, link fabric, and service capacities
+/// stay identical to the Matrix run being compared against.
+[[nodiscard]] inline DeploymentOptions static_partitioning_options(
+    DeploymentOptions base, std::size_t servers) {
+  base.config.allow_split = false;
+  base.config.allow_reclaim = false;
+  base.initial_servers = servers;
+  base.pool_size = 0;
+  return base;
+}
+
+/// Matrix-enabled options sharing everything else with the static baseline:
+/// starts at `initial_servers` and may grow into `pool_size` spares.
+[[nodiscard]] inline DeploymentOptions adaptive_options(
+    DeploymentOptions base, std::size_t initial_servers,
+    std::size_t pool_size) {
+  base.config.allow_split = true;
+  base.config.allow_reclaim = true;
+  base.initial_servers = initial_servers;
+  base.pool_size = pool_size;
+  return base;
+}
+
+}  // namespace matrix

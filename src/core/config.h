@@ -1,0 +1,82 @@
+// Matrix middleware configuration.
+//
+// Defaults follow the paper's evaluation where it gives numbers: overload at
+// 300 clients, underload below 150 clients (Fig. 2 caption).  The hysteresis
+// knobs implement the paper's "simple heuristics (not described) to prevent
+// oscillations" — our concrete choices are documented in DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/metric.h"
+#include "geometry/rect.h"
+#include "util/sim_time.h"
+
+namespace matrix {
+
+/// How a Matrix server decides where to cut its partition when overloaded.
+enum class SplitPolicy {
+  /// Paper §3.2.3: halve the partition, hand the left piece to the new
+  /// server.  (Across the longer dimension, so repeated splits don't
+  /// produce degenerate slivers.)
+  kSplitToLeft,
+  /// Extension (paper future work via refs [14,15]): cut at the reported
+  /// median client coordinate so each side inherits ~half the load.
+  kLoadAware,
+};
+
+struct Config {
+  // ---- world ---------------------------------------------------------------
+  Rect world{0.0, 0.0, 1000.0, 1000.0};
+  /// Default radius of visibility R.  Games override this at registration
+  /// (paper §3.2.2: "the game server ... sends Matrix the visibility radius").
+  double visibility_radius = 60.0;
+  Metric metric = Metric::kChebyshev;
+
+  // ---- load thresholds (paper Fig. 2 caption) -------------------------------
+  /// A game server is overloaded at or above this many clients.
+  std::uint32_t overload_clients = 300;
+  /// A game server is underloaded strictly below this many clients.
+  std::uint32_t underload_clients = 150;
+  /// Overload can also be declared on receive-queue depth ("via system
+  /// performance measurements", §3.2.3).  0 disables the queue trigger.
+  std::uint32_t overload_queue_length = 0;
+
+  // ---- split / reclaim behaviour -------------------------------------------
+  /// Disabling both turns a Matrix deployment into the static-partitioning
+  /// baseline: identical routing, no adaptation.  That is exactly the
+  /// comparison the paper's §4 makes.
+  bool allow_split = true;
+  bool allow_reclaim = true;
+  SplitPolicy split_policy = SplitPolicy::kSplitToLeft;
+  /// Minimum partition width/height; a server at this size refuses to split
+  /// further (prevents unbounded recursion on a point hotspot).
+  double min_partition_extent = 4.0;
+  /// Number of consecutive overloaded load reports required before a split
+  /// is initiated (hysteresis).
+  std::uint32_t sustain_reports_to_split = 2;
+  /// Quiet period after any topology change during which this server will
+  /// not initiate another split or reclaim (hysteresis).
+  SimTime topology_cooldown = SimTime::from_sec(5.0);
+  /// Reclaim requires parent + child combined load to fit within this
+  /// fraction of the overload threshold (prevents reclaim→overload→split
+  /// oscillation).
+  double reclaim_headroom_fraction = 0.8;
+
+  // ---- reporting cadence ----------------------------------------------------
+  /// Game server → Matrix server load report interval.
+  SimTime load_report_interval = SimTime::from_ms(500);
+  /// Child → parent Matrix server load heartbeat interval.
+  SimTime peer_load_interval = SimTime::from_ms(1000);
+
+  [[nodiscard]] bool overloaded(std::uint32_t clients,
+                                std::uint32_t queue_len) const {
+    if (clients >= overload_clients) return true;
+    return overload_queue_length > 0 && queue_len >= overload_queue_length;
+  }
+  [[nodiscard]] bool underloaded(std::uint32_t clients) const {
+    return clients < underload_clients;
+  }
+};
+
+}  // namespace matrix

@@ -1,0 +1,80 @@
+#include "core/coordinator.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace matrix {
+
+void Coordinator::on_message(const Message& message, const Envelope& envelope) {
+  if (const auto* reg = std::get_if<ServerRegister>(&message)) {
+    register_server(*reg);
+  } else if (const auto* unreg = std::get_if<ServerUnregister>(&message)) {
+    unregister_server(unreg->server);
+  } else if (const auto* lookup = std::get_if<PointLookup>(&message)) {
+    ++lookups_;
+    PointOwner reply;
+    reply.lookup_seq = lookup->lookup_seq;
+    if (const PartitionEntry* owner = map_.owner_of(lookup->point)) {
+      reply.found = true;
+      reply.server = owner->server;
+      reply.matrix_node = owner->matrix_node;
+      reply.game_node = owner->game_node;
+    }
+    send(envelope.src, reply);
+  }
+}
+
+void Coordinator::register_server(const ServerRegister& reg) {
+  map_.upsert({reg.server, reg.matrix_node, reg.game_node, reg.range});
+  // Radius classes are game-wide: merge every radius the game declares, in
+  // declaration order, so radius_class indices stay stable for the game's
+  // lifetime (exceptional radii append; they never reorder).
+  for (double radius : reg.radii) {
+    if (std::find(radii_.begin(), radii_.end(), radius) == radii_.end()) {
+      radii_.push_back(radius);
+    }
+  }
+  if (radii_.empty()) radii_.push_back(config_.visibility_radius);
+  MATRIX_DEBUG("mc", "register " << reg.server << " range=" << reg.range);
+  recompute_and_push();
+}
+
+void Coordinator::unregister_server(ServerId server) {
+  map_.remove(server);
+  MATRIX_DEBUG("mc", "unregister " << server);
+  recompute_and_push();
+}
+
+std::vector<OverlapTableMsg> Coordinator::compute_all_tables() const {
+  std::vector<OverlapTableMsg> tables;
+  for (const auto& entry : map_.entries()) {
+    for (std::size_t rc = 0; rc < radii_.size(); ++rc) {
+      OverlapTableMsg table;
+      table.server = entry.server;
+      table.partition = entry.range;
+      table.radius_class = static_cast<std::uint8_t>(rc);
+      table.radius = radii_[rc];
+      table.version = version_;
+      table.regions =
+          build_overlap_regions(map_, entry.server, radii_[rc], config_.metric);
+      tables.push_back(std::move(table));
+    }
+  }
+  return tables;
+}
+
+void Coordinator::recompute_and_push() {
+  ++version_;
+  ++recomputes_;
+  for (auto& table : compute_all_tables()) {
+    const PartitionEntry* entry = map_.find(table.server);
+    if (entry == nullptr) continue;
+    table.version = version_;
+    const NodeId dst = entry->matrix_node;
+    ++tables_pushed_;
+    table_bytes_pushed_ += send(dst, std::move(table));
+  }
+}
+
+}  // namespace matrix

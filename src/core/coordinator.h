@@ -1,0 +1,61 @@
+// Matrix Coordinator (MC), paper §3.2.4.
+//
+// Keeps the global partition map, recomputes every server's overlap table
+// whenever the topology changes (a server registers, re-registers with a new
+// range, or unregisters), and pushes the tables to the affected Matrix
+// servers.  It also answers point-ownership lookups for the rare
+// non-proximal interactions.  The MC is deliberately OFF the per-packet
+// routing path — the paper's argument for why a central coordinator scales.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "core/overlap.h"
+#include "core/partition.h"
+#include "core/protocol_node.h"
+
+namespace matrix {
+
+class Coordinator : public ProtocolNode {
+ public:
+  explicit Coordinator(Config config) : config_(std::move(config)) {}
+
+  [[nodiscard]] std::string name() const override { return "mc"; }
+
+  [[nodiscard]] const PartitionMap& partition_map() const { return map_; }
+  [[nodiscard]] const std::vector<double>& radii() const { return radii_; }
+
+  // ---- instrumentation (T-micro-coord) ------------------------------------
+  [[nodiscard]] std::uint64_t recompute_count() const { return recomputes_; }
+  [[nodiscard]] std::uint64_t tables_pushed() const { return tables_pushed_; }
+  [[nodiscard]] std::uint64_t table_bytes_pushed() const {
+    return table_bytes_pushed_;
+  }
+  [[nodiscard]] std::uint64_t lookups_served() const { return lookups_; }
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  /// Builds (but does not send) all tables — exposed for the coordinator
+  /// microbenchmark, which measures pure recompute cost vs. server count.
+  [[nodiscard]] std::vector<OverlapTableMsg> compute_all_tables() const;
+
+ protected:
+  void on_message(const Message& message, const Envelope& envelope) override;
+
+ private:
+  void register_server(const ServerRegister& reg);
+  void unregister_server(ServerId server);
+  void recompute_and_push();
+
+  Config config_;
+  PartitionMap map_;
+  std::vector<double> radii_;  ///< radius classes; index = radius_class
+  std::uint64_t version_ = 0;
+  std::uint64_t recomputes_ = 0;
+  std::uint64_t tables_pushed_ = 0;
+  std::uint64_t table_bytes_pushed_ = 0;
+  std::uint64_t lookups_ = 0;
+};
+
+}  // namespace matrix

@@ -1,0 +1,505 @@
+#include "core/matrix_server.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/log.h"
+
+namespace matrix {
+
+std::string MatrixServer::name() const {
+  std::ostringstream oss;
+  oss << "matrix-" << id_.value();
+  return oss.str();
+}
+
+void MatrixServer::activate_root(const Rect& range,
+                                 std::vector<double> radii) {
+  active_ = true;
+  range_ = range;
+  radii_ = radii.empty() ? std::vector<double>{config_.visibility_radius}
+                         : std::move(radii);
+  parent_ = ServerId{};
+  ++activation_epoch_;
+  topology_epoch_ = 0;
+  register_with_mc();
+  push_range_to_game(Rect{}, NodeId{}, ServerId{}, /*reclaim=*/false);
+}
+
+const OverlapRegionWire* MatrixServer::lookup(Vec2 point,
+                                              std::uint8_t rc) const {
+  if (rc >= tables_.size()) rc = 0;
+  if (rc >= tables_.size()) return nullptr;
+  return tables_[rc].find(point);
+}
+
+void MatrixServer::on_message(const Message& message, const Envelope& env) {
+  if (const auto* packet = std::get_if<TaggedPacket>(&message)) {
+    handle_tagged_packet(*packet, env);
+  } else if (const auto* report = std::get_if<LoadReport>(&message)) {
+    handle_load_report(*report);
+  } else if (const auto* grant = std::get_if<PoolGrant>(&message)) {
+    handle_pool_grant(*grant);
+  } else if (std::holds_alternative<PoolDeny>(message)) {
+    ++stats_.split_denied_no_server;
+    split_pending_ = false;
+    // Back off before asking the pool again.
+    cooldown_until_ = now() + config_.topology_cooldown;
+  } else if (const auto* adopt = std::get_if<Adopt>(&message)) {
+    handle_adopt(*adopt);
+  } else if (const auto* table = std::get_if<OverlapTableMsg>(&message)) {
+    handle_overlap_table(*table);
+  } else if (const auto* load = std::get_if<PeerLoad>(&message)) {
+    handle_peer_load(*load);
+  } else if (const auto* request = std::get_if<ReclaimRequest>(&message)) {
+    handle_reclaim_request(*request);
+  } else if (const auto* decline = std::get_if<ReclaimDecline>(&message)) {
+    handle_reclaim_decline(*decline);
+  } else if (const auto* done = std::get_if<ReclaimDone>(&message)) {
+    handle_reclaim_done(*done);
+  } else if (const auto* shed = std::get_if<ShedDone>(&message)) {
+    handle_shed_done(*shed);
+  } else if (const auto* owner = std::get_if<PointOwner>(&message)) {
+    handle_point_owner(*owner);
+  } else if (const auto* query = std::get_if<OwnerQuery>(&message)) {
+    // Game server asks who owns a point (client migration).  Resolve via
+    // the MC; the reply comes back through handle_point_owner.
+    ++stats_.nonproximal_lookups;
+    const std::uint32_t seq = next_lookup_seq_++;
+    pending_owner_queries_[seq] = *query;
+    send(wiring_.mc_node, PointLookup{query->point, seq});
+  } else if (const auto* st = std::get_if<StateTransfer>(&message)) {
+    // Relay leg of the game→Matrix→game state path (paper §3.2.2: state is
+    // forwarded "via Matrix").
+    send(st->to_game, *st);
+  } else if (const auto* cst = std::get_if<ClientStateTransfer>(&message)) {
+    send(cst->to_game, *cst);
+  } else if (const auto* announce = std::get_if<McAnnounce>(&message)) {
+    // Coordinator fail-over: adopt the new MC and re-register so it can
+    // rebuild the partition map from our (authoritative) local range.
+    if (announce->generation < mc_generation_) return;  // stale announce
+    mc_generation_ = announce->generation;
+    wiring_.mc_node = announce->mc_node;
+    pending_lookups_.clear();         // in-flight lookups died with the MC
+    pending_owner_queries_.clear();
+    if (active_) register_with_mc();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Data plane
+// ---------------------------------------------------------------------------
+
+void MatrixServer::handle_tagged_packet(const TaggedPacket& packet,
+                                        const Envelope& env) {
+  if (!active_) return;
+
+  if (packet.peer_forwarded) {
+    // Arrived from a peer Matrix server: verify the packet's range before
+    // handing it to our game server (paper §3.2.3).
+    ++stats_.peer_packets_received;
+    const double radius =
+        packet.radius_class < radii_.size() ? radii_[packet.radius_class]
+                                            : radii_.front();
+    const bool origin_relevant =
+        metric_distance(config_.metric, packet.origin, range_) <= radius;
+    const bool target_relevant =
+        packet.target.has_value() && range_.contains(*packet.target);
+    if (origin_relevant || target_relevant) {
+      ++stats_.peer_packets_delivered;
+      send(wiring_.game_node, packet);
+    } else {
+      ++stats_.peer_packets_rejected;
+    }
+    return;
+  }
+
+  // Arrived from our own game server: fan out along the consistency set.
+  ++stats_.packets_from_game;
+  (void)env;
+
+  if (!range_.contains(packet.origin)) {
+    // Handoff-window stray: the client's new home will route it properly.
+    // Hand it to the point's owner via the MC (non-proximal machinery).
+    ++stats_.origin_outside_range;
+    ++stats_.nonproximal_lookups;
+    const std::uint32_t seq = next_lookup_seq_++;
+    TaggedPacket forwarded = packet;
+    forwarded.peer_forwarded = true;
+    forwarded.target = packet.origin;  // ensure delivery at the owner
+    pending_lookups_[seq] = std::move(forwarded);
+    send(wiring_.mc_node, PointLookup{packet.origin, seq});
+    return;
+  }
+
+  if (const OverlapRegionWire* region =
+          lookup(packet.origin, packet.radius_class)) {
+    TaggedPacket copy = packet;
+    copy.peer_forwarded = true;
+    for (NodeId peer : region->peer_matrix_nodes) {
+      ++stats_.packets_fanned_out;
+      send(peer, copy);
+    }
+  }
+
+  // Non-proximal interaction (paper §3.2.4): the target lies beyond our
+  // partition; ask the MC who owns it, then forward directly.
+  if (packet.target.has_value() && !range_.contains(*packet.target)) {
+    const double radius =
+        packet.radius_class < radii_.size() ? radii_[packet.radius_class]
+                                            : radii_.front();
+    // Targets within the origin's visibility radius were already covered by
+    // the origin fan-out above.
+    if (metric_distance(config_.metric, *packet.target, packet.origin) >
+        radius) {
+      ++stats_.nonproximal_lookups;
+      const std::uint32_t seq = next_lookup_seq_++;
+      TaggedPacket forwarded = packet;
+      forwarded.peer_forwarded = true;
+      pending_lookups_[seq] = std::move(forwarded);
+      send(wiring_.mc_node, PointLookup{*packet.target, seq});
+    }
+  }
+}
+
+void MatrixServer::handle_point_owner(const PointOwner& owner) {
+  if (auto qit = pending_owner_queries_.find(owner.lookup_seq);
+      qit != pending_owner_queries_.end()) {
+    const OwnerQuery query = qit->second;
+    pending_owner_queries_.erase(qit);
+    OwnerReply reply;
+    reply.client = query.client;
+    reply.seq = query.seq;
+    reply.found = owner.found;
+    reply.server = owner.server;
+    reply.game_node = owner.game_node;
+    send(wiring_.game_node, reply);
+    return;
+  }
+  auto it = pending_lookups_.find(owner.lookup_seq);
+  if (it == pending_lookups_.end()) return;
+  TaggedPacket packet = std::move(it->second);
+  pending_lookups_.erase(it);
+  if (owner.found && owner.matrix_node != node_id()) {
+    send(owner.matrix_node, packet);
+  } else if (owner.found) {
+    // We own the point ourselves (lookup raced a topology change).
+    send(wiring_.game_node, packet);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Load monitoring and splits (paper §3.2.3)
+// ---------------------------------------------------------------------------
+
+void MatrixServer::handle_load_report(const LoadReport& report) {
+  if (!active_) return;
+  last_report_ = report;
+
+  // Lost-message recovery: re-send a long-outstanding reclaim request.
+  // Idempotent at the child (already-shedding children ignore duplicates;
+  // re-granted children see a stale token and decline).
+  if (reclaim_pending_ && now() >= reclaim_retry_at_ && !children_.empty()) {
+    reclaim_retry_at_ = now() + config_.topology_cooldown * 2;
+    send(children_.back().matrix_node,
+         ReclaimRequest{children_.back().adoption_token});
+  }
+
+  // "explicit load messages from the game server or via system performance
+  // measurements": combine the reported queue with what we can observe.
+  const auto observed_queue = static_cast<std::uint32_t>(
+      network()->queue_length(wiring_.game_node));
+  const std::uint32_t queue_len = std::max(report.queue_length, observed_queue);
+
+  if (config_.overloaded(report.client_count, queue_len)) {
+    ++consecutive_overload_;
+    maybe_split();
+  } else {
+    consecutive_overload_ = 0;
+    if (config_.underloaded(report.client_count)) maybe_reclaim();
+  }
+}
+
+bool MatrixServer::can_change_topology() const {
+  return active_ && !split_pending_ && !reclaim_pending_ &&
+         !being_reclaimed_ && now() >= cooldown_until_;
+}
+
+void MatrixServer::maybe_split() {
+  if (!config_.allow_split || !can_change_topology()) return;
+  if (consecutive_overload_ < config_.sustain_reports_to_split) return;
+  // Refuse to split below the minimum extent (a point hotspot would recurse
+  // forever otherwise).
+  if (std::max(range_.width(), range_.height()) / 2.0 <
+      config_.min_partition_extent) {
+    return;
+  }
+  split_pending_ = true;
+  split_started_at_ = now();
+  ++stats_.splits_initiated;
+  send(wiring_.pool_node, PoolAcquire{id_});
+}
+
+std::pair<Rect, Rect> MatrixServer::choose_split() const {
+  if (config_.split_policy == SplitPolicy::kLoadAware &&
+      last_report_.client_count > 0) {
+    // Cut at the reported median client coordinate along the longer axis so
+    // each side inherits roughly half the load.
+    const bool wide = range_.width() >= range_.height();
+    const double lo = wide ? range_.x0() : range_.y0();
+    const double extent = wide ? range_.width() : range_.height();
+    const double median =
+        wide ? last_report_.median_position.x : last_report_.median_position.y;
+    return range_.split_at((median - lo) / extent);
+  }
+  // Paper default: halve the partition, hand off the left piece.
+  return range_.split_half();
+}
+
+void MatrixServer::handle_pool_grant(const PoolGrant& grant) {
+  if (!split_pending_ || !active_ || being_reclaimed_) {
+    // We no longer want the server — most importantly when our parent's
+    // ReclaimRequest overtook the grant: splitting now would change our
+    // range mid-reclaim and the parent would merge a stale rectangle,
+    // tearing the tiling invariant.  Return the grant.
+    send(wiring_.pool_node,
+         PoolRelease{grant.server, grant.matrix_node, grant.game_node});
+    split_pending_ = false;
+    return;
+  }
+
+  const auto [give_away, keep] = choose_split();
+  ++topology_epoch_;
+  range_ = keep;
+
+  children_.push_back({grant.server, grant.matrix_node, grant.game_node,
+                       give_away, topology_epoch_});
+
+  MATRIX_INFO("matrix", name() << " splits: keeps " << keep << ", hands "
+                               << give_away << " to S" << grant.server.value());
+
+  Adopt adopt;
+  adopt.parent = id_;
+  adopt.parent_matrix = node_id();
+  adopt.parent_game = wiring_.game_node;
+  adopt.range = give_away;
+  adopt.visibility_radius = radii_.front();
+  adopt.extra_radii.assign(radii_.begin() + 1, radii_.end());
+  adopt.content_keys = content_keys_;
+  adopt.topology_epoch = topology_epoch_;
+  send(grant.matrix_node, adopt);
+
+  register_with_mc();
+  push_range_to_game(give_away, grant.game_node, grant.server,
+                     /*reclaim=*/false);
+}
+
+void MatrixServer::handle_adopt(const Adopt& adopt) {
+  active_ = true;
+  being_reclaimed_ = false;
+  split_pending_ = false;
+  reclaim_pending_ = false;
+  consecutive_overload_ = 0;
+  children_.clear();
+  tables_.clear();
+  table_versions_.clear();
+  range_ = adopt.range;
+  parent_ = adopt.parent;
+  parent_matrix_ = adopt.parent_matrix;
+  parent_game_ = adopt.parent_game;
+  radii_.clear();
+  radii_.push_back(adopt.visibility_radius);
+  radii_.insert(radii_.end(), adopt.extra_radii.begin(),
+                adopt.extra_radii.end());
+  content_keys_ = adopt.content_keys;
+  topology_epoch_ = adopt.topology_epoch;
+  // A fresh child should not immediately split/reclaim; give the handoff a
+  // cooldown to settle.
+  cooldown_until_ = now() + config_.topology_cooldown;
+  ++activation_epoch_;
+
+  MATRIX_INFO("matrix", name() << " adopted range " << range_ << " from S"
+                               << parent_.value());
+
+  register_with_mc();
+  push_range_to_game(Rect{}, NodeId{}, ServerId{}, /*reclaim=*/false);
+  schedule_heartbeat();
+}
+
+void MatrixServer::schedule_heartbeat() {
+  const std::uint64_t epoch = activation_epoch_;
+  network()->events().schedule_after(config_.peer_load_interval, [this, epoch] {
+    if (!active_ || activation_epoch_ != epoch || !parent_.valid()) return;
+    PeerLoad load;
+    load.server = id_;
+    load.client_count = last_report_.client_count;
+    load.child_count = static_cast<std::uint32_t>(children_.size());
+    send(parent_matrix_, load);
+    schedule_heartbeat();
+  });
+}
+
+void MatrixServer::handle_peer_load(const PeerLoad& load) {
+  for (auto& child : children_) {
+    if (child.server == load.server) {
+      child.last_clients = load.client_count;
+      child.last_children = load.child_count;
+      child.load_known = true;
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reclamation (paper §3.2.3)
+// ---------------------------------------------------------------------------
+
+void MatrixServer::maybe_reclaim() {
+  if (!config_.allow_reclaim || !can_change_topology()) return;
+  if (children_.empty()) return;
+  // Only the most recent child can be reclaimed: its range is the complement
+  // of our latest split, so the merge below is exact.  Earlier children
+  // become reclaimable as later ones are absorbed (LIFO collapse).
+  const ChildInfo& child = children_.back();
+  if (!child.load_known) return;
+  if (child.last_children != 0) return;  // its subtree must collapse first
+  if (!config_.underloaded(child.last_clients)) return;
+  const double combined = static_cast<double>(last_report_.client_count) +
+                          static_cast<double>(child.last_clients);
+  if (combined > config_.reclaim_headroom_fraction *
+                     static_cast<double>(config_.overload_clients)) {
+    return;
+  }
+  reclaim_pending_ = true;
+  reclaim_started_at_ = now();
+  reclaim_retry_at_ = now() + config_.topology_cooldown * 2;
+  ++stats_.reclaims_initiated;
+  MATRIX_INFO("matrix", name() << " reclaiming child S"
+                               << child.server.value());
+  send(child.matrix_node, ReclaimRequest{child.adoption_token});
+}
+
+void MatrixServer::handle_reclaim_request(const ReclaimRequest& request) {
+  if (!active_) return;
+  if (being_reclaimed_) return;  // duplicate/retry while already shedding
+  // Refuse unless fully quiescent.  A reclaim racing our own in-flight
+  // split or reclaim would hand the parent a rectangle that is no longer
+  // the complement of its range — merging it would gap or overlap the map.
+  // A stale token means we were re-granted since that request was formed.
+  if (split_pending_ || reclaim_pending_ ||
+      request.topology_epoch != topology_epoch_) {
+    send(parent_matrix_, ReclaimDecline{id_, request.topology_epoch});
+    return;
+  }
+  being_reclaimed_ = true;
+  // Shed everything we own to the parent's game server; ShedDone completes
+  // the handback.
+  push_range_to_game(range_, parent_game_, parent_, /*reclaim=*/true);
+}
+
+void MatrixServer::handle_reclaim_decline(const ReclaimDecline& decline) {
+  if (!reclaim_pending_) return;
+  if (children_.empty() || children_.back().server != decline.child) return;
+  reclaim_pending_ = false;
+  // Brief cooldown before considering the child again.
+  cooldown_until_ = now() + config_.topology_cooldown;
+}
+
+void MatrixServer::handle_reclaim_done(const ReclaimDone& done) {
+  if (!reclaim_pending_) return;
+  auto it = std::find_if(children_.begin(), children_.end(),
+                         [&](const ChildInfo& c) { return c.server == done.child; });
+  if (it == children_.end()) return;
+  range_ = Rect::bounding(range_, done.range);
+  children_.erase(it);
+  reclaim_pending_ = false;
+  cooldown_until_ = now() + config_.topology_cooldown;
+  ++stats_.reclaims_completed;
+  stats_.reclaim_latency_us_sum +=
+      static_cast<std::uint64_t>((now() - reclaim_started_at_).us());
+  MATRIX_INFO("matrix", name() << " reclaimed range, now " << range_);
+  register_with_mc();
+  push_range_to_game(Rect{}, NodeId{}, ServerId{}, /*reclaim=*/false);
+}
+
+void MatrixServer::handle_shed_done(const ShedDone& done) {
+  if (being_reclaimed_) {
+    // Child side: everything is handed back; return ourselves to the pool.
+    ReclaimDone reclaim_done;
+    reclaim_done.child = id_;
+    reclaim_done.range = range_;
+    reclaim_done.topology_epoch = done.topology_epoch;
+    send(parent_matrix_, reclaim_done);
+    send(wiring_.mc_node, ServerUnregister{id_});
+    send(wiring_.pool_node, PoolRelease{id_, node_id(), wiring_.game_node});
+    deactivate();
+    return;
+  }
+  if (split_pending_) {
+    // Parent side: the shed that completes a split has finished.
+    split_pending_ = false;
+    consecutive_overload_ = 0;
+    cooldown_until_ = now() + config_.topology_cooldown;
+    ++stats_.splits_completed;
+    stats_.split_latency_us_sum +=
+        static_cast<std::uint64_t>((now() - split_started_at_).us());
+  }
+}
+
+void MatrixServer::deactivate() {
+  active_ = false;
+  being_reclaimed_ = false;
+  split_pending_ = false;
+  reclaim_pending_ = false;
+  consecutive_overload_ = 0;
+  range_ = Rect{};
+  parent_ = ServerId{};
+  children_.clear();
+  tables_.clear();
+  table_versions_.clear();
+  pending_lookups_.clear();
+  last_report_ = LoadReport{};
+  ++activation_epoch_;
+}
+
+// ---------------------------------------------------------------------------
+// Control plumbing
+// ---------------------------------------------------------------------------
+
+void MatrixServer::handle_overlap_table(const OverlapTableMsg& table) {
+  if (!active_ || table.server != id_) return;
+  const std::size_t rc = table.radius_class;
+  if (tables_.size() <= rc) {
+    tables_.resize(rc + 1);
+    table_versions_.resize(rc + 1, 0);
+  }
+  if (table.version < table_versions_[rc]) return;  // stale push
+  table_versions_[rc] = table.version;
+  tables_[rc] = RegionIndex(table.partition, table.regions);
+  ++stats_.table_updates;
+}
+
+void MatrixServer::register_with_mc() {
+  ServerRegister reg;
+  reg.server = id_;
+  reg.matrix_node = node_id();
+  reg.game_node = wiring_.game_node;
+  reg.range = range_;
+  reg.radii = radii_;
+  send(wiring_.mc_node, reg);
+}
+
+void MatrixServer::push_range_to_game(const Rect& shed_range,
+                                      NodeId shed_to_game,
+                                      ServerId shed_to_server, bool reclaim) {
+  MapRange msg;
+  msg.new_range = reclaim ? Rect{} : range_;
+  msg.shed_range = shed_range;
+  msg.shed_to_game = shed_to_game;
+  msg.shed_to_server = shed_to_server;
+  msg.reclaim = reclaim;
+  msg.topology_epoch = topology_epoch_;
+  send(wiring_.game_node, msg);
+}
+
+}  // namespace matrix

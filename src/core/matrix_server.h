@@ -1,0 +1,191 @@
+// Matrix server (paper §3.2.3) — "the heart of our distributed middleware".
+//
+// One Matrix server is co-located with each game server.  It:
+//
+//   * routes spatially-tagged game packets to the peer Matrix servers in the
+//     packet's consistency set via an O(1) overlap-table lookup;
+//   * verifies the range of packets arriving from peers before handing them
+//     to its game server;
+//   * watches its game server's load (explicit LoadReports plus direct
+//     observation of the receive queue) and, using *purely local* decisions,
+//     splits its partition when overloaded — acquiring a spare server from
+//     the resource pool, adopting it as a child, and orchestrating state
+//     transfer and client handoff;
+//   * reclaims its most recent child when both are underloaded, returning
+//     the child to the pool;
+//   * applies hysteresis (sustained overload, topology cooldown, reclaim
+//     headroom) to prevent split/reclaim oscillation — the paper's "simple
+//     heuristics ... to ensure stability".
+//
+// Lifecycle: a server is either *active* (owns a partition) or *idle*
+// (parked in the resource pool awaiting an Adopt).  Roots are activated
+// directly at deployment; children are activated by Adopt messages.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/overlap.h"
+#include "core/protocol_node.h"
+
+namespace matrix {
+
+class MatrixServer : public ProtocolNode {
+ public:
+  /// Addresses of the fixed infrastructure this server talks to.  The game
+  /// node is co-located (paper: "usually located on the same physical
+  /// machine"); the deployment gives their link near-zero latency.
+  struct Wiring {
+    NodeId game_node;
+    NodeId mc_node;
+    NodeId pool_node;
+  };
+
+  MatrixServer(ServerId id, Config config)
+      : id_(id), config_(std::move(config)) {}
+
+  void wire(const Wiring& wiring) { wiring_ = wiring; }
+
+  /// Activates this server as a root owning `range` (initial deployment).
+  /// `radii` is the game's visibility-radius list, default radius first
+  /// (paper §3.2.2: the game server sends Matrix the visibility radius when
+  /// it starts).  Registers with the MC and pushes the range to the game
+  /// server.
+  void activate_root(const Rect& range, std::vector<double> radii);
+
+  /// Static content keys advertised to children at adoption (pointers into
+  /// the pre-cached store; the bulk data never crosses the wire, §3.2.3).
+  void set_content_keys(std::vector<std::string> keys) {
+    content_keys_ = std::move(keys);
+  }
+
+  // ---- observability --------------------------------------------------------
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] ServerId server_id() const { return id_; }
+  [[nodiscard]] bool active() const { return active_; }
+  [[nodiscard]] const Rect& range() const { return range_; }
+  [[nodiscard]] ServerId parent() const { return parent_; }
+  [[nodiscard]] std::size_t child_count() const { return children_.size(); }
+  [[nodiscard]] std::uint32_t last_reported_clients() const {
+    return last_report_.client_count;
+  }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  struct Stats {
+    std::uint64_t packets_from_game = 0;
+    std::uint64_t packets_fanned_out = 0;   ///< copies sent to peer servers
+    std::uint64_t peer_packets_received = 0;
+    std::uint64_t peer_packets_delivered = 0;
+    std::uint64_t peer_packets_rejected = 0;  ///< failed range verification
+    std::uint64_t origin_outside_range = 0;   ///< handoff-window strays
+    std::uint64_t nonproximal_lookups = 0;
+    std::uint64_t splits_initiated = 0;
+    std::uint64_t splits_completed = 0;
+    std::uint64_t split_denied_no_server = 0;
+    std::uint64_t reclaims_initiated = 0;
+    std::uint64_t reclaims_completed = 0;
+    std::uint64_t table_updates = 0;
+    /// Sum of split durations (PoolAcquire sent → ShedDone received), µs;
+    /// divide by splits_completed for the mean (T-micro-switch).
+    std::uint64_t split_latency_us_sum = 0;
+    /// Sum of reclaim durations (ReclaimRequest sent → ReclaimDone), µs.
+    std::uint64_t reclaim_latency_us_sum = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Consistency-set lookup for `point` in radius class `rc` — exposed for
+  /// tests and the lookup ablation.  nullptr ⇒ empty set (interior point).
+  [[nodiscard]] const OverlapRegionWire* lookup(Vec2 point,
+                                                std::uint8_t rc = 0) const;
+
+ protected:
+  void on_message(const Message& message, const Envelope& envelope) override;
+
+ private:
+  struct ChildInfo {
+    ServerId server;
+    NodeId matrix_node;
+    NodeId game_node;
+    Rect range;
+    /// Token issued in the Adopt message (our topology epoch at adoption);
+    /// reclaim requests carry it so stale retries are provably harmless.
+    std::uint64_t adoption_token = 0;
+    std::uint32_t last_clients = 0;
+    std::uint32_t last_children = 0;
+    bool load_known = false;
+  };
+
+  // message handlers
+  void handle_tagged_packet(const TaggedPacket& packet, const Envelope& env);
+  void handle_load_report(const LoadReport& report);
+  void handle_pool_grant(const PoolGrant& grant);
+  void handle_adopt(const Adopt& adopt);
+  void handle_overlap_table(const OverlapTableMsg& table);
+  void handle_peer_load(const PeerLoad& load);
+  void handle_reclaim_request(const ReclaimRequest& request);
+  void handle_reclaim_decline(const ReclaimDecline& decline);
+  void handle_reclaim_done(const ReclaimDone& done);
+  void handle_shed_done(const ShedDone& done);
+  void handle_point_owner(const PointOwner& owner);
+
+  // split / reclaim machinery
+  void maybe_split();
+  void maybe_reclaim();
+  [[nodiscard]] bool can_change_topology() const;
+  [[nodiscard]] std::pair<Rect, Rect> choose_split() const;
+
+  void register_with_mc();
+  void push_range_to_game(const Rect& shed_range, NodeId shed_to_game,
+                          ServerId shed_to_server, bool reclaim);
+  void schedule_heartbeat();
+  void deactivate();
+
+  ServerId id_;
+  Config config_;
+  Wiring wiring_;
+
+  bool active_ = false;
+  Rect range_;
+  std::vector<double> radii_;
+  std::vector<std::string> content_keys_;
+
+  ServerId parent_;
+  NodeId parent_matrix_;
+  NodeId parent_game_;
+  std::vector<ChildInfo> children_;  ///< LIFO: only the back is reclaimable
+
+  // Per-radius-class routing tables, installed by the MC.
+  std::vector<RegionIndex> tables_;
+  std::vector<std::uint64_t> table_versions_;
+
+  LoadReport last_report_;
+  std::uint32_t consecutive_overload_ = 0;
+  SimTime cooldown_until_{};
+  SimTime split_started_at_{};
+  SimTime reclaim_started_at_{};
+  /// While reclaim_pending_: when to re-send the request (lost-message
+  /// recovery; safe because requests carry the adoption token).
+  SimTime reclaim_retry_at_{};
+  bool split_pending_ = false;
+  bool reclaim_pending_ = false;   ///< parent side: waiting for ReclaimDone
+  bool being_reclaimed_ = false;   ///< child side: shedding everything
+  std::uint64_t topology_epoch_ = 0;
+  std::uint64_t activation_epoch_ = 0;  ///< guards stale heartbeat timers
+  std::uint64_t mc_generation_ = 0;     ///< latest MC incarnation seen
+
+  // Pending non-proximal packets awaiting MC point lookups.
+  std::uint32_t next_lookup_seq_ = 1;
+  std::map<std::uint32_t, TaggedPacket> pending_lookups_;
+  // Pending game-server owner queries awaiting MC point lookups, keyed by
+  // the MC lookup seq; value = the game's original query.
+  std::map<std::uint32_t, OwnerQuery> pending_owner_queries_;
+
+  Stats stats_;
+};
+
+}  // namespace matrix

@@ -1,0 +1,67 @@
+// Overlap regions and the O(1) consistency-set lookup (paper §3.1, §3.2.4).
+//
+// Construction (MC side): for server Si with partition Pi, inflate every
+// other partition Pj by the visibility radius R and decompose Pi against
+// those inflated rectangles.  Each resulting cell is an overlap region: all
+// its points share one consistency set.  Interior cells (empty set) are not
+// shipped — only the periphery matters, which is why near-decomposability
+// makes the tables small.
+//
+// Lookup (Matrix-server side): a uniform bucket grid over the partition maps
+// a point to its candidate regions in O(1) expected time; a lookup that hits
+// no region means "interior, empty consistency set, no forwarding".  This is
+// the paper's answer to DHT-style O(log N) routing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition.h"
+#include "core/protocol.h"
+#include "geometry/metric.h"
+#include "geometry/rect.h"
+
+namespace matrix {
+
+/// Builds the overlap regions of `owner`'s partition for event radius
+/// `radius`.  Only regions with a non-empty consistency set are returned.
+/// Region peers never include `owner` itself.
+[[nodiscard]] std::vector<OverlapRegionWire> build_overlap_regions(
+    const PartitionMap& map, ServerId owner, double radius, Metric metric);
+
+/// Fraction of `owner`'s partition area whose consistency set is non-empty.
+/// The paper's bandwidth result says inter-server traffic tracks this.
+[[nodiscard]] double overlap_area_fraction(
+    const std::vector<OverlapRegionWire>& regions, const Rect& partition);
+
+/// Point → overlap-region index with O(1) expected lookups.
+///
+/// The grid has ~2·sqrt(#regions) buckets per axis over the partition; each
+/// bucket stores the indices of regions intersecting it (normally 1–4).
+/// find() scans only that bucket's candidates.
+class RegionIndex {
+ public:
+  RegionIndex() = default;
+  RegionIndex(const Rect& partition, std::vector<OverlapRegionWire> regions);
+
+  /// The region containing `p`, or nullptr when `p` is interior (empty
+  /// consistency set) or outside the partition.
+  [[nodiscard]] const OverlapRegionWire* find(Vec2 p) const;
+
+  [[nodiscard]] const std::vector<OverlapRegionWire>& regions() const {
+    return regions_;
+  }
+  [[nodiscard]] const Rect& partition() const { return partition_; }
+  [[nodiscard]] bool empty() const { return regions_.empty(); }
+
+ private:
+  Rect partition_;
+  std::vector<OverlapRegionWire> regions_;
+  std::vector<std::vector<std::uint32_t>> buckets_;  // row-major grid
+  std::size_t grid_w_ = 0;
+  std::size_t grid_h_ = 0;
+  double cell_w_ = 1.0;
+  double cell_h_ = 1.0;
+};
+
+}  // namespace matrix

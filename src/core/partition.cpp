@@ -1,0 +1,68 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/metric.h"
+
+namespace matrix {
+
+void PartitionMap::upsert(const PartitionEntry& entry) {
+  for (auto& existing : entries_) {
+    if (existing.server == entry.server) {
+      existing = entry;
+      return;
+    }
+  }
+  entries_.push_back(entry);
+}
+
+void PartitionMap::remove(ServerId server) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [server](const PartitionEntry& e) {
+                                  return e.server == server;
+                                }),
+                 entries_.end());
+}
+
+const PartitionEntry* PartitionMap::find(ServerId server) const {
+  for (const auto& entry : entries_) {
+    if (entry.server == server) return &entry;
+  }
+  return nullptr;
+}
+
+const PartitionEntry* PartitionMap::owner_of(Vec2 p) const {
+  for (const auto& entry : entries_) {
+    if (entry.range.contains(p)) return &entry;
+  }
+  return nullptr;
+}
+
+bool PartitionMap::tiles(const Rect& world, double epsilon) const {
+  double area = 0.0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Rect& a = entries_[i].range;
+    if (!world.contains_rect(a)) return false;
+    area += a.area();
+    for (std::size_t j = i + 1; j < entries_.size(); ++j) {
+      if (a.intersects(entries_[j].range)) return false;
+    }
+  }
+  return std::abs(area - world.area()) <= epsilon * std::max(1.0, world.area());
+}
+
+std::vector<const PartitionEntry*> consistency_set_scan(
+    const PartitionMap& map, Vec2 point, double radius, Metric metric) {
+  std::vector<const PartitionEntry*> out;
+  const PartitionEntry* home = map.owner_of(point);
+  for (const auto& entry : map.entries()) {
+    if (home != nullptr && entry.server == home->server) continue;
+    if (ball_intersects_rect(metric, point, radius, entry.range)) {
+      out.push_back(&entry);
+    }
+  }
+  return out;
+}
+
+}  // namespace matrix

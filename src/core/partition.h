@@ -1,0 +1,63 @@
+// Global partition map.
+//
+// The Matrix Coordinator's view of the world: which server owns which
+// rectangle (paper §3.1: "Matrix partitions the overall space Z into N
+// non-overlapping partitions {P1..PN} and assigns each partition Pi to a
+// distinct server Si").  Matrix servers themselves never hold this map —
+// they only know their own range, parent, and children; that asymmetry is
+// what makes split decisions purely local.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geometry/metric.h"
+#include "geometry/rect.h"
+#include "util/ids.h"
+
+namespace matrix {
+
+struct PartitionEntry {
+  ServerId server;
+  NodeId matrix_node;
+  NodeId game_node;
+  Rect range;
+};
+
+class PartitionMap {
+ public:
+  /// Inserts or replaces the entry for `entry.server`.
+  void upsert(const PartitionEntry& entry);
+
+  /// Removes the entry; no-op if absent.
+  void remove(ServerId server);
+
+  [[nodiscard]] const PartitionEntry* find(ServerId server) const;
+
+  /// The server whose partition contains `p` (half-open containment, so a
+  /// boundary point resolves to exactly one owner).
+  [[nodiscard]] const PartitionEntry* owner_of(Vec2 p) const;
+
+  [[nodiscard]] const std::vector<PartitionEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Checks the tiling invariant: partitions are pairwise disjoint (open
+  /// interiors) and their areas sum to the world's area within `epsilon`.
+  [[nodiscard]] bool tiles(const Rect& world, double epsilon = 1e-6) const;
+
+ private:
+  std::vector<PartitionEntry> entries_;  // ordered by insertion; N is small
+};
+
+/// Ground-truth consistency set of Eq. 1: every server (other than the
+/// owner of σ) whose partition lies within metric distance `radius` of σ.
+/// O(N); used by the MC for non-proximal lookups-by-area, by tests as the
+/// oracle the O(1) overlap tables must agree with, and by the O(N)-scan
+/// ablation.
+[[nodiscard]] std::vector<const PartitionEntry*> consistency_set_scan(
+    const PartitionMap& map, Vec2 point, double radius, Metric metric);
+
+}  // namespace matrix

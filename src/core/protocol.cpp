@@ -1,0 +1,643 @@
+#include "core/protocol.h"
+
+#include <type_traits>
+
+namespace matrix {
+
+namespace {
+
+// Type tags on the wire.  Order is part of the protocol; append only.
+enum class MsgType : std::uint8_t {
+  kTaggedPacket = 1,
+  kClientHello,
+  kWelcome,
+  kClientAction,
+  kServerUpdate,
+  kRedirect,
+  kClientBye,
+  kLoadReport,
+  kMapRange,
+  kShedDone,
+  kOwnerQuery,
+  kOwnerReply,
+  kAdopt,
+  kPeerLoad,
+  kReclaimRequest,
+  kReclaimDecline,
+  kReclaimDone,
+  kStateTransfer,
+  kClientStateTransfer,
+  kServerRegister,
+  kServerUnregister,
+  kOverlapTableMsg,
+  kPointLookup,
+  kPointOwner,
+  kPoolAcquire,
+  kPoolGrant,
+  kPoolDeny,
+  kPoolRelease,
+  kMcAnnounce,
+};
+
+void put(ByteWriter& w, Vec2 v) {
+  w.f64(v.x);
+  w.f64(v.y);
+}
+Vec2 get_vec2(ByteReader& r) {
+  Vec2 v;
+  v.x = r.f64();
+  v.y = r.f64();
+  return v;
+}
+
+void put(ByteWriter& w, const Rect& rect) {
+  w.f64(rect.x0());
+  w.f64(rect.y0());
+  w.f64(rect.x1());
+  w.f64(rect.y1());
+}
+Rect get_rect(ByteReader& r) {
+  const double x0 = r.f64();
+  const double y0 = r.f64();
+  const double x1 = r.f64();
+  const double y1 = r.f64();
+  return Rect(x0, y0, x1, y1);
+}
+
+void put(ByteWriter& w, const std::optional<Vec2>& v) {
+  w.u8(v.has_value() ? 1 : 0);
+  if (v) put(w, *v);
+}
+std::optional<Vec2> get_opt_vec2(ByteReader& r) {
+  if (r.u8() == 0) return std::nullopt;
+  return get_vec2(r);
+}
+
+void put(ByteWriter& w, SimTime t) { w.i64(t.us()); }
+SimTime get_time(ByteReader& r) { return SimTime::from_us(r.i64()); }
+
+// ---- per-struct bodies ----------------------------------------------------
+
+void encode_body(ByteWriter& w, const TaggedPacket& m) {
+  w.id(m.client);
+  w.id(m.entity);
+  put(w, m.origin);
+  put(w, m.target);
+  w.u8(m.radius_class);
+  w.u8(m.kind);
+  w.u32(m.seq);
+  put(w, m.client_sent_at);
+  w.u8(m.peer_forwarded ? 1 : 0);
+  w.raw(m.payload);
+}
+TaggedPacket decode_tagged_packet(ByteReader& r) {
+  TaggedPacket m;
+  m.client = r.id<ClientId>();
+  m.entity = r.id<EntityId>();
+  m.origin = get_vec2(r);
+  m.target = get_opt_vec2(r);
+  m.radius_class = r.u8();
+  m.kind = r.u8();
+  m.seq = r.u32();
+  m.client_sent_at = get_time(r);
+  m.peer_forwarded = r.u8() != 0;
+  m.payload = r.raw();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const ClientHello& m) {
+  w.id(m.client);
+  put(w, m.position);
+  w.u8(m.resume ? 1 : 0);
+  w.u32(m.redirect_seq);
+}
+ClientHello decode_client_hello(ByteReader& r) {
+  ClientHello m;
+  m.client = r.id<ClientId>();
+  m.position = get_vec2(r);
+  m.resume = r.u8() != 0;
+  m.redirect_seq = r.u32();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const Welcome& m) {
+  w.id(m.client);
+  w.id(m.avatar);
+  put(w, m.authority);
+  w.u32(m.redirect_seq);
+}
+Welcome decode_welcome(ByteReader& r) {
+  Welcome m;
+  m.client = r.id<ClientId>();
+  m.avatar = r.id<EntityId>();
+  m.authority = get_rect(r);
+  m.redirect_seq = r.u32();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const ClientAction& m) {
+  w.id(m.client);
+  w.u8(m.kind);
+  put(w, m.position);
+  put(w, m.target);
+  w.u32(m.seq);
+  put(w, m.sent_at);
+  w.raw(m.payload);
+}
+ClientAction decode_client_action(ByteReader& r) {
+  ClientAction m;
+  m.client = r.id<ClientId>();
+  m.kind = r.u8();
+  m.position = get_vec2(r);
+  m.target = get_opt_vec2(r);
+  m.seq = r.u32();
+  m.sent_at = get_time(r);
+  m.payload = r.raw();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const ServerUpdate& m) {
+  w.u8(m.kind);
+  put(w, m.position);
+  w.u32(m.ack_seq);
+  put(w, m.origin_sent_at);
+  w.raw(m.payload);
+}
+ServerUpdate decode_server_update(ByteReader& r) {
+  ServerUpdate m;
+  m.kind = r.u8();
+  m.position = get_vec2(r);
+  m.ack_seq = r.u32();
+  m.origin_sent_at = get_time(r);
+  m.payload = r.raw();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const Redirect& m) {
+  w.id(m.new_game_node);
+  w.id(m.new_server);
+  w.u32(m.redirect_seq);
+}
+Redirect decode_redirect(ByteReader& r) {
+  Redirect m;
+  m.new_game_node = r.id<NodeId>();
+  m.new_server = r.id<ServerId>();
+  m.redirect_seq = r.u32();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const ClientBye& m) { w.id(m.client); }
+ClientBye decode_client_bye(ByteReader& r) {
+  ClientBye m;
+  m.client = r.id<ClientId>();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const LoadReport& m) {
+  w.u32(m.client_count);
+  w.u32(m.queue_length);
+  w.f64(m.msgs_per_sec);
+  put(w, m.median_position);
+}
+LoadReport decode_load_report(ByteReader& r) {
+  LoadReport m;
+  m.client_count = r.u32();
+  m.queue_length = r.u32();
+  m.msgs_per_sec = r.f64();
+  m.median_position = get_vec2(r);
+  return m;
+}
+
+void encode_body(ByteWriter& w, const MapRange& m) {
+  put(w, m.new_range);
+  put(w, m.shed_range);
+  w.id(m.shed_to_game);
+  w.id(m.shed_to_server);
+  w.u8(m.reclaim ? 1 : 0);
+  w.u64(m.topology_epoch);
+}
+MapRange decode_map_range(ByteReader& r) {
+  MapRange m;
+  m.new_range = get_rect(r);
+  m.shed_range = get_rect(r);
+  m.shed_to_game = r.id<NodeId>();
+  m.shed_to_server = r.id<ServerId>();
+  m.reclaim = r.u8() != 0;
+  m.topology_epoch = r.u64();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const ShedDone& m) {
+  w.u64(m.topology_epoch);
+  w.u32(m.clients_redirected);
+}
+ShedDone decode_shed_done(ByteReader& r) {
+  ShedDone m;
+  m.topology_epoch = r.u64();
+  m.clients_redirected = r.u32();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const OwnerQuery& m) {
+  put(w, m.point);
+  w.id(m.client);
+  w.u32(m.seq);
+}
+OwnerQuery decode_owner_query(ByteReader& r) {
+  OwnerQuery m;
+  m.point = get_vec2(r);
+  m.client = r.id<ClientId>();
+  m.seq = r.u32();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const OwnerReply& m) {
+  w.id(m.client);
+  w.u32(m.seq);
+  w.u8(m.found ? 1 : 0);
+  w.id(m.server);
+  w.id(m.game_node);
+}
+OwnerReply decode_owner_reply(ByteReader& r) {
+  OwnerReply m;
+  m.client = r.id<ClientId>();
+  m.seq = r.u32();
+  m.found = r.u8() != 0;
+  m.server = r.id<ServerId>();
+  m.game_node = r.id<NodeId>();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const Adopt& m) {
+  w.id(m.parent);
+  w.id(m.parent_matrix);
+  w.id(m.parent_game);
+  put(w, m.range);
+  w.f64(m.visibility_radius);
+  w.varint(m.extra_radii.size());
+  for (double radius : m.extra_radii) w.f64(radius);
+  w.varint(m.content_keys.size());
+  for (const auto& key : m.content_keys) w.str(key);
+  w.u64(m.topology_epoch);
+}
+Adopt decode_adopt(ByteReader& r) {
+  Adopt m;
+  m.parent = r.id<ServerId>();
+  m.parent_matrix = r.id<NodeId>();
+  m.parent_game = r.id<NodeId>();
+  m.range = get_rect(r);
+  m.visibility_radius = r.f64();
+  const std::uint64_t nr = r.varint();
+  for (std::uint64_t i = 0; i < nr && r.ok(); ++i) {
+    m.extra_radii.push_back(r.f64());
+  }
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    m.content_keys.push_back(r.str());
+  }
+  m.topology_epoch = r.u64();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const PeerLoad& m) {
+  w.id(m.server);
+  w.u32(m.client_count);
+  w.u32(m.child_count);
+}
+PeerLoad decode_peer_load(ByteReader& r) {
+  PeerLoad m;
+  m.server = r.id<ServerId>();
+  m.client_count = r.u32();
+  m.child_count = r.u32();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const ReclaimRequest& m) {
+  w.u64(m.topology_epoch);
+}
+ReclaimRequest decode_reclaim_request(ByteReader& r) {
+  ReclaimRequest m;
+  m.topology_epoch = r.u64();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const ReclaimDecline& m) {
+  w.id(m.child);
+  w.u64(m.topology_epoch);
+}
+ReclaimDecline decode_reclaim_decline(ByteReader& r) {
+  ReclaimDecline m;
+  m.child = r.id<ServerId>();
+  m.topology_epoch = r.u64();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const ReclaimDone& m) {
+  w.id(m.child);
+  put(w, m.range);
+  w.u64(m.topology_epoch);
+}
+ReclaimDone decode_reclaim_done(ByteReader& r) {
+  ReclaimDone m;
+  m.child = r.id<ServerId>();
+  m.range = get_rect(r);
+  m.topology_epoch = r.u64();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const StateTransfer& m) {
+  w.id(m.from_server);
+  w.id(m.to_game);
+  put(w, m.range);
+  w.u32(m.object_count);
+  w.raw(m.blob);
+}
+StateTransfer decode_state_transfer(ByteReader& r) {
+  StateTransfer m;
+  m.from_server = r.id<ServerId>();
+  m.to_game = r.id<NodeId>();
+  m.range = get_rect(r);
+  m.object_count = r.u32();
+  m.blob = r.raw();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const ClientStateTransfer& m) {
+  w.id(m.client);
+  w.id(m.entity);
+  w.id(m.to_game);
+  w.raw(m.blob);
+}
+ClientStateTransfer decode_client_state_transfer(ByteReader& r) {
+  ClientStateTransfer m;
+  m.client = r.id<ClientId>();
+  m.entity = r.id<EntityId>();
+  m.to_game = r.id<NodeId>();
+  m.blob = r.raw();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const ServerRegister& m) {
+  w.id(m.server);
+  w.id(m.matrix_node);
+  w.id(m.game_node);
+  put(w, m.range);
+  w.varint(m.radii.size());
+  for (double radius : m.radii) w.f64(radius);
+}
+ServerRegister decode_server_register(ByteReader& r) {
+  ServerRegister m;
+  m.server = r.id<ServerId>();
+  m.matrix_node = r.id<NodeId>();
+  m.game_node = r.id<NodeId>();
+  m.range = get_rect(r);
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) m.radii.push_back(r.f64());
+  return m;
+}
+
+void encode_body(ByteWriter& w, const ServerUnregister& m) { w.id(m.server); }
+ServerUnregister decode_server_unregister(ByteReader& r) {
+  ServerUnregister m;
+  m.server = r.id<ServerId>();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const OverlapTableMsg& m) {
+  w.id(m.server);
+  put(w, m.partition);
+  w.u8(m.radius_class);
+  w.f64(m.radius);
+  w.u64(m.version);
+  w.varint(m.regions.size());
+  for (const auto& region : m.regions) {
+    put(w, region.rect);
+    w.varint(region.peer_servers.size());
+    for (std::size_t i = 0; i < region.peer_servers.size(); ++i) {
+      w.id(region.peer_servers[i]);
+      w.id(region.peer_matrix_nodes[i]);
+    }
+  }
+}
+OverlapTableMsg decode_overlap_table(ByteReader& r) {
+  OverlapTableMsg m;
+  m.server = r.id<ServerId>();
+  m.partition = get_rect(r);
+  m.radius_class = r.u8();
+  m.radius = r.f64();
+  m.version = r.u64();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    OverlapRegionWire region;
+    region.rect = get_rect(r);
+    const std::uint64_t peers = r.varint();
+    for (std::uint64_t j = 0; j < peers && r.ok(); ++j) {
+      region.peer_servers.push_back(r.id<ServerId>());
+      region.peer_matrix_nodes.push_back(r.id<NodeId>());
+    }
+    m.regions.push_back(std::move(region));
+  }
+  return m;
+}
+
+void encode_body(ByteWriter& w, const PointLookup& m) {
+  put(w, m.point);
+  w.u32(m.lookup_seq);
+}
+PointLookup decode_point_lookup(ByteReader& r) {
+  PointLookup m;
+  m.point = get_vec2(r);
+  m.lookup_seq = r.u32();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const PointOwner& m) {
+  w.u32(m.lookup_seq);
+  w.u8(m.found ? 1 : 0);
+  w.id(m.server);
+  w.id(m.matrix_node);
+  w.id(m.game_node);
+}
+PointOwner decode_point_owner(ByteReader& r) {
+  PointOwner m;
+  m.lookup_seq = r.u32();
+  m.found = r.u8() != 0;
+  m.server = r.id<ServerId>();
+  m.matrix_node = r.id<NodeId>();
+  m.game_node = r.id<NodeId>();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const PoolAcquire& m) { w.id(m.requester); }
+PoolAcquire decode_pool_acquire(ByteReader& r) {
+  PoolAcquire m;
+  m.requester = r.id<ServerId>();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const PoolGrant& m) {
+  w.id(m.server);
+  w.id(m.matrix_node);
+  w.id(m.game_node);
+}
+PoolGrant decode_pool_grant(ByteReader& r) {
+  PoolGrant m;
+  m.server = r.id<ServerId>();
+  m.matrix_node = r.id<NodeId>();
+  m.game_node = r.id<NodeId>();
+  return m;
+}
+
+void encode_body(ByteWriter&, const PoolDeny&) {}
+
+void encode_body(ByteWriter& w, const PoolRelease& m) {
+  w.id(m.server);
+  w.id(m.matrix_node);
+  w.id(m.game_node);
+}
+PoolRelease decode_pool_release(ByteReader& r) {
+  PoolRelease m;
+  m.server = r.id<ServerId>();
+  m.matrix_node = r.id<NodeId>();
+  m.game_node = r.id<NodeId>();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const McAnnounce& m) {
+  w.id(m.mc_node);
+  w.u64(m.generation);
+}
+McAnnounce decode_mc_announce(ByteReader& r) {
+  McAnnounce m;
+  m.mc_node = r.id<NodeId>();
+  m.generation = r.u64();
+  return m;
+}
+
+template <typename T>
+constexpr MsgType type_tag() {
+  if constexpr (std::is_same_v<T, TaggedPacket>) return MsgType::kTaggedPacket;
+  else if constexpr (std::is_same_v<T, ClientHello>) return MsgType::kClientHello;
+  else if constexpr (std::is_same_v<T, Welcome>) return MsgType::kWelcome;
+  else if constexpr (std::is_same_v<T, ClientAction>) return MsgType::kClientAction;
+  else if constexpr (std::is_same_v<T, ServerUpdate>) return MsgType::kServerUpdate;
+  else if constexpr (std::is_same_v<T, Redirect>) return MsgType::kRedirect;
+  else if constexpr (std::is_same_v<T, ClientBye>) return MsgType::kClientBye;
+  else if constexpr (std::is_same_v<T, LoadReport>) return MsgType::kLoadReport;
+  else if constexpr (std::is_same_v<T, MapRange>) return MsgType::kMapRange;
+  else if constexpr (std::is_same_v<T, ShedDone>) return MsgType::kShedDone;
+  else if constexpr (std::is_same_v<T, OwnerQuery>) return MsgType::kOwnerQuery;
+  else if constexpr (std::is_same_v<T, OwnerReply>) return MsgType::kOwnerReply;
+  else if constexpr (std::is_same_v<T, Adopt>) return MsgType::kAdopt;
+  else if constexpr (std::is_same_v<T, PeerLoad>) return MsgType::kPeerLoad;
+  else if constexpr (std::is_same_v<T, ReclaimRequest>) return MsgType::kReclaimRequest;
+  else if constexpr (std::is_same_v<T, ReclaimDecline>) return MsgType::kReclaimDecline;
+  else if constexpr (std::is_same_v<T, ReclaimDone>) return MsgType::kReclaimDone;
+  else if constexpr (std::is_same_v<T, StateTransfer>) return MsgType::kStateTransfer;
+  else if constexpr (std::is_same_v<T, ClientStateTransfer>) return MsgType::kClientStateTransfer;
+  else if constexpr (std::is_same_v<T, ServerRegister>) return MsgType::kServerRegister;
+  else if constexpr (std::is_same_v<T, ServerUnregister>) return MsgType::kServerUnregister;
+  else if constexpr (std::is_same_v<T, OverlapTableMsg>) return MsgType::kOverlapTableMsg;
+  else if constexpr (std::is_same_v<T, PointLookup>) return MsgType::kPointLookup;
+  else if constexpr (std::is_same_v<T, PointOwner>) return MsgType::kPointOwner;
+  else if constexpr (std::is_same_v<T, PoolAcquire>) return MsgType::kPoolAcquire;
+  else if constexpr (std::is_same_v<T, PoolGrant>) return MsgType::kPoolGrant;
+  else if constexpr (std::is_same_v<T, PoolDeny>) return MsgType::kPoolDeny;
+  else if constexpr (std::is_same_v<T, PoolRelease>) return MsgType::kPoolRelease;
+  else if constexpr (std::is_same_v<T, McAnnounce>) return MsgType::kMcAnnounce;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_message(const Message& message) {
+  ByteWriter w;
+  std::visit(
+      [&w](const auto& body) {
+        using T = std::decay_t<decltype(body)>;
+        w.u8(static_cast<std::uint8_t>(type_tag<T>()));
+        encode_body(w, body);
+      },
+      message);
+  return w.take();
+}
+
+std::optional<Message> decode_message(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const auto type = static_cast<MsgType>(r.u8());
+  if (!r.ok()) return std::nullopt;
+  Message m;
+  switch (type) {
+    case MsgType::kTaggedPacket: m = decode_tagged_packet(r); break;
+    case MsgType::kClientHello: m = decode_client_hello(r); break;
+    case MsgType::kWelcome: m = decode_welcome(r); break;
+    case MsgType::kClientAction: m = decode_client_action(r); break;
+    case MsgType::kServerUpdate: m = decode_server_update(r); break;
+    case MsgType::kRedirect: m = decode_redirect(r); break;
+    case MsgType::kClientBye: m = decode_client_bye(r); break;
+    case MsgType::kLoadReport: m = decode_load_report(r); break;
+    case MsgType::kMapRange: m = decode_map_range(r); break;
+    case MsgType::kShedDone: m = decode_shed_done(r); break;
+    case MsgType::kOwnerQuery: m = decode_owner_query(r); break;
+    case MsgType::kOwnerReply: m = decode_owner_reply(r); break;
+    case MsgType::kAdopt: m = decode_adopt(r); break;
+    case MsgType::kPeerLoad: m = decode_peer_load(r); break;
+    case MsgType::kReclaimRequest: m = decode_reclaim_request(r); break;
+    case MsgType::kReclaimDecline: m = decode_reclaim_decline(r); break;
+    case MsgType::kReclaimDone: m = decode_reclaim_done(r); break;
+    case MsgType::kStateTransfer: m = decode_state_transfer(r); break;
+    case MsgType::kClientStateTransfer: m = decode_client_state_transfer(r); break;
+    case MsgType::kServerRegister: m = decode_server_register(r); break;
+    case MsgType::kServerUnregister: m = decode_server_unregister(r); break;
+    case MsgType::kOverlapTableMsg: m = decode_overlap_table(r); break;
+    case MsgType::kPointLookup: m = decode_point_lookup(r); break;
+    case MsgType::kPointOwner: m = decode_point_owner(r); break;
+    case MsgType::kPoolAcquire: m = decode_pool_acquire(r); break;
+    case MsgType::kPoolGrant: m = decode_pool_grant(r); break;
+    case MsgType::kPoolDeny: m = PoolDeny{}; break;
+    case MsgType::kPoolRelease: m = decode_pool_release(r); break;
+    case MsgType::kMcAnnounce: m = decode_mc_announce(r); break;
+    default: return std::nullopt;
+  }
+  if (!r.ok()) return std::nullopt;
+  return m;
+}
+
+const char* message_name(const Message& message) {
+  return std::visit(
+      [](const auto& body) -> const char* {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, TaggedPacket>) return "TaggedPacket";
+        else if constexpr (std::is_same_v<T, ClientHello>) return "ClientHello";
+        else if constexpr (std::is_same_v<T, Welcome>) return "Welcome";
+        else if constexpr (std::is_same_v<T, ClientAction>) return "ClientAction";
+        else if constexpr (std::is_same_v<T, ServerUpdate>) return "ServerUpdate";
+        else if constexpr (std::is_same_v<T, Redirect>) return "Redirect";
+        else if constexpr (std::is_same_v<T, ClientBye>) return "ClientBye";
+        else if constexpr (std::is_same_v<T, LoadReport>) return "LoadReport";
+        else if constexpr (std::is_same_v<T, MapRange>) return "MapRange";
+        else if constexpr (std::is_same_v<T, ShedDone>) return "ShedDone";
+        else if constexpr (std::is_same_v<T, OwnerQuery>) return "OwnerQuery";
+        else if constexpr (std::is_same_v<T, OwnerReply>) return "OwnerReply";
+        else if constexpr (std::is_same_v<T, Adopt>) return "Adopt";
+        else if constexpr (std::is_same_v<T, PeerLoad>) return "PeerLoad";
+        else if constexpr (std::is_same_v<T, ReclaimRequest>) return "ReclaimRequest";
+        else if constexpr (std::is_same_v<T, ReclaimDecline>) return "ReclaimDecline";
+        else if constexpr (std::is_same_v<T, ReclaimDone>) return "ReclaimDone";
+        else if constexpr (std::is_same_v<T, StateTransfer>) return "StateTransfer";
+        else if constexpr (std::is_same_v<T, ClientStateTransfer>) return "ClientStateTransfer";
+        else if constexpr (std::is_same_v<T, ServerRegister>) return "ServerRegister";
+        else if constexpr (std::is_same_v<T, ServerUnregister>) return "ServerUnregister";
+        else if constexpr (std::is_same_v<T, OverlapTableMsg>) return "OverlapTableMsg";
+        else if constexpr (std::is_same_v<T, PointLookup>) return "PointLookup";
+        else if constexpr (std::is_same_v<T, PointOwner>) return "PointOwner";
+        else if constexpr (std::is_same_v<T, PoolAcquire>) return "PoolAcquire";
+        else if constexpr (std::is_same_v<T, PoolGrant>) return "PoolGrant";
+        else if constexpr (std::is_same_v<T, PoolDeny>) return "PoolDeny";
+        else if constexpr (std::is_same_v<T, PoolRelease>) return "PoolRelease";
+        else if constexpr (std::is_same_v<T, McAnnounce>) return "McAnnounce";
+        else return "Unknown";
+      },
+      message);
+}
+
+}  // namespace matrix

@@ -1,0 +1,347 @@
+// Wire protocol.
+//
+// Every message exchanged between game clients, game servers, Matrix
+// servers, the Matrix Coordinator (MC), and the resource pool.  Messages are
+// encoded to bytes (util/codec.h) before hitting the network so that wire
+// sizes — and therefore the bandwidth results — are physically meaningful.
+//
+// Component roles and the messages they exchange (paper §3.2):
+//
+//   client  → game    : ClientHello, ClientAction, ClientBye
+//   game    → client  : Welcome, ServerUpdate, Redirect
+//   game    → matrix  : TaggedPacket, LoadReport, ShedDone
+//   matrix  → game    : TaggedPacket (verified), MapRange
+//   matrix  ↔ matrix  : TaggedPacket (peer forward), Adopt, PeerLoad,
+//                       ReclaimRequest, ReclaimDone, StateTransfer (relay),
+//                       ClientStateTransfer (relay)
+//   matrix  ↔ MC      : ServerRegister, ServerUnregister, OverlapTableMsg,
+//                       PointLookup, PointOwner
+//   matrix  ↔ pool    : PoolAcquire, PoolGrant, PoolDeny, PoolRelease
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/server_set.h"
+#include "geometry/rect.h"
+#include "geometry/vec2.h"
+#include "util/codec.h"
+#include "util/ids.h"
+#include "util/sim_time.h"
+
+namespace matrix {
+
+// ---------------------------------------------------------------------------
+// Data plane
+// ---------------------------------------------------------------------------
+
+/// A spatially-tagged game packet (paper §3.1).  The game server tags each
+/// client packet with the world coordinates of the packet's origin (and
+/// destination for non-proximal interactions); Matrix routes on the tags and
+/// never parses `payload` — that is the layering the paper's API promises.
+struct TaggedPacket {
+  ClientId client;            ///< globally-unique originating player
+  EntityId entity;            ///< acting entity
+  Vec2 origin;                ///< where in the world the event happened
+  std::optional<Vec2> target; ///< set only for non-proximal interactions
+  std::uint8_t radius_class = 0;  ///< 0 = game default R; else exceptional R
+  std::uint8_t kind = 0;          ///< game-defined opcode (opaque to Matrix)
+  std::uint32_t seq = 0;          ///< client action sequence (latency pairing)
+  SimTime client_sent_at{};       ///< stamped by client; for latency metrics
+  bool peer_forwarded = false;    ///< set on matrix→matrix relay (no re-fwd)
+  std::vector<std::uint8_t> payload;  ///< game-specific body (opaque)
+};
+
+// ---------------------------------------------------------------------------
+// Client ↔ game server
+// ---------------------------------------------------------------------------
+
+/// First message from a client to a game server.  `resume` is set when the
+/// client was redirected here mid-game (its avatar state arrives separately
+/// server→server via ClientStateTransfer).
+struct ClientHello {
+  ClientId client;
+  Vec2 position;
+  bool resume = false;
+  std::uint32_t redirect_seq = 0;  ///< pairs with Redirect for switch latency
+};
+
+struct Welcome {
+  ClientId client;
+  EntityId avatar;
+  Rect authority;                  ///< the server's current map range
+  std::uint32_t redirect_seq = 0;
+};
+
+/// A player input: move / fire / interact, stamped for latency measurement.
+struct ClientAction {
+  ClientId client;
+  std::uint8_t kind = 0;
+  Vec2 position;                    ///< client's believed position
+  std::optional<Vec2> target;       ///< e.g. shot aim point, teleport target
+  std::uint32_t seq = 0;
+  SimTime sent_at{};
+  std::vector<std::uint8_t> payload;
+};
+
+/// Game server → client state delta.  `ack_seq` is nonzero when this update
+/// is the direct reaction to that client's own action (self-latency); the
+/// embedded origin timestamp measures observer latency at other clients.
+struct ServerUpdate {
+  std::uint8_t kind = 0;
+  Vec2 position;
+  std::uint32_t ack_seq = 0;
+  SimTime origin_sent_at{};
+  std::vector<std::uint8_t> payload;
+};
+
+/// Orders a client to reconnect to a different game server (paper §3.2.1:
+/// "the client is informed of these switches by its current game server").
+struct Redirect {
+  NodeId new_game_node;
+  ServerId new_server;
+  std::uint32_t redirect_seq = 0;
+};
+
+struct ClientBye {
+  ClientId client;
+};
+
+// ---------------------------------------------------------------------------
+// Game server ↔ its Matrix server (same host, paper §3.2.2)
+// ---------------------------------------------------------------------------
+
+/// Periodic load report (paper §3.2.2: "the game server also periodically
+/// reports its current load").  The median position feeds the load-aware
+/// split-policy extension; split-to-left ignores it.
+struct LoadReport {
+  std::uint32_t client_count = 0;
+  std::uint32_t queue_length = 0;
+  double msgs_per_sec = 0.0;
+  Vec2 median_position;
+};
+
+/// Matrix server → game server: your authoritative range changed.  When
+/// `shed_range` is non-empty the game server must transfer map-object state
+/// in that range and redirect the clients standing in it to `shed_to_game`.
+struct MapRange {
+  Rect new_range;
+  Rect shed_range;                  ///< empty ⇒ nothing to shed
+  NodeId shed_to_game;
+  ServerId shed_to_server;
+  bool reclaim = false;             ///< true ⇒ shedding everything to parent
+  std::uint64_t topology_epoch = 0;
+};
+
+/// Game server → Matrix server: the shed ordered by MapRange has finished
+/// (all state transferred, all clients redirected).
+struct ShedDone {
+  std::uint64_t topology_epoch = 0;
+  std::uint32_t clients_redirected = 0;
+};
+
+/// Game server → Matrix server: "which game server owns this point?"
+/// Used when a client walks out of this server's authority range — the paper
+/// says "Matrix provides the identity of the appropriate game server".  The
+/// Matrix server resolves it via the MC's point lookup.
+struct OwnerQuery {
+  Vec2 point;
+  ClientId client;
+  std::uint32_t seq = 0;
+};
+
+/// Matrix server → game server: answer to OwnerQuery.
+struct OwnerReply {
+  ClientId client;
+  std::uint32_t seq = 0;
+  bool found = false;
+  ServerId server;
+  NodeId game_node;
+};
+
+// ---------------------------------------------------------------------------
+// Matrix server ↔ Matrix server
+// ---------------------------------------------------------------------------
+
+/// Parent → newly-granted Matrix server: take over `range`.  Static content
+/// is *not* shipped — `content_keys` are pointers into the pre-cached store
+/// (paper §3.2.3: "only pointers to the cached state" are sent).
+struct Adopt {
+  ServerId parent;
+  NodeId parent_matrix;
+  NodeId parent_game;
+  Rect range;
+  double visibility_radius = 0.0;
+  std::vector<double> extra_radii;  ///< exceptional radius classes, in order
+  std::vector<std::string> content_keys;
+  std::uint64_t topology_epoch = 0;
+};
+
+/// Child → parent heartbeat enabling the parent's reclaim decision.  A
+/// child that has children of its own is not reclaimable (the subtree must
+/// collapse leaf-first), hence `child_count`.
+struct PeerLoad {
+  ServerId server;
+  std::uint32_t client_count = 0;
+  std::uint32_t child_count = 0;
+};
+
+/// Parent → child: begin reclamation (paper §3.2.3).  `topology_epoch` is
+/// the ADOPTION TOKEN the parent issued this child in its Adopt message; a
+/// child only honours requests bearing its own token, so a stale retry can
+/// never reclaim a server that has since been re-granted to someone else.
+struct ReclaimRequest {
+  std::uint64_t topology_epoch = 0;
+};
+
+/// Child → parent: reclamation refused (the child is mid-split, already
+/// reclaiming its own child, or the token was stale).  The parent clears
+/// its pending state and may retry later.  Without an explicit decline, an
+/// overload/underload interleaving can merge non-complementary rectangles
+/// and tear the tiling invariant (see matrix_server.cpp's reclaim notes).
+struct ReclaimDecline {
+  ServerId child;
+  std::uint64_t topology_epoch = 0;
+};
+
+/// Child → parent: reclamation finished; `range` returns to the parent.
+struct ReclaimDone {
+  ServerId child;
+  Rect range;
+  std::uint64_t topology_epoch = 0;
+};
+
+/// Bulk game state (map objects) relayed game→matrix→matrix→game during
+/// splits and reclaims.
+struct StateTransfer {
+  ServerId from_server;
+  NodeId to_game;
+  Rect range;
+  std::uint32_t object_count = 0;
+  std::vector<std::uint8_t> blob;
+};
+
+/// One switching client's avatar state, relayed server→server ahead of the
+/// client's ClientHello at the destination.
+struct ClientStateTransfer {
+  ClientId client;
+  EntityId entity;
+  NodeId to_game;
+  std::vector<std::uint8_t> blob;
+};
+
+// ---------------------------------------------------------------------------
+// Matrix server ↔ Matrix Coordinator
+// ---------------------------------------------------------------------------
+
+/// Registers (or re-registers after a range change) a Matrix server with the
+/// MC.  Upsert semantics: the MC replaces any previous range for `server`.
+struct ServerRegister {
+  ServerId server;
+  NodeId matrix_node;
+  NodeId game_node;
+  Rect range;
+  std::vector<double> radii;  ///< game default first, then exceptional radii
+};
+
+struct ServerUnregister {
+  ServerId server;
+};
+
+/// One overlap region as shipped to a Matrix server: every point in `rect`
+/// has consistency set = `peers` (paper Fig. 1a).
+struct OverlapRegionWire {
+  Rect rect;
+  std::vector<ServerId> peer_servers;
+  std::vector<NodeId> peer_matrix_nodes;  ///< parallel to peer_servers
+};
+
+/// MC → Matrix server: your overlap table for one radius class.
+struct OverlapTableMsg {
+  ServerId server;
+  Rect partition;
+  std::uint8_t radius_class = 0;
+  double radius = 0.0;
+  std::uint64_t version = 0;  ///< MC recompute generation
+  std::vector<OverlapRegionWire> regions;
+};
+
+/// Matrix server → MC: who owns this point?  Used only for the rare
+/// non-proximal interactions (paper §3.2.4).
+struct PointLookup {
+  Vec2 point;
+  std::uint32_t lookup_seq = 0;
+};
+
+struct PointOwner {
+  std::uint32_t lookup_seq = 0;
+  bool found = false;
+  ServerId server;
+  NodeId matrix_node;
+  NodeId game_node;
+};
+
+// ---------------------------------------------------------------------------
+// Matrix server ↔ resource pool ("some non-Matrix external entity", §3.2.3)
+// ---------------------------------------------------------------------------
+
+struct PoolAcquire {
+  ServerId requester;
+};
+
+struct PoolGrant {
+  ServerId server;
+  NodeId matrix_node;
+  NodeId game_node;
+};
+
+struct PoolDeny {};
+
+struct PoolRelease {
+  ServerId server;
+  NodeId matrix_node;
+  NodeId game_node;
+};
+
+// ---------------------------------------------------------------------------
+// Coordinator fail-over
+// ---------------------------------------------------------------------------
+
+/// A (new) Matrix Coordinator announces itself to a Matrix server.  The
+/// paper: "the MC can also be made reliable using well understood
+/// replication techniques" — and, crucially, the MC holds only *soft*
+/// state: every Matrix server knows its own range, so a fresh MC rebuilds
+/// the partition map from the re-registrations this message solicits.
+/// Routing never stalls during fail-over because overlap tables are local.
+struct McAnnounce {
+  NodeId mc_node;
+  std::uint64_t generation = 0;  ///< monotonically increasing MC incarnation
+};
+
+// ---------------------------------------------------------------------------
+// Envelope-level message
+// ---------------------------------------------------------------------------
+
+using Message =
+    std::variant<TaggedPacket, ClientHello, Welcome, ClientAction,
+                 ServerUpdate, Redirect, ClientBye, LoadReport, MapRange,
+                 ShedDone, OwnerQuery, OwnerReply, Adopt, PeerLoad,
+                 ReclaimRequest, ReclaimDecline, ReclaimDone, StateTransfer,
+                 ClientStateTransfer, ServerRegister, ServerUnregister,
+                 OverlapTableMsg, PointLookup, PointOwner, PoolAcquire,
+                 PoolGrant, PoolDeny, PoolRelease, McAnnounce>;
+
+/// Serializes `message` (1 type byte + body).
+[[nodiscard]] std::vector<std::uint8_t> encode_message(const Message& message);
+
+/// Parses bytes back into a Message; std::nullopt on malformed input.
+[[nodiscard]] std::optional<Message> decode_message(
+    std::span<const std::uint8_t> bytes);
+
+/// Short human-readable name of the message alternative, for logs/metrics.
+[[nodiscard]] const char* message_name(const Message& message);
+
+}  // namespace matrix

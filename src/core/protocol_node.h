@@ -1,0 +1,47 @@
+// Base class for nodes that speak the Matrix wire protocol.
+//
+// Decodes each arriving envelope into a Message and dispatches it to the
+// subclass; provides a typed `send` that encodes on the way out.  Malformed
+// payloads are counted and dropped rather than crashing the process — a
+// middleware that can be killed by one bad packet fails the paper's DoS
+// design criterion (§2.1).
+#pragma once
+
+#include <cstdint>
+
+#include "core/protocol.h"
+#include "net/network.h"
+
+namespace matrix {
+
+class ProtocolNode : public Node {
+ public:
+  void handle_message(const Envelope& envelope) final {
+    auto message = decode_message(envelope.payload);
+    if (!message) {
+      ++malformed_count_;
+      return;
+    }
+    on_message(*message, envelope);
+  }
+
+  [[nodiscard]] std::uint64_t malformed_count() const {
+    return malformed_count_;
+  }
+
+ protected:
+  /// Typed dispatch point; `envelope` exposes src/timing metadata.
+  virtual void on_message(const Message& message, const Envelope& envelope) = 0;
+
+  /// Encodes and sends; returns wire bytes charged.
+  std::size_t send(NodeId dst, const Message& message) {
+    return network()->send(node_id(), dst, encode_message(message));
+  }
+
+  [[nodiscard]] SimTime now() const { return network()->now(); }
+
+ private:
+  std::uint64_t malformed_count_ = 0;
+};
+
+}  // namespace matrix

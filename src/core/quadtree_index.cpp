@@ -1,0 +1,64 @@
+#include "core/quadtree_index.h"
+
+namespace matrix {
+
+QuadtreeIndex::QuadtreeIndex(const Rect& partition,
+                             std::vector<OverlapRegionWire> regions,
+                             std::size_t max_leaf_regions,
+                             std::size_t max_depth)
+    : partition_(partition), regions_(std::move(regions)) {
+  if (regions_.empty()) return;
+  nodes_.push_back({partition_, {}, {0, 0, 0, 0}, true});
+  std::vector<std::uint32_t> all(regions_.size());
+  for (std::uint32_t i = 0; i < regions_.size(); ++i) all[i] = i;
+  build(0, all, 0, max_leaf_regions, max_depth);
+}
+
+void QuadtreeIndex::build(std::uint32_t node,
+                          const std::vector<std::uint32_t>& candidates,
+                          std::size_t depth, std::size_t max_leaf,
+                          std::size_t max_depth) {
+  if (candidates.size() <= max_leaf || depth >= max_depth) {
+    nodes_[node].candidates = candidates;
+    nodes_[node].leaf = true;
+    return;
+  }
+  nodes_[node].leaf = false;
+  const Rect bounds = nodes_[node].bounds;
+  const Vec2 c = bounds.center();
+  const Rect quads[4] = {
+      Rect(bounds.x0(), bounds.y0(), c.x, c.y),
+      Rect(c.x, bounds.y0(), bounds.x1(), c.y),
+      Rect(bounds.x0(), c.y, c.x, bounds.y1()),
+      Rect(c.x, c.y, bounds.x1(), bounds.y1()),
+  };
+  for (int q = 0; q < 4; ++q) {
+    std::vector<std::uint32_t> sub;
+    for (std::uint32_t idx : candidates) {
+      if (regions_[idx].rect.intersects(quads[q])) sub.push_back(idx);
+    }
+    if (sub.empty()) continue;
+    const auto child = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back({quads[q], {}, {0, 0, 0, 0}, true});
+    nodes_[node].children[q] = child;
+    build(child, sub, depth + 1, max_leaf, max_depth);
+  }
+}
+
+const OverlapRegionWire* QuadtreeIndex::find(Vec2 p) const {
+  if (regions_.empty() || !partition_.contains(p)) return nullptr;
+  std::uint32_t node = 0;
+  while (!nodes_[node].leaf) {
+    const Vec2 c = nodes_[node].bounds.center();
+    const int q = (p.x < c.x ? 0 : 1) + (p.y < c.y ? 0 : 2);
+    const std::uint32_t child = nodes_[node].children[q];
+    if (child == 0) return nullptr;  // empty quadrant: no region here
+    node = child;
+  }
+  for (std::uint32_t idx : nodes_[node].candidates) {
+    if (regions_[idx].rect.contains(p)) return &regions_[idx];
+  }
+  return nullptr;
+}
+
+}  // namespace matrix

@@ -1,0 +1,53 @@
+// QuadtreeIndex — an alternative point → overlap-region index.
+//
+// The shipped RegionIndex uses a uniform bucket grid (O(1) expected).  A
+// quadtree is the textbook alternative: it adapts to skewed region
+// geometry (deep subdivision only where regions crowd together) at the
+// cost of O(depth) pointer chasing per lookup.  The A-lookup ablation
+// bench compares the two; tests assert they always agree.  Matrix keeps
+// the grid as default — game-world overlap regions are close to uniform
+// strips, the grid's best case.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/protocol.h"
+#include "geometry/rect.h"
+
+namespace matrix {
+
+class QuadtreeIndex {
+ public:
+  QuadtreeIndex() = default;
+
+  /// Builds over `regions` clipped to `partition`.  `max_leaf_regions` and
+  /// `max_depth` bound subdivision.
+  QuadtreeIndex(const Rect& partition, std::vector<OverlapRegionWire> regions,
+                std::size_t max_leaf_regions = 4, std::size_t max_depth = 10);
+
+  /// The region containing `p`, or nullptr (interior / outside).
+  [[nodiscard]] const OverlapRegionWire* find(Vec2 p) const;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] bool empty() const { return regions_.empty(); }
+
+ private:
+  struct TreeNode {
+    Rect bounds;
+    // Leaf: candidate region indices.  Internal: children[] indices into
+    // nodes_ (0 = none; node 0 is the root so 0 is never a child).
+    std::vector<std::uint32_t> candidates;
+    std::uint32_t children[4] = {0, 0, 0, 0};
+    bool leaf = true;
+  };
+
+  void build(std::uint32_t node, const std::vector<std::uint32_t>& candidates,
+             std::size_t depth, std::size_t max_leaf, std::size_t max_depth);
+
+  Rect partition_;
+  std::vector<OverlapRegionWire> regions_;
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace matrix

@@ -1,0 +1,59 @@
+// Resource pool — the paper's "non-Matrix external entity" (§3.2.3) that a
+// Matrix server consults for an available spare server when it decides to
+// split.  Grants are (Matrix-server node, game-server node) pairs; reclaimed
+// servers are released back and can be granted again.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/protocol_node.h"
+
+namespace matrix {
+
+class ResourcePool : public ProtocolNode {
+ public:
+  struct Entry {
+    ServerId server;
+    NodeId matrix_node;
+    NodeId game_node;
+  };
+
+  [[nodiscard]] std::string name() const override { return "pool"; }
+
+  /// Seeds the pool with a spare server pair (deployment-time).
+  void add_entry(const Entry& entry) { idle_.push_back(entry); }
+
+  [[nodiscard]] std::size_t idle_count() const { return idle_.size(); }
+  [[nodiscard]] std::uint64_t grants() const { return grants_; }
+  [[nodiscard]] std::uint64_t denies() const { return denies_; }
+  [[nodiscard]] std::uint64_t releases() const { return releases_; }
+
+ protected:
+  void on_message(const Message& message, const Envelope& envelope) override {
+    if (std::holds_alternative<PoolAcquire>(message)) {
+      if (idle_.empty()) {
+        ++denies_;
+        send(envelope.src, PoolDeny{});
+        return;
+      }
+      const Entry entry = idle_.front();
+      idle_.pop_front();
+      ++grants_;
+      send(envelope.src,
+           PoolGrant{entry.server, entry.matrix_node, entry.game_node});
+    } else if (const auto* release = std::get_if<PoolRelease>(&message)) {
+      ++releases_;
+      idle_.push_back(
+          {release->server, release->matrix_node, release->game_node});
+    }
+  }
+
+ private:
+  std::deque<Entry> idle_;
+  std::uint64_t grants_ = 0;
+  std::uint64_t denies_ = 0;
+  std::uint64_t releases_ = 0;
+};
+
+}  // namespace matrix

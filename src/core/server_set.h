@@ -1,0 +1,82 @@
+// Consistency sets (paper Eq. 1).
+//
+// C(σ) is the set of servers that must hear about an update at point σ.
+// Near-decomposability means these sets are small (a point near a partition
+// corner touches at most a handful of neighbours), so a sorted small vector
+// beats a bitset: cheap to build during the sweep, cheap to compare when
+// coalescing overlap regions, and cheap to iterate when routing.
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <ostream>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace matrix {
+
+class ServerSet {
+ public:
+  ServerSet() = default;
+  ServerSet(std::initializer_list<ServerId> ids) {
+    for (ServerId id : ids) insert(id);
+  }
+
+  /// Inserts keeping sorted order; duplicates ignored.
+  void insert(ServerId id) {
+    auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it == ids_.end() || *it != id) ids_.insert(it, id);
+  }
+
+  void erase(ServerId id) {
+    auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it != ids_.end() && *it == id) ids_.erase(it);
+  }
+
+  [[nodiscard]] bool contains(ServerId id) const {
+    return std::binary_search(ids_.begin(), ids_.end(), id);
+  }
+
+  [[nodiscard]] bool empty() const { return ids_.empty(); }
+  [[nodiscard]] std::size_t size() const { return ids_.size(); }
+  void clear() { ids_.clear(); }
+
+  [[nodiscard]] auto begin() const { return ids_.begin(); }
+  [[nodiscard]] auto end() const { return ids_.end(); }
+  [[nodiscard]] const std::vector<ServerId>& ids() const { return ids_; }
+
+  friend bool operator==(const ServerSet&, const ServerSet&) = default;
+
+  /// Set union.
+  void merge(const ServerSet& other) {
+    std::vector<ServerId> out;
+    out.reserve(ids_.size() + other.ids_.size());
+    std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                   other.ids_.end(), std::back_inserter(out));
+    ids_ = std::move(out);
+  }
+
+  [[nodiscard]] ServerSet intersect(const ServerSet& other) const {
+    ServerSet out;
+    std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(),
+                          other.ids_.end(), std::back_inserter(out.ids_));
+    return out;
+  }
+
+ private:
+  std::vector<ServerId> ids_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const ServerSet& set) {
+  os << "{";
+  bool first = true;
+  for (ServerId id : set) {
+    if (!first) os << ",";
+    os << id;
+    first = false;
+  }
+  return os << "}";
+}
+
+}  // namespace matrix

@@ -1,0 +1,161 @@
+#include "game/bot_client.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace matrix {
+
+std::string BotClient::name() const {
+  std::ostringstream oss;
+  oss << "client-" << id_.value();
+  return oss.str();
+}
+
+void BotClient::join(NodeId game_server, Vec2 position) {
+  server_node_ = game_server;
+  position_ = world_.clamp(position);
+  waypoint_ = position_;
+  playing_ = true;
+  connected_ = false;
+  last_move_at_ = now();
+  ++play_epoch_;
+
+  ClientHello hello;
+  hello.client = id_;
+  hello.position = position_;
+  send(server_node_, hello);
+  schedule_next_action();
+}
+
+void BotClient::leave() {
+  if (!playing_) return;
+  playing_ = false;
+  connected_ = false;
+  ++play_epoch_;
+  send(server_node_, ClientBye{id_});
+}
+
+void BotClient::on_message(const Message& message, const Envelope&) {
+  if (const auto* welcome = std::get_if<Welcome>(&message)) {
+    connected_ = true;
+    if (switch_pending_ && welcome->redirect_seq == switch_seq_) {
+      switch_pending_ = false;
+      metrics_.switch_latency_ms.add((now() - redirect_received_at_).ms());
+      ++metrics_.switches;
+    }
+    return;
+  }
+  if (const auto* redirect = std::get_if<Redirect>(&message)) {
+    if (!playing_) return;
+    // Switch servers: reconnect, resuming our avatar.  The paper's design
+    // makes this invisible to the player; switch latency tells us whether
+    // that claim holds.
+    switch_pending_ = true;
+    switch_seq_ = redirect->redirect_seq;
+    redirect_received_at_ = now();
+    server_node_ = redirect->new_game_node;
+    ClientHello hello;
+    hello.client = id_;
+    hello.position = position_;
+    hello.resume = true;
+    hello.redirect_seq = redirect->redirect_seq;
+    send(server_node_, hello);
+    return;
+  }
+  if (const auto* update = std::get_if<ServerUpdate>(&message)) {
+    if (!playing_) return;
+    ++metrics_.updates_received;
+    if (update->ack_seq != 0) {
+      if (auto it = outstanding_.find(update->ack_seq);
+          it != outstanding_.end()) {
+        metrics_.self_latency_ms.add((now() - it->second).ms());
+        outstanding_.erase(it);
+      }
+    } else if (update->origin_sent_at.us() > 0) {
+      metrics_.observer_latency_ms.add((now() - update->origin_sent_at).ms());
+    }
+    return;
+  }
+}
+
+void BotClient::schedule_next_action() {
+  const std::uint64_t epoch = play_epoch_;
+  // Jittered inter-action gap: exponential with the model's mean, clamped
+  // so a bot neither bursts unrealistically nor goes silent.
+  const double mean_ms = spec_.action_interval.ms();
+  const double gap_ms = std::clamp(rng_.next_exponential(mean_ms),
+                                   mean_ms * 0.25, mean_ms * 4.0);
+  network()->events().schedule_after(SimTime::from_ms(gap_ms), [this, epoch] {
+    if (!playing_ || play_epoch_ != epoch) return;
+    act();
+    schedule_next_action();
+  });
+}
+
+ActionKind BotClient::choose_kind() {
+  const double roll = rng_.next_double();
+  double acc = spec_.non_proximal_fraction;
+  if (roll < acc) return ActionKind::kTeleport;
+  acc += spec_.fire_fraction;
+  if (roll < acc) return ActionKind::kFire;
+  acc += spec_.chat_fraction;
+  if (roll < acc) return ActionKind::kChat;
+  acc += spec_.interact_fraction;
+  if (roll < acc) return ActionKind::kInteract;
+  return ActionKind::kMove;
+}
+
+void BotClient::move(double dt_sec) {
+  // Waypoint wander, with the waypoint pinned near the attraction point
+  // when a hotspot is active.
+  const double arrive = std::max(2.0, spec_.move_speed * 0.2);
+  if (Vec2::distance(position_, waypoint_) < arrive) {
+    if (attraction_) {
+      waypoint_ = world_.clamp(
+          *attraction_ + Vec2{rng_.next_normal() * attraction_spread_,
+                              rng_.next_normal() * attraction_spread_});
+    } else {
+      waypoint_ = {rng_.next_double_in(world_.x0(), world_.x1()),
+                   rng_.next_double_in(world_.y0(), world_.y1())};
+    }
+  }
+  const Vec2 direction = (waypoint_ - position_).normalized();
+  const double step = std::min(spec_.move_speed * dt_sec,
+                               Vec2::distance(position_, waypoint_));
+  position_ = world_.clamp(position_ + direction * step);
+}
+
+void BotClient::act() {
+  const double dt = (now() - last_move_at_).sec();
+  last_move_at_ = now();
+  move(dt);
+
+  ClientAction action;
+  action.client = id_;
+  const ActionKind kind = choose_kind();
+  action.kind = static_cast<std::uint8_t>(kind);
+  action.position = position_;
+  action.seq = next_seq_++;
+  action.sent_at = now();
+
+  if (kind == ActionKind::kFire) {
+    // Aim somewhere within visual range.
+    action.target = world_.clamp(
+        position_ + Vec2{rng_.next_double_in(-1.0, 1.0),
+                         rng_.next_double_in(-1.0, 1.0)} *
+                        (spec_.visibility_radius * 0.8));
+  } else if (kind == ActionKind::kTeleport) {
+    // Non-proximal: anywhere in the world (town portal, map ping, ...).
+    action.target = Vec2{rng_.next_double_in(world_.x0(), world_.x1()),
+                         rng_.next_double_in(world_.y0(), world_.y1())};
+  }
+
+  action.payload.assign(spec_.payload_size(kind), 0);
+  outstanding_[action.seq] = action.sent_at;
+  // Bound the pairing map: a lost ack should not leak memory forever.
+  while (outstanding_.size() > 64) outstanding_.erase(outstanding_.begin());
+  send(server_node_, action);
+  ++metrics_.actions_sent;
+}
+
+}  // namespace matrix

@@ -1,0 +1,110 @@
+// Bot clients — the reproduction's players.
+//
+// Each bot is a scripted game client: it wanders the world (optionally
+// pulled toward a hotspot), emits actions at its game model's rate, and is
+// entirely unaware of Matrix — it only ever talks to "its" game server and
+// obeys Redirect orders, exactly the transparency the paper's §3.2.1 claims
+// for real clients.
+//
+// Bots double as the measurement instruments of the user-study substitute:
+//   * self latency    — own action → ack from the home server;
+//   * observer latency — a remote event's origin timestamp → digest arrival;
+//   * switch latency  — Redirect received → Welcome from the new server.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/protocol_node.h"
+#include "game/game_model.h"
+#include "geometry/rect.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace matrix {
+
+class BotClient : public ProtocolNode {
+ public:
+  BotClient(ClientId id, GameModelSpec spec, Rect world, Rng rng)
+      : id_(id),
+        spec_(std::move(spec)),
+        world_(world),
+        rng_(rng) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] ClientId client_id() const { return id_; }
+  [[nodiscard]] Vec2 position() const { return position_; }
+  [[nodiscard]] bool connected() const { return connected_; }
+  [[nodiscard]] NodeId current_server() const { return server_node_; }
+
+  /// Connects to `game_server` at `position` and starts the action loop.
+  void join(NodeId game_server, Vec2 position);
+
+  /// Says goodbye and stops acting.  The bot can join() again later.
+  void leave();
+
+  /// Pulls the bot's movement toward `point` (std::nullopt resumes free
+  /// wandering).  `spread` is the standard deviation of the bot's waypoints
+  /// around the point — the hotspot's footprint.  A town-square hotspot has
+  /// a footprint of tens to hundreds of world units; this is what lets map
+  /// cuts eventually divide the crowd (and what the paper's Fig. 2 implies,
+  /// since its 600-client hotspot was absorbed by ~4 servers).
+  void set_attraction(std::optional<Vec2> point, double spread = 15.0) {
+    attraction_ = point;
+    attraction_spread_ = spread;
+  }
+
+  // ---- measurement ----------------------------------------------------------
+
+  struct Metrics {
+    Histogram self_latency_ms;      ///< action → own ack
+    Histogram observer_latency_ms;  ///< remote event origin → digest arrival
+    Histogram switch_latency_ms;    ///< redirect → welcome
+    std::uint64_t actions_sent = 0;
+    std::uint64_t updates_received = 0;
+    std::uint64_t switches = 0;
+  };
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] Metrics& metrics() { return metrics_; }
+
+ protected:
+  void on_message(const Message& message, const Envelope& envelope) override;
+
+ private:
+  void schedule_next_action();
+  void act();
+  void move(double dt_sec);
+  [[nodiscard]] ActionKind choose_kind();
+
+  ClientId id_;
+  GameModelSpec spec_;
+  Rect world_;
+  Rng rng_;
+
+  NodeId server_node_;
+  bool connected_ = false;
+  bool playing_ = false;
+  std::uint64_t play_epoch_ = 0;  ///< guards stale action timers
+
+  Vec2 position_;
+  Vec2 waypoint_;
+  std::optional<Vec2> attraction_;
+  double attraction_spread_ = 15.0;
+  SimTime last_move_at_{};
+
+  std::uint32_t next_seq_ = 1;
+  // Outstanding action timestamps by seq, for self-latency pairing.  Small
+  // bounded map: old entries are dropped once acked or overwritten.
+  std::map<std::uint32_t, SimTime> outstanding_;
+
+  // Switch measurement.
+  bool switch_pending_ = false;
+  std::uint32_t switch_seq_ = 0;
+  SimTime redirect_received_at_{};
+
+  Metrics metrics_;
+};
+
+}  // namespace matrix

@@ -1,0 +1,81 @@
+// Game entities and their wire form.
+//
+// A game server's dynamic state is a set of entities: player avatars (bound
+// to a client) and map objects (trees, buildings, power-ups).  Splits and
+// reclaims move this state between servers (paper §3.2.2), so entities have
+// a compact serialization used by StateTransfer blobs.  Static content (map
+// textures, meshes) is NOT an entity — it is pre-cached and referenced by
+// content keys only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec2.h"
+#include "util/codec.h"
+#include "util/ids.h"
+
+namespace matrix {
+
+enum class EntityKind : std::uint8_t {
+  kAvatar = 1,     ///< player-controlled; owned by a client session
+  kMapObject = 2,  ///< world furniture; owned by the partition
+  kGhost = 3,      ///< replica of a remote avatar seen across a boundary
+};
+
+struct Entity {
+  EntityId id;
+  EntityKind kind = EntityKind::kMapObject;
+  Vec2 position;
+  ClientId owner;        ///< valid only for avatars/ghosts
+  std::uint32_t variant = 0;  ///< game-specific subtype (tree vs building...)
+
+  void encode(ByteWriter& w) const {
+    w.id(id);
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.f64(position.x);
+    w.f64(position.y);
+    w.id(owner);
+    w.u32(variant);
+  }
+
+  static Entity decode(ByteReader& r) {
+    Entity e;
+    e.id = r.id<EntityId>();
+    e.kind = static_cast<EntityKind>(r.u8());
+    e.position.x = r.f64();
+    e.position.y = r.f64();
+    e.owner = r.id<ClientId>();
+    e.variant = r.u32();
+    return e;
+  }
+};
+
+/// Serializes a batch of entities into a StateTransfer blob.
+[[nodiscard]] inline std::vector<std::uint8_t> encode_entities(
+    const std::vector<Entity>& entities) {
+  ByteWriter w;
+  w.varint(entities.size());
+  for (const Entity& e : entities) e.encode(w);
+  return w.take();
+}
+
+/// Parses a StateTransfer blob back into entities; stops on malformed input.
+[[nodiscard]] inline std::vector<Entity> decode_entities(
+    std::span<const std::uint8_t> blob) {
+  ByteReader r(blob);
+  std::vector<Entity> out;
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    out.push_back(Entity::decode(r));
+  }
+  return out;
+}
+
+/// Avatars get ids derived from their globally-unique client id, so two
+/// servers can never mint clashing avatar ids during a handoff.
+[[nodiscard]] constexpr EntityId avatar_entity_id(ClientId client) {
+  return EntityId(client.value() | (1ULL << 63));
+}
+
+}  // namespace matrix

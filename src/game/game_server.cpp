@@ -1,0 +1,448 @@
+#include "game/game_server.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/log.h"
+
+namespace matrix {
+
+namespace {
+
+/// Round a coordinate into a visibility-radius-sized bucket (for the
+/// approximate visible-entity count used to size update digests).
+std::int64_t bucket(double v, double cell) {
+  return static_cast<std::int64_t>(std::floor(v / cell));
+}
+
+}  // namespace
+
+std::string GameServer::name() const {
+  std::ostringstream oss;
+  oss << "game-" << id_.value();
+  return oss.str();
+}
+
+void GameServer::wire(NodeId matrix_node) {
+  port_ = std::make_unique<MatrixPort>(network(), node_id(), matrix_node);
+  port_->on_packet([this](const TaggedPacket& p) { handle_remote_packet(p); });
+  port_->on_map_range([this](const MapRange& r) { handle_map_range(r); });
+  port_->on_state_transfer(
+      [this](const StateTransfer& t) { handle_state_transfer(t); });
+  port_->on_client_state(
+      [this](const ClientStateTransfer& t) { handle_client_state(t); });
+  port_->on_owner_reply([this](const OwnerReply& r) { handle_owner_reply(r); });
+}
+
+void GameServer::start() {
+  if (started_) return;
+  started_ = true;
+  ++started_epoch_;
+  last_report_at_ = now();
+  schedule_load_report();
+  schedule_update_tick();
+}
+
+void GameServer::spawn_map_objects(std::size_t count, const Rect& area,
+                                   Rng& rng) {
+  for (std::size_t i = 0; i < count; ++i) {
+    Entity object;
+    object.id = EntityId(0x4000'0000'0000'0000ULL + next_object_serial_++);
+    object.kind = EntityKind::kMapObject;
+    object.position = {rng.next_double_in(area.x0(), area.x1()),
+                       rng.next_double_in(area.y0(), area.y1())};
+    object.variant = static_cast<std::uint32_t>(rng.next_below(8));
+    map_objects_.emplace(object.id, object);
+  }
+}
+
+void GameServer::on_message(const Message& message, const Envelope& envelope) {
+  ++msgs_since_report_;
+  if (port_ != nullptr && port_->try_dispatch(message)) return;
+
+  if (const auto* hello = std::get_if<ClientHello>(&message)) {
+    handle_hello(*hello, envelope);
+  } else if (const auto* action = std::get_if<ClientAction>(&message)) {
+    handle_action(*action, envelope);
+  } else if (const auto* bye = std::get_if<ClientBye>(&message)) {
+    handle_bye(*bye);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client traffic
+// ---------------------------------------------------------------------------
+
+void GameServer::handle_hello(const ClientHello& hello,
+                              const Envelope& envelope) {
+  ++stats_.hellos;
+  Session session;
+  session.client_node = envelope.src;
+  session.avatar = avatar_entity_id(hello.client);
+  session.position = hello.position;
+  if (auto it = pending_avatars_.find(hello.client);
+      it != pending_avatars_.end()) {
+    // The avatar state beat the client here (normal handoff order).  The
+    // client's own position report wins — it is fresher.
+    pending_avatars_.erase(it);
+  }
+  sessions_[hello.client] = session;
+
+  Welcome welcome;
+  welcome.client = hello.client;
+  welcome.avatar = session.avatar;
+  welcome.authority = authority_;
+  welcome.redirect_seq = hello.redirect_seq;
+  send(envelope.src, welcome);
+}
+
+void GameServer::handle_action(const ClientAction& action,
+                               const Envelope& envelope) {
+  auto it = sessions_.find(action.client);
+  if (it == sessions_.end()) {
+    // Client is mid-switch and this packet raced the redirect; its new home
+    // will see the next one.
+    ++stats_.unknown_client_actions;
+    return;
+  }
+  ++stats_.actions;
+  Session& session = it->second;
+  session.client_node = envelope.src;
+  session.position = action.position;
+
+  const auto kind = static_cast<ActionKind>(action.kind);
+  const std::uint8_t radius_class = radius_class_for(action.client);
+
+  // Tag with world coordinates and hand to Matrix — the single line of
+  // integration the paper's API story hinges on.
+  TaggedPacket packet;
+  packet.client = action.client;
+  packet.entity = session.avatar;
+  packet.origin = action.position;
+  packet.target = action.target;
+  packet.radius_class = radius_class;
+  packet.kind = action.kind;
+  packet.seq = action.seq;
+  packet.client_sent_at = action.sent_at;
+  packet.payload.assign(spec_.payload_size(kind), 0);
+  port_->send_packet(packet);
+
+  // Immediate ack to the actor: this is the "response latency" the paper's
+  // user study measures (action → observed reaction).
+  ServerUpdate ack;
+  ack.kind = action.kind;
+  ack.position = action.position;
+  ack.ack_seq = action.seq;
+  ack.origin_sent_at = action.sent_at;
+  send(envelope.src, ack);
+  ++stats_.acks_sent;
+
+  // Everyone nearby sees the event at the next update tick.
+  pending_events_.push_back({action.position, radius_for(radius_class),
+                             action.sent_at, action.kind});
+  if (action.target && kind == ActionKind::kFire) {
+    // Shots also matter where they land.
+    pending_events_.push_back({*action.target, radius_for(radius_class),
+                               action.sent_at, action.kind});
+  }
+
+  maybe_migrate(action.client, session);
+}
+
+void GameServer::handle_bye(const ClientBye& bye) {
+  sessions_.erase(bye.client);
+  pending_avatars_.erase(bye.client);
+}
+
+void GameServer::maybe_migrate(ClientId client, Session& session) {
+  if (authority_.empty() || session.migrate_query_seq != 0) return;
+  if (authority_.contains(session.position)) return;
+  // Hysteresis: only migrate once clearly outside (half a visibility radius
+  // of slack) so boundary jitter doesn't ping-pong the client.
+  const double margin =
+      metric_distance(config_.metric, session.position, authority_);
+  if (margin < spec_.visibility_radius * 0.25) return;
+  session.migrate_query_seq = next_query_seq_++;
+  OwnerQuery query;
+  query.point = session.position;
+  query.client = client;
+  query.seq = session.migrate_query_seq;
+  port_->query_owner(query);
+}
+
+void GameServer::handle_owner_reply(const OwnerReply& reply) {
+  auto it = sessions_.find(reply.client);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+  if (session.migrate_query_seq != reply.seq) return;  // stale answer
+  session.migrate_query_seq = 0;
+  if (!reply.found || reply.game_node == node_id()) return;
+  // Re-check: the client may have wandered back meanwhile.
+  if (authority_.contains(session.position)) return;
+  ++stats_.clients_migrated;
+  redirect_client(reply.client, session, reply.game_node, reply.server);
+  sessions_.erase(it);
+}
+
+void GameServer::redirect_client(ClientId client, Session& session,
+                                 NodeId to_game, ServerId to_server) {
+  // Avatar state travels server→server via Matrix; the client is told to
+  // reconnect.  Both carry the redirect_seq so switch latency is measurable
+  // end-to-end.
+  Entity avatar;
+  avatar.id = session.avatar;
+  avatar.kind = EntityKind::kAvatar;
+  avatar.position = session.position;
+  avatar.owner = client;
+
+  ClientStateTransfer transfer;
+  transfer.client = client;
+  transfer.entity = session.avatar;
+  transfer.to_game = to_game;
+  ByteWriter w;
+  avatar.encode(w);
+  transfer.blob = w.take();
+  port_->transfer_client_state(transfer);
+
+  Redirect redirect;
+  redirect.new_game_node = to_game;
+  redirect.new_server = to_server;
+  redirect.redirect_seq = next_redirect_seq_++;
+  send(session.client_node, redirect);
+  ++stats_.clients_redirected;
+}
+
+// ---------------------------------------------------------------------------
+// Matrix callbacks
+// ---------------------------------------------------------------------------
+
+void GameServer::handle_remote_packet(const TaggedPacket& packet) {
+  ++stats_.remote_events;
+  // Maintain a ghost replica of the remote avatar so local players "see"
+  // across the partition boundary — the localized consistency the paper's
+  // overlap regions exist to provide.
+  Entity& ghost = ghosts_[packet.entity];
+  ghost.id = packet.entity;
+  ghost.kind = EntityKind::kGhost;
+  ghost.position = packet.origin;
+  ghost.owner = packet.client;
+
+  const double radius = radius_for(packet.radius_class);
+  pending_events_.push_back(
+      {packet.origin, radius, packet.client_sent_at, packet.kind});
+  if (packet.target && authority_.contains(*packet.target)) {
+    // Non-proximal interaction landing in our range (teleport arrival,
+    // remote shot impact).
+    pending_events_.push_back(
+        {*packet.target, radius, packet.client_sent_at, packet.kind});
+  }
+}
+
+void GameServer::handle_map_range(const MapRange& range) {
+  const bool shedding = !range.shed_range.empty() || range.reclaim;
+  if (!range.reclaim) {
+    authority_ = range.new_range;
+    if (!started_ && !authority_.empty()) start();
+  }
+
+  if (!shedding) return;
+  ++stats_.sheds;
+
+  // 1. Map-object state in the shed range moves to the successor.
+  std::vector<Entity> moving;
+  for (auto it = map_objects_.begin(); it != map_objects_.end();) {
+    if (range.reclaim || range.shed_range.contains(it->second.position)) {
+      moving.push_back(it->second);
+      it = map_objects_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!moving.empty()) {
+    StateTransfer transfer;
+    transfer.from_server = id_;
+    transfer.to_game = range.shed_to_game;
+    transfer.range = range.reclaim ? authority_ : range.shed_range;
+    transfer.object_count = static_cast<std::uint32_t>(moving.size());
+    transfer.blob = encode_entities(moving);
+    port_->transfer_state(transfer);
+    stats_.state_objects_sent += moving.size();
+  }
+
+  // 2. Clients standing in the shed range are handed off.
+  std::uint32_t redirected = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (range.reclaim || range.shed_range.contains(it->second.position)) {
+      redirect_client(it->first, it->second, range.shed_to_game,
+                      range.shed_to_server);
+      it = sessions_.erase(it);
+      ++redirected;
+    } else {
+      ++it;
+    }
+  }
+
+  if (range.reclaim) {
+    authority_ = Rect{};
+    ghosts_.clear();
+    pending_events_.clear();
+  }
+
+  ShedDone done;
+  done.topology_epoch = range.topology_epoch;
+  done.clients_redirected = redirected;
+  port_->shed_done(done);
+}
+
+void GameServer::handle_state_transfer(const StateTransfer& transfer) {
+  for (Entity& entity : decode_entities(transfer.blob)) {
+    map_objects_[entity.id] = entity;
+    ++stats_.state_objects_received;
+  }
+}
+
+void GameServer::handle_client_state(const ClientStateTransfer& transfer) {
+  ByteReader r(transfer.blob);
+  const Entity avatar = Entity::decode(r);
+  if (sessions_.count(transfer.client) != 0) return;  // hello won the race
+  pending_avatars_[transfer.client] = avatar;
+}
+
+// ---------------------------------------------------------------------------
+// Periodic work
+// ---------------------------------------------------------------------------
+
+std::uint8_t GameServer::radius_class_for(ClientId client) const {
+  if (spec_.extra_radii.empty() || spec_.exceptional_radius_fraction <= 0.0) {
+    return 0;
+  }
+  // SplitMix64 finalizer over the id: uniform, stable, server-independent.
+  std::uint64_t z = client.value() + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  const double u =
+      static_cast<double>(z >> 11) * 0x1.0p-53;  // uniform in [0,1)
+  return u < spec_.exceptional_radius_fraction ? 1 : 0;
+}
+
+double GameServer::radius_for(std::uint8_t radius_class) const {
+  if (radius_class == 0) return spec_.visibility_radius;
+  const std::size_t idx = radius_class - 1;
+  if (idx < spec_.extra_radii.size()) return spec_.extra_radii[idx];
+  return spec_.visibility_radius;
+}
+
+LoadReport GameServer::build_load_report() {
+  LoadReport report;
+  report.client_count = static_cast<std::uint32_t>(sessions_.size());
+  report.queue_length =
+      static_cast<std::uint32_t>(network()->queue_length(node_id()));
+  const double interval_sec = (now() - last_report_at_).sec();
+  report.msgs_per_sec =
+      interval_sec > 0.0
+          ? static_cast<double>(msgs_since_report_) / interval_sec
+          : 0.0;
+
+  if (!sessions_.empty()) {
+    std::vector<double> xs, ys;
+    xs.reserve(sessions_.size());
+    ys.reserve(sessions_.size());
+    for (const auto& [client, session] : sessions_) {
+      xs.push_back(session.position.x);
+      ys.push_back(session.position.y);
+    }
+    const auto mid = xs.size() / 2;
+    std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid),
+                     xs.end());
+    std::nth_element(ys.begin(), ys.begin() + static_cast<std::ptrdiff_t>(mid),
+                     ys.end());
+    report.median_position = {xs[mid], ys[mid]};
+  }
+  return report;
+}
+
+void GameServer::schedule_load_report() {
+  const std::uint64_t epoch = started_epoch_;
+  network()->events().schedule_after(
+      config_.load_report_interval, [this, epoch] {
+        if (!started_ || started_epoch_ != epoch) return;
+        port_->report_load(build_load_report());
+        ++stats_.load_reports;
+        msgs_since_report_ = 0;
+        last_report_at_ = now();
+
+        // Prune ghosts that drifted far from our range (their owners moved
+        // away; no further updates will refresh them).
+        const double keep_radius = spec_.visibility_radius * 1.5;
+        for (auto it = ghosts_.begin(); it != ghosts_.end();) {
+          if (!authority_.empty() &&
+              metric_distance(config_.metric, it->second.position,
+                              authority_) > keep_radius) {
+            it = ghosts_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        schedule_load_report();
+      });
+}
+
+void GameServer::schedule_update_tick() {
+  const std::uint64_t epoch = started_epoch_;
+  network()->events().schedule_after(spec_.update_tick, [this, epoch] {
+    if (!started_ || started_epoch_ != epoch) return;
+
+    if (!sessions_.empty()) {
+      // Approximate each client's visible-entity count with an R-sized
+      // bucket grid (sum over the 3×3 neighbourhood); sizes the digest.
+      const double cell = std::max(spec_.visibility_radius, 1.0);
+      std::unordered_map<std::uint64_t, std::uint32_t> grid;
+      auto key = [cell](Vec2 p) {
+        const auto ix = static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(bucket(p.x, cell)));
+        const auto iy = static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(bucket(p.y, cell)));
+        return (ix << 32) | iy;
+      };
+      for (const auto& [client, session] : sessions_) ++grid[key(session.position)];
+      for (const auto& [eid, ghost] : ghosts_) ++grid[key(ghost.position)];
+
+      SimTime oldest = now();
+      for (const auto& event : pending_events_) {
+        oldest = std::min(oldest, event.sent_at);
+      }
+
+      for (const auto& [client, session] : sessions_) {
+        std::uint32_t visible = 0;
+        const auto bx = bucket(session.position.x, cell);
+        const auto by = bucket(session.position.y, cell);
+        for (std::int64_t dx = -1; dx <= 1; ++dx) {
+          for (std::int64_t dy = -1; dy <= 1; ++dy) {
+            const auto ix = static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(bx + dx));
+            const auto iy = static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(by + dy));
+            if (auto it = grid.find((ix << 32) | iy); it != grid.end()) {
+              visible += it->second;
+            }
+          }
+        }
+        ServerUpdate update;
+        update.kind = 0;  // digest
+        update.position = session.position;
+        update.ack_seq = 0;
+        update.origin_sent_at = pending_events_.empty() ? now() : oldest;
+        update.payload.assign(
+            12 + 8 * std::min<std::uint32_t>(visible, 32), 0);
+        send(session.client_node, update);
+        ++stats_.updates_sent;
+      }
+    }
+    pending_events_.clear();
+    schedule_update_tick();
+  });
+}
+
+}  // namespace matrix

@@ -1,0 +1,159 @@
+// Generic game server (paper §3.2.2).
+//
+// "The game server is the software that stores the state of the game world
+// and coordinates the activity of the players."  This implementation is the
+// game-side half of the Matrix contract, written only against the MatrixPort
+// API — exactly the modification surface the paper claims a real game needs
+// ("relatively simple modifications to the server code"):
+//
+//   * owns client sessions, avatars, and map objects in its authority range;
+//   * tags every client packet with world coordinates and forwards it to
+//     Matrix (it never talks to other game servers directly, except through
+//     Matrix relays);
+//   * applies range-verified remote events from Matrix to local ghosts and
+//     rebroadcasts them to interested local clients;
+//   * reports load periodically;
+//   * obeys MapRange orders: transfers map-object state, hands off clients
+//     to the named successor, and acknowledges with ShedDone;
+//   * migrates clients that walk out of its range, using Matrix's owner
+//     lookup to find the right destination.
+//
+// Game-genre specifics (rates, payload sizes, radius) come from the injected
+// GameModelSpec; the server logic itself is game-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "api/matrix_port.h"
+#include "core/config.h"
+#include "core/protocol_node.h"
+#include "game/entity.h"
+#include "game/game_model.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace matrix {
+
+class GameServer : public ProtocolNode {
+ public:
+  GameServer(ServerId id, GameModelSpec spec, Config config)
+      : id_(id), spec_(std::move(spec)), config_(std::move(config)) {}
+
+  /// Connects this game server to its co-located Matrix server.  Must be
+  /// called after both nodes are attached to the network.
+  void wire(NodeId matrix_node);
+
+  /// Begins periodic load reporting and update ticks.
+  void start();
+
+  /// Seeds `count` map objects uniformly over `area` (deployment-time, on
+  /// root servers only; subsequent ownership moves via state transfer).
+  void spawn_map_objects(std::size_t count, const Rect& area, Rng& rng);
+
+  // ---- observability --------------------------------------------------------
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] ServerId server_id() const { return id_; }
+  [[nodiscard]] const Rect& authority() const { return authority_; }
+  [[nodiscard]] std::size_t client_count() const { return sessions_.size(); }
+  [[nodiscard]] std::size_t map_object_count() const {
+    return map_objects_.size();
+  }
+  [[nodiscard]] std::size_t ghost_count() const { return ghosts_.size(); }
+  [[nodiscard]] const GameModelSpec& spec() const { return spec_; }
+
+  struct Stats {
+    std::uint64_t hellos = 0;
+    std::uint64_t actions = 0;
+    std::uint64_t unknown_client_actions = 0;  ///< mid-switch strays
+    std::uint64_t remote_events = 0;
+    std::uint64_t updates_sent = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t clients_redirected = 0;
+    std::uint64_t clients_migrated = 0;  ///< walked across a boundary
+    std::uint64_t sheds = 0;
+    std::uint64_t state_objects_sent = 0;
+    std::uint64_t state_objects_received = 0;
+    std::uint64_t load_reports = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ protected:
+  void on_message(const Message& message, const Envelope& envelope) override;
+
+ private:
+  struct Session {
+    NodeId client_node;
+    EntityId avatar;
+    Vec2 position;
+    std::uint32_t migrate_query_seq = 0;  ///< nonzero while migration pending
+  };
+
+  // client traffic
+  void handle_hello(const ClientHello& hello, const Envelope& envelope);
+  void handle_action(const ClientAction& action, const Envelope& envelope);
+  void handle_bye(const ClientBye& bye);
+
+  // Matrix callbacks
+  void handle_remote_packet(const TaggedPacket& packet);
+  void handle_map_range(const MapRange& range);
+  void handle_state_transfer(const StateTransfer& transfer);
+  void handle_client_state(const ClientStateTransfer& transfer);
+  void handle_owner_reply(const OwnerReply& reply);
+
+  void redirect_client(ClientId client, Session& session, NodeId to_game,
+                       ServerId to_server);
+  void broadcast_event(Vec2 origin, double radius, SimTime origin_sent_at,
+                       std::uint8_t kind, ClientId actor,
+                       std::uint32_t actor_seq);
+  void maybe_migrate(ClientId client, Session& session);
+  void schedule_load_report();
+  void schedule_update_tick();
+  [[nodiscard]] LoadReport build_load_report();
+  [[nodiscard]] double radius_for(std::uint8_t radius_class) const;
+  /// Deterministic exceptional-radius assignment by client id (stable
+  /// across handoffs because client ids are globally unique).
+  [[nodiscard]] std::uint8_t radius_class_for(ClientId client) const;
+
+  ServerId id_;
+  GameModelSpec spec_;
+  Config config_;
+  std::unique_ptr<MatrixPort> port_;
+
+  Rect authority_;
+  std::map<ClientId, Session> sessions_;
+  std::map<EntityId, Entity> map_objects_;
+  std::map<EntityId, Entity> ghosts_;
+  /// Avatar state that arrived (ClientStateTransfer) before the client's
+  /// hello; consumed when the hello lands.
+  std::map<ClientId, Entity> pending_avatars_;
+
+  /// Events accumulated since the last update tick, flushed as one digest
+  /// ServerUpdate per interested client (real servers batch exactly like
+  /// this; per-event broadcast would melt both the real and simulated NIC).
+  struct PendingEvent {
+    Vec2 origin;
+    double radius;
+    SimTime sent_at;
+    std::uint8_t kind;
+  };
+  std::vector<PendingEvent> pending_events_;
+
+  std::uint32_t next_redirect_seq_ = 1;
+  std::uint32_t next_query_seq_ = 1;
+  std::uint64_t next_object_serial_ = 1;
+  std::uint64_t started_epoch_ = 0;
+  bool started_ = false;
+  std::uint64_t msgs_since_report_ = 0;
+  SimTime last_report_at_{};
+
+  Stats stats_;
+};
+
+}  // namespace matrix

@@ -1,0 +1,58 @@
+// Pluggable distance metrics.
+//
+// Paper Eq. 1 defines the consistency set through "a game-specific distance
+// metric d(x,y)".  Matrix's overlap-region construction uses axis-aligned
+// bounding boxes, which is *exact* for the Chebyshev (L∞) metric and a
+// conservative over-approximation for the Euclidean metric (a server may be
+// informed of an event slightly outside the true visibility disc — safe for
+// consistency, mildly wasteful for bandwidth).  Both are provided; scenarios
+// pick one in their config.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/rect.h"
+#include "geometry/vec2.h"
+
+namespace matrix {
+
+enum class Metric {
+  /// L2 — the true visibility disc of most games.
+  kEuclidean,
+  /// L∞ — square visibility region; bounding-box overlap math is exact.
+  kChebyshev,
+};
+
+/// d(a, b) under the chosen metric.
+[[nodiscard]] inline double metric_distance(Metric m, Vec2 a, Vec2 b) {
+  switch (m) {
+    case Metric::kEuclidean:
+      return Vec2::distance(a, b);
+    case Metric::kChebyshev:
+      return std::max(std::abs(a.x - b.x), std::abs(a.y - b.y));
+  }
+  return 0.0;
+}
+
+/// Distance from a point to the nearest point of a rect (0 inside).
+[[nodiscard]] inline double metric_distance(Metric m, Vec2 p, const Rect& r) {
+  switch (m) {
+    case Metric::kEuclidean:
+      return r.distance_to(p);
+    case Metric::kChebyshev:
+      return r.chebyshev_distance_to(p);
+  }
+  return 0.0;
+}
+
+/// True when some point of `r` lies within distance `radius` of `p`
+/// — i.e. `r` intersects the metric ball around `p`.  This is the ground
+/// truth Eq. 1 predicate that overlap tables must agree with (exactly for
+/// Chebyshev, conservatively for Euclidean).
+[[nodiscard]] inline bool ball_intersects_rect(Metric m, Vec2 p, double radius,
+                                               const Rect& r) {
+  return metric_distance(m, p, r) <= radius;
+}
+
+}  // namespace matrix

@@ -1,0 +1,113 @@
+#include "geometry/sweep.h"
+
+#include <algorithm>
+#include <map>
+
+namespace matrix {
+
+namespace {
+
+/// Collects the sorted unique breakpoints of stamp edges along one axis,
+/// clipped to [lo, hi].  The clip bounds themselves are always present.
+std::vector<double> axis_breaks(double lo, double hi,
+                                const std::vector<StampRect>& stamps,
+                                bool x_axis) {
+  std::vector<double> breaks{lo, hi};
+  for (const auto& s : stamps) {
+    const double a = x_axis ? s.rect.x0() : s.rect.y0();
+    const double b = x_axis ? s.rect.x1() : s.rect.y1();
+    if (a > lo && a < hi) breaks.push_back(a);
+    if (b > lo && b < hi) breaks.push_back(b);
+  }
+  std::sort(breaks.begin(), breaks.end());
+  breaks.erase(std::unique(breaks.begin(), breaks.end()), breaks.end());
+  return breaks;
+}
+
+}  // namespace
+
+std::vector<ArrangementCell> decompose_arrangement(
+    const Rect& clip, const std::vector<StampRect>& stamps) {
+  std::vector<ArrangementCell> out;
+  if (clip.empty()) return out;
+
+  // Keep only stamps that actually reach into the clip rect.
+  std::vector<StampRect> relevant;
+  relevant.reserve(stamps.size());
+  for (const auto& s : stamps) {
+    if (s.rect.intersects(clip)) relevant.push_back(s);
+  }
+  if (relevant.empty()) {
+    out.push_back({clip, {}});
+    return out;
+  }
+
+  const std::vector<double> xs =
+      axis_breaks(clip.x0(), clip.x1(), relevant, /*x_axis=*/true);
+  const std::vector<double> ys =
+      axis_breaks(clip.y0(), clip.y1(), relevant, /*x_axis=*/false);
+
+  // Grid pass: payload set per elementary cell, evaluated at the cell centre
+  // (the set is constant over the open cell by construction of the breaks).
+  const std::size_t nx = xs.size() - 1;
+  const std::size_t ny = ys.size() - 1;
+  std::vector<std::vector<std::uint32_t>> cell_sets(nx * ny);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const Vec2 centre{(xs[ix] + xs[ix + 1]) / 2.0,
+                        (ys[iy] + ys[iy + 1]) / 2.0};
+      auto& set = cell_sets[iy * nx + ix];
+      for (const auto& s : relevant) {
+        if (s.rect.contains(centre)) set.push_back(s.payload);
+      }
+      std::sort(set.begin(), set.end());
+      set.erase(std::unique(set.begin(), set.end()), set.end());
+    }
+  }
+
+  // Coalesce: first merge runs of equal sets along x within each row, then
+  // merge vertically-adjacent runs with equal x-extent and equal sets.
+  struct Run {
+    std::size_t ix0, ix1;  // column span [ix0, ix1)
+    std::size_t iy0, iy1;  // row span    [iy0, iy1)
+    std::vector<std::uint32_t> set;
+    bool merged_up = false;
+  };
+  std::vector<std::vector<Run>> rows(ny);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    std::size_t ix = 0;
+    while (ix < nx) {
+      std::size_t jx = ix + 1;
+      while (jx < nx && cell_sets[iy * nx + jx] == cell_sets[iy * nx + ix]) {
+        ++jx;
+      }
+      rows[iy].push_back(
+          {ix, jx, iy, iy + 1, cell_sets[iy * nx + ix], false});
+      ix = jx;
+    }
+  }
+  for (std::size_t iy = 1; iy < ny; ++iy) {
+    for (auto& run : rows[iy]) {
+      for (auto& above : rows[iy - 1]) {
+        if (above.merged_up) continue;
+        if (above.ix0 == run.ix0 && above.ix1 == run.ix1 &&
+            above.iy1 == run.iy0 && above.set == run.set) {
+          run.iy0 = above.iy0;
+          above.merged_up = true;
+          break;
+        }
+      }
+    }
+  }
+
+  for (const auto& row : rows) {
+    for (const auto& run : row) {
+      if (run.merged_up) continue;
+      out.push_back({Rect(xs[run.ix0], ys[run.iy0], xs[run.ix1], ys[run.iy1]),
+                     run.set});
+    }
+  }
+  return out;
+}
+
+}  // namespace matrix

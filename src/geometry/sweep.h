@@ -1,0 +1,48 @@
+// Rectangle-arrangement decomposition (coordinate sweep).
+//
+// Core geometric routine behind overlap-region construction: given a clip
+// rectangle (one server's partition) and a set of stamp rectangles (the
+// other partitions inflated by the visibility radius R), partition the clip
+// rect into maximal axis-aligned cells such that every point inside a cell is
+// covered by exactly the same subset of stamps.  That subset *is* the
+// consistency set of those points (paper Eq. 1), and each emitted cell is one
+// overlap region.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.h"
+
+namespace matrix {
+
+/// One input rectangle with the caller's payload index (e.g. "peer server j").
+struct StampRect {
+  Rect rect;
+  std::uint32_t payload = 0;
+};
+
+/// One output cell: an axis-aligned sub-rectangle of the clip rect, covered
+/// by exactly `payloads` (sorted, unique).  Cells tile the clip rect.
+struct ArrangementCell {
+  Rect rect;
+  std::vector<std::uint32_t> payloads;
+};
+
+/// Decomposes `clip` against `stamps`.
+///
+/// Guarantees:
+///   * emitted cells are pairwise disjoint (open interiors) and tile `clip`;
+///   * every interior point of a cell is covered by exactly the stamps listed
+///     in `payloads` (boundary points follow lo-inclusive semantics);
+///   * adjacent cells with identical payload sets are coalesced into maximal
+///     rectangles (first along x, then greedily along y), so the output is
+///     close to minimal.
+///
+/// Complexity: O(K² · log K) for K stamps overlapping the clip rect — K is
+/// the number of *neighbouring* partitions, small in practice (the paper's
+/// near-decomposability argument).
+[[nodiscard]] std::vector<ArrangementCell> decompose_arrangement(
+    const Rect& clip, const std::vector<StampRect>& stamps);
+
+}  // namespace matrix

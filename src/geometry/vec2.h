@@ -1,0 +1,58 @@
+// 2-D world coordinates.
+//
+// The paper's formulation is metric-space generic ("all games have some
+// notion of geometric space"); every game it evaluates (BzFlag, Quake 2,
+// Daimonin) uses a planar map, so the reproduction fixes dimension 2 and
+// keeps the *metric* pluggable (geometry/metric.h).
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace matrix {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double k) { return {a.x * k, a.y * k}; }
+  friend constexpr Vec2 operator*(double k, Vec2 a) { return a * k; }
+  friend constexpr Vec2 operator/(Vec2 a, double k) { return {a.x / k, a.y / k}; }
+  constexpr Vec2& operator+=(Vec2 b) {
+    x += b.x;
+    y += b.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 b) {
+    x -= b.x;
+    y -= b.y;
+    return *this;
+  }
+  friend constexpr bool operator==(Vec2, Vec2) = default;
+
+  [[nodiscard]] double length() const { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double length_sq() const { return x * x + y * y; }
+
+  /// Unit vector in this direction; the zero vector normalizes to zero.
+  [[nodiscard]] Vec2 normalized() const {
+    const double len = length();
+    return len > 0.0 ? Vec2{x / len, y / len} : Vec2{};
+  }
+
+  [[nodiscard]] static constexpr double dot(Vec2 a, Vec2 b) {
+    return a.x * b.x + a.y * b.y;
+  }
+
+  [[nodiscard]] static double distance(Vec2 a, Vec2 b) { return (a - b).length(); }
+  [[nodiscard]] static constexpr double distance_sq(Vec2 a, Vec2 b) {
+    return (a - b).length_sq();
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, Vec2 v) {
+  return os << "(" << v.x << ", " << v.y << ")";
+}
+
+}  // namespace matrix

@@ -1,0 +1,85 @@
+// Discrete-event scheduler.
+//
+// A single priority queue of (time, sequence) ordered events drives the whole
+// simulation: message deliveries, node service completions, game ticks, and
+// scenario actions (hotspot arrival at t=10s, ...).  The sequence number
+// breaks time ties in insertion order, which makes runs fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace matrix {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` to run at absolute time `when`.  Scheduling in the
+  /// past is clamped to "now" (runs next, still after already-queued events
+  /// at the current instant).
+  void schedule_at(SimTime when, Action action) {
+    if (when < now_) when = now_;
+    heap_.push(Event{when, next_seq_++, std::move(action)});
+  }
+
+  /// Schedules `action` to run `delay` after the current time.
+  void schedule_after(SimTime delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Runs the next event; returns false when the queue is empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    // Copy out before pop: the action may schedule new events.
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.when;
+    ev.action();
+    return true;
+  }
+
+  /// Runs all events with time <= `until`, then advances the clock to
+  /// `until` even if no event lands exactly there.
+  void run_until(SimTime until) {
+    while (!heap_.empty() && heap_.top().when <= until) {
+      step();
+    }
+    if (now_ < until) now_ = until;
+  }
+
+  /// Drains the queue completely (use with care: periodic events must have
+  /// a termination condition or this never returns).
+  void run_all() {
+    while (step()) {
+    }
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+
+    // std::priority_queue is a max-heap; invert so earliest (then lowest
+    // sequence) pops first.
+    bool operator<(const Event& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event> heap_;
+  SimTime now_{};
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace matrix

@@ -1,0 +1,33 @@
+// Wire envelope.
+//
+// The network layer is payload-agnostic: it moves byte blobs between nodes
+// and charges them against link latency/bandwidth and node service capacity.
+// Protocol structure lives one layer up (core/protocol.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.h"
+#include "util/sim_time.h"
+
+namespace matrix {
+
+/// Fixed per-message framing overhead charged on the wire, approximating
+/// UDP/IP headers.  Keeps tiny game packets from looking free.
+inline constexpr std::size_t kWireHeaderBytes = 28;
+
+struct Envelope {
+  NodeId src;
+  NodeId dst;
+  std::vector<std::uint8_t> payload;
+  SimTime sent_at{};
+  SimTime delivered_at{};  // arrival at the destination's receive queue
+
+  /// Bytes charged on the wire (payload + framing).
+  [[nodiscard]] std::size_t wire_size() const {
+    return payload.size() + kWireHeaderBytes;
+  }
+};
+
+}  // namespace matrix

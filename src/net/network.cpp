@@ -1,0 +1,133 @@
+#include "net/network.h"
+
+#include "util/log.h"
+
+namespace matrix {
+
+NodeId Network::attach(Node* node, NodeConfig config) {
+  const NodeId id = node_ids_.next();
+  node->node_id_ = id;
+  node->network_ = this;
+  NodeState& state = nodes_[id];
+  state.node = node;
+  state.config = config;
+  return id;
+}
+
+void Network::detach(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  NodeState& state = it->second;
+  total_dropped_ += state.queue.size();
+  state.queue.clear();
+  state.node = nullptr;
+  state.serving = false;
+  ++state.epoch;  // cancels any in-flight service completion
+}
+
+void Network::set_node_config(NodeId id, NodeConfig config) {
+  auto it = nodes_.find(id);
+  if (it != nodes_.end()) it->second.config = config;
+}
+
+std::size_t Network::send(NodeId src, NodeId dst,
+                          std::vector<std::uint8_t> payload) {
+  Envelope envelope;
+  envelope.src = src;
+  envelope.dst = dst;
+  envelope.payload = std::move(payload);
+  envelope.sent_at = now();
+  const std::size_t wire = envelope.wire_size();
+
+  LinkStats& stats = link_stats_[{src, dst}];
+  const LinkConfig& cfg = link(src, dst);
+
+  if (!attached(dst) ||
+      (cfg.drop_probability > 0.0 && rng_.next_bool(cfg.drop_probability))) {
+    ++stats.dropped_messages;
+    ++total_dropped_;
+    return wire;
+  }
+
+  stats.messages += 1;
+  stats.bytes += wire;
+  total_bytes_ += wire;
+  total_messages_ += 1;
+
+  const SimTime delay = cfg.latency + cfg.transfer_delay(wire);
+  events_.schedule_after(delay, [this, dst, env = std::move(envelope)]() mutable {
+    env.delivered_at = now();
+    deliver(dst, std::move(env));
+  });
+  return wire;
+}
+
+void Network::deliver(NodeId dst, Envelope envelope) {
+  auto it = nodes_.find(dst);
+  if (it == nodes_.end() || it->second.node == nullptr) {
+    ++total_dropped_;
+    return;  // node detached while the message was in flight
+  }
+  NodeState& state = it->second;
+  if (state.config.queue_capacity &&
+      state.queue.size() >= *state.config.queue_capacity) {
+    ++total_dropped_;
+    ++link_stats_[{envelope.src, dst}].dropped_messages;
+    return;  // tail drop: the overloaded-static-server failure mode
+  }
+  state.queue.push_back(std::move(envelope));
+  if (!state.serving) start_service(dst);
+}
+
+void Network::start_service(NodeId dst) {
+  auto it = nodes_.find(dst);
+  if (it == nodes_.end() || it->second.node == nullptr ||
+      it->second.queue.empty()) {
+    if (it != nodes_.end()) it->second.serving = false;
+    return;
+  }
+  NodeState& state = it->second;
+  state.serving = true;
+  const std::uint64_t epoch = state.epoch;
+  const SimTime service = state.config.service_time(state.queue.front().wire_size());
+  events_.schedule_after(service, [this, dst, epoch] {
+    auto it2 = nodes_.find(dst);
+    if (it2 == nodes_.end() || it2->second.epoch != epoch ||
+        it2->second.node == nullptr || it2->second.queue.empty()) {
+      return;
+    }
+    NodeState& s = it2->second;
+    Envelope env = std::move(s.queue.front());
+    s.queue.pop_front();
+    // Handle *before* scheduling the next service so handlers observe a
+    // queue that no longer contains the message being processed.
+    s.node->handle_message(env);
+    // The handler may have detached this node (e.g. reclamation).
+    auto it3 = nodes_.find(dst);
+    if (it3 != nodes_.end() && it3->second.epoch == epoch) {
+      start_service(dst);
+    }
+  });
+}
+
+std::size_t Network::queue_length(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it != nodes_.end() ? it->second.queue.size() : 0;
+}
+
+const LinkStats& Network::stats(NodeId src, NodeId dst) const {
+  static const LinkStats kEmpty;
+  auto it = link_stats_.find({src, dst});
+  return it != link_stats_.end() ? it->second : kEmpty;
+}
+
+std::uint64_t Network::bytes_matching(
+    const std::function<bool(NodeId, NodeId)>& pred) const {
+  std::uint64_t sum = 0;
+  for (const auto& [key, stats] : link_stats_) {
+    if (pred(key.first, key.second)) sum += stats.bytes;
+  }
+  return sum;
+}
+
+}  // namespace matrix

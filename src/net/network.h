@@ -1,0 +1,184 @@
+// Simulated network.
+//
+// Stands in for the paper's LAN/WAN testbed (see DESIGN.md substitution
+// table).  Model:
+//
+//   * Links are contention-free pipes: delivery time = propagation latency +
+//     wire_size / bandwidth.  Per-pair overrides allow "WAN" client links and
+//     "LAN" server-to-server links in the same run.
+//   * Each node has a FIFO receive queue and finite service capacity
+//     (per-message + per-byte service time).  Overload therefore shows up as
+//     receive-queue growth — exactly the observable in the paper's Fig. 2b.
+//   * Optional per-link drop probability supports fault-injection tests.
+//
+// Everything is driven by the shared EventQueue; the network never uses wall
+// time, threads, or unordered containers on the hot path, so runs are
+// bit-deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/event_queue.h"
+#include "net/message.h"
+#include "util/ids.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace matrix {
+
+class Network;
+
+/// A process attached to the network.  Subclasses (Matrix server, game
+/// server, coordinator, bot client) implement handle_message; it is invoked
+/// when the node's service capacity reaches the message, not at raw arrival.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  [[nodiscard]] NodeId node_id() const { return node_id_; }
+  [[nodiscard]] Network* network() const { return network_; }
+
+  /// Human-readable name for logs and metrics ("matrix-3", "client-217").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  virtual void handle_message(const Envelope& envelope) = 0;
+
+ private:
+  friend class Network;
+  NodeId node_id_;
+  Network* network_ = nullptr;
+};
+
+/// Propagation/bandwidth/drop parameters for one directed link.
+struct LinkConfig {
+  SimTime latency = SimTime::from_us(500);      // one-way propagation
+  double bandwidth_bytes_per_sec = 125e6;       // 1 Gbps default
+  double drop_probability = 0.0;
+
+  [[nodiscard]] SimTime transfer_delay(std::size_t wire_bytes) const {
+    if (bandwidth_bytes_per_sec <= 0.0) return SimTime{};
+    const double sec = static_cast<double>(wire_bytes) / bandwidth_bytes_per_sec;
+    return SimTime::from_sec(sec);
+  }
+};
+
+/// Service capacity of one node; overload manifests as queue growth.
+struct NodeConfig {
+  SimTime service_per_message = SimTime::from_us(15);
+  SimTime service_per_kb = SimTime::from_us(2);
+  /// Receive queue capacity; std::nullopt = unbounded.  Bounded queues drop
+  /// the newest message (tail drop) — used by the static-partitioning
+  /// baseline to show what "the server just fails" looks like.
+  std::optional<std::size_t> queue_capacity;
+
+  [[nodiscard]] SimTime service_time(std::size_t wire_bytes) const {
+    const auto kb = static_cast<std::int64_t>(wire_bytes) ;
+    return service_per_message +
+           SimTime::from_us(service_per_kb.us() * kb / 1024);
+  }
+};
+
+/// Traffic counters for one directed node pair.
+struct LinkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t dropped_messages = 0;
+};
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1)
+      : rng_(seed ^ 0xA5A5A5A5DEADBEEFULL) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // ---- topology -----------------------------------------------------------
+
+  /// Attaches `node` (not owned) and assigns it a NodeId.
+  NodeId attach(Node* node, NodeConfig config = {});
+
+  /// Detaches a node: undelivered messages to it are dropped.  Used when a
+  /// reclaimed server is returned to the resource pool.
+  void detach(NodeId id);
+
+  [[nodiscard]] bool attached(NodeId id) const {
+    return nodes_.count(id) != 0 && nodes_.at(id).node != nullptr;
+  }
+
+  void set_default_link(LinkConfig config) { default_link_ = config; }
+  void set_link(NodeId src, NodeId dst, LinkConfig config) {
+    link_overrides_[{src, dst}] = config;
+  }
+  /// Convenience: sets both directions.
+  void set_link_bidirectional(NodeId a, NodeId b, LinkConfig config) {
+    set_link(a, b, config);
+    set_link(b, a, config);
+  }
+
+  [[nodiscard]] const LinkConfig& link(NodeId src, NodeId dst) const {
+    auto it = link_overrides_.find({src, dst});
+    return it != link_overrides_.end() ? it->second : default_link_;
+  }
+
+  void set_node_config(NodeId id, NodeConfig config);
+
+  // ---- data plane ---------------------------------------------------------
+
+  /// Sends `payload` from `src` to `dst`.  Returns the wire size charged.
+  /// Messages to detached nodes are counted as drops.
+  std::size_t send(NodeId src, NodeId dst, std::vector<std::uint8_t> payload);
+
+  // ---- time ---------------------------------------------------------------
+
+  [[nodiscard]] EventQueue& events() { return events_; }
+  [[nodiscard]] SimTime now() const { return events_.now(); }
+  void run_until(SimTime t) { events_.run_until(t); }
+
+  // ---- instrumentation ----------------------------------------------------
+
+  [[nodiscard]] std::size_t queue_length(NodeId id) const;
+  [[nodiscard]] const LinkStats& stats(NodeId src, NodeId dst) const;
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t total_messages() const { return total_messages_; }
+  [[nodiscard]] std::uint64_t total_dropped() const { return total_dropped_; }
+
+  /// Sum of bytes on links whose (src,dst) both satisfy `pred`.  Lets the
+  /// bandwidth bench split traffic into client↔server vs server↔server etc.
+  [[nodiscard]] std::uint64_t bytes_matching(
+      const std::function<bool(NodeId, NodeId)>& pred) const;
+
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  struct NodeState {
+    Node* node = nullptr;
+    NodeConfig config;
+    std::deque<Envelope> queue;
+    bool serving = false;
+    std::uint64_t epoch = 0;  // bumped on detach to cancel stale service events
+  };
+
+  void deliver(NodeId dst, Envelope envelope);
+  void start_service(NodeId dst);
+
+  EventQueue events_;
+  std::map<NodeId, NodeState> nodes_;
+  std::map<std::pair<NodeId, NodeId>, LinkConfig> link_overrides_;
+  std::map<std::pair<NodeId, NodeId>, LinkStats> link_stats_;
+  LinkConfig default_link_;
+  IdGenerator<NodeId> node_ids_;
+  Rng rng_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_dropped_ = 0;
+};
+
+}  // namespace matrix

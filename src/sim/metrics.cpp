@@ -1,0 +1,106 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace matrix {
+
+MetricsSampler::MetricsSampler(Deployment& deployment, SimTime interval)
+    : deployment_(deployment), interval_(interval) {
+  const std::size_t n = deployment_.game_servers().size();
+  clients_.reserve(n);
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::ostringstream cname, qname;
+    cname << "server" << (i + 1) << "_clients";
+    qname << "server" << (i + 1) << "_queue";
+    clients_.emplace_back(cname.str());
+    queues_.emplace_back(qname.str());
+  }
+  schedule();
+}
+
+void MetricsSampler::schedule() {
+  deployment_.network().events().schedule_after(interval_, [this] {
+    if (!running_) return;
+    sample();
+    schedule();
+  });
+}
+
+void MetricsSampler::sample() {
+  const double t = deployment_.network().now().sec();
+  const auto& games = deployment_.game_servers();
+  for (std::size_t i = 0; i < games.size(); ++i) {
+    const bool active = deployment_.server_is_active(i);
+    clients_[i].record(t, active ? static_cast<double>(games[i]->client_count())
+                                 : 0.0);
+    queues_[i].record(
+        t, active ? static_cast<double>(
+                        deployment_.network().queue_length(games[i]->node_id()))
+                  : 0.0);
+  }
+  active_.record(t, static_cast<double>(deployment_.active_server_count()));
+  total_.record(t, static_cast<double>(deployment_.total_clients()));
+  pool_idle_.record(t, static_cast<double>(deployment_.pool().idle_count()));
+}
+
+double MetricsSampler::max_queue() const {
+  double v = 0.0;
+  for (const auto& series : queues_) v = std::max(v, series.max_value());
+  return v;
+}
+
+double MetricsSampler::max_active_servers() const {
+  return active_.max_value();
+}
+
+LatencySummary collect_latency(const Deployment& deployment) {
+  LatencySummary summary;
+  for (const BotClient* bot : deployment.bots()) {
+    const auto& m = bot->metrics();
+    summary.actions += m.actions_sent;
+    summary.switches += m.switches;
+    summary.self_ms.merge(m.self_latency_ms);
+    summary.observer_ms.merge(m.observer_latency_ms);
+    summary.switch_ms.merge(m.switch_latency_ms);
+  }
+  return summary;
+}
+
+TrafficBreakdown collect_traffic(Deployment& deployment) {
+  TrafficBreakdown breakdown;
+  std::set<NodeId> game_nodes, matrix_nodes, client_nodes;
+  for (const GameServer* g : deployment.game_servers()) {
+    game_nodes.insert(g->node_id());
+  }
+  for (const MatrixServer* m : deployment.matrix_servers()) {
+    matrix_nodes.insert(m->node_id());
+  }
+  for (const BotClient* b : deployment.bots()) {
+    client_nodes.insert(b->node_id());
+  }
+  const NodeId mc = deployment.coordinator().node_id();
+
+  Network& net = deployment.network();
+  breakdown.client_to_server = net.bytes_matching([&](NodeId a, NodeId b) {
+    return (client_nodes.count(a) && game_nodes.count(b)) ||
+           (game_nodes.count(a) && client_nodes.count(b));
+  });
+  breakdown.game_to_matrix = net.bytes_matching([&](NodeId a, NodeId b) {
+    return (game_nodes.count(a) && matrix_nodes.count(b)) ||
+           (matrix_nodes.count(a) && game_nodes.count(b));
+  });
+  breakdown.matrix_to_matrix = net.bytes_matching([&](NodeId a, NodeId b) {
+    return matrix_nodes.count(a) && matrix_nodes.count(b);
+  });
+  breakdown.matrix_to_mc = net.bytes_matching([&](NodeId a, NodeId b) {
+    return (matrix_nodes.count(a) && b == mc) ||
+           (a == mc && matrix_nodes.count(b));
+  });
+  breakdown.total = net.total_bytes();
+  return breakdown;
+}
+
+}  // namespace matrix

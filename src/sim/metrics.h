@@ -1,0 +1,81 @@
+// Run-time metrics collection.
+//
+// MetricsSampler polls the deployment on a fixed cadence and produces the
+// exact series the paper's Figure 2 plots: clients per server over time
+// (2a) and receive-queue length per server over time (2b), plus the active
+// server count, pool occupancy, and traffic-by-category totals used by the
+// other benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/deployment.h"
+#include "util/stats.h"
+
+namespace matrix {
+
+class MetricsSampler {
+ public:
+  /// Starts sampling `deployment` every `interval` until stop() or the
+  /// deployment's event queue stops being pumped.
+  MetricsSampler(Deployment& deployment, SimTime interval);
+
+  void stop() { running_ = false; }
+
+  /// One clients-per-server series per server slot (index = ServerId - 1).
+  [[nodiscard]] const std::vector<TimeSeries>& clients_per_server() const {
+    return clients_;
+  }
+  /// One queue-length series per server slot (game-server receive queue).
+  [[nodiscard]] const std::vector<TimeSeries>& queue_per_server() const {
+    return queues_;
+  }
+  [[nodiscard]] const TimeSeries& active_servers() const { return active_; }
+  [[nodiscard]] const TimeSeries& total_clients() const { return total_; }
+  [[nodiscard]] const TimeSeries& pool_idle() const { return pool_idle_; }
+
+  /// Peak queue length seen on any server.
+  [[nodiscard]] double max_queue() const;
+  /// Peak simultaneous active servers.
+  [[nodiscard]] double max_active_servers() const;
+
+ private:
+  void sample();
+  void schedule();
+
+  Deployment& deployment_;
+  SimTime interval_;
+  bool running_ = true;
+  std::vector<TimeSeries> clients_;
+  std::vector<TimeSeries> queues_;
+  TimeSeries active_{"active_servers"};
+  TimeSeries total_{"total_clients"};
+  TimeSeries pool_idle_{"pool_idle"};
+};
+
+/// Aggregates bot-side latency metrics across a deployment, optionally
+/// restricted to a time window recorded by the caller.
+struct LatencySummary {
+  Histogram self_ms;
+  Histogram observer_ms;
+  Histogram switch_ms;
+  std::uint64_t actions = 0;
+  std::uint64_t switches = 0;
+};
+
+[[nodiscard]] LatencySummary collect_latency(const Deployment& deployment);
+
+/// Traffic split by component category, derived from link stats.
+struct TrafficBreakdown {
+  std::uint64_t client_to_server = 0;  ///< bot↔game bytes (both directions)
+  std::uint64_t game_to_matrix = 0;    ///< co-located forwarding
+  std::uint64_t matrix_to_matrix = 0;  ///< peer consistency traffic
+  std::uint64_t matrix_to_mc = 0;      ///< control plane (tables, lookups)
+  std::uint64_t total = 0;
+};
+
+[[nodiscard]] TrafficBreakdown collect_traffic(Deployment& deployment);
+
+}  // namespace matrix

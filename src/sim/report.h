@@ -1,0 +1,48 @@
+// Result artifacts: CSV writers for time series and distributions.
+//
+// The bench binaries print human-readable tables; for plotting (gnuplot,
+// pandas) they can additionally drop CSV files next to the binary.  Kept
+// deliberately dependency-free.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace matrix {
+
+/// Writes aligned time series as one CSV: t, <name1>, <name2>, ...
+/// Series are step-sampled on a fixed grid so ragged sampling times line
+/// up.  Returns false if the file could not be opened.
+inline bool write_timeseries_csv(const std::string& path,
+                                 const std::vector<const TimeSeries*>& series,
+                                 double t_end, double dt = 1.0) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "t";
+  for (const TimeSeries* s : series) out << "," << s->name();
+  out << "\n";
+  for (double t = 0.0; t <= t_end; t += dt) {
+    out << t;
+    for (const TimeSeries* s : series) out << "," << s->value_at(t);
+    out << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+/// Writes a latency distribution as percentile rows: p, value.
+inline bool write_percentiles_csv(const std::string& path,
+                                  const Histogram& histogram) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "percentile,value\n";
+  for (double p : {1.0,  5.0,  10.0, 25.0, 50.0, 75.0, 90.0,
+                   95.0, 99.0, 99.9, 100.0}) {
+    out << p << "," << histogram.percentile(p) << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+}  // namespace matrix

@@ -1,0 +1,85 @@
+#include "sim/scenario.h"
+
+namespace matrix {
+
+// Scheduled lambdas capture the Deployment by pointer, not the Scenario:
+// a Scenario is often a short-lived script builder (see
+// schedule_hotspot_scenario) that dies long before its events fire.
+
+void Scenario::add_background_bots(SimTime at, std::size_t count) {
+  Deployment* deployment = &deployment_;
+  deployment->network().events().schedule_at(at, [deployment, count] {
+    const Rect& world = deployment->options().config.world;
+    Rng& rng = deployment->rng();
+    for (std::size_t i = 0; i < count; ++i) {
+      deployment->add_bot({rng.next_double_in(world.x0(), world.x1()),
+                           rng.next_double_in(world.y0(), world.y1())});
+    }
+  });
+}
+
+void Scenario::add_hotspot_bots(SimTime at, std::size_t count, Vec2 center,
+                                double spread) {
+  Deployment* deployment = &deployment_;
+  deployment->network().events().schedule_at(
+      at, [deployment, count, center, spread] {
+        Rng& rng = deployment->rng();
+        const Rect& world = deployment->options().config.world;
+        for (std::size_t i = 0; i < count; ++i) {
+          const Vec2 pos =
+              world.clamp(center + Vec2{rng.next_normal() * spread,
+                                        rng.next_normal() * spread});
+          deployment->add_bot(pos, center, spread);
+        }
+      });
+}
+
+void Scenario::remove_bots_at(SimTime at, std::size_t count,
+                              std::optional<Vec2> near) {
+  Deployment* deployment = &deployment_;
+  deployment->network().events().schedule_at(at, [deployment, count, near] {
+    deployment->remove_bots(count, near);
+  });
+}
+
+void schedule_hotspot_scenario(Deployment& deployment,
+                               const HotspotScenarioOptions& options) {
+  Scenario scenario(deployment);
+
+  // Background population from the start.
+  scenario.add_background_bots(SimTime::from_ms(100), options.background_bots);
+
+  // First hotspot: a flash crowd joins at one point (paper: "a hotspot of
+  // 600 clients ... introduced at around the 10 second mark").
+  scenario.add_hotspot_bots(options.first_hotspot_at, options.hotspot_bots,
+                            options.first_hotspot);
+
+  // Staged dissipation: groups leave at fixed intervals (paper: "indicated
+  // by 200 clients disappearing at fixed intervals").
+  SimTime t = options.first_hotspot_at + options.hold;
+  std::size_t remaining = options.hotspot_bots;
+  while (remaining > 0) {
+    const std::size_t group = std::min(options.departure_group, remaining);
+    scenario.remove_bots_at(t, group, options.first_hotspot);
+    remaining -= group;
+    t += options.departure_interval;
+  }
+
+  // Second hotspot at a different location (paper: "reintroduced at a
+  // different position in the world at 170 seconds").
+  if (options.second_hotspot) {
+    scenario.add_hotspot_bots(options.second_hotspot_at,
+                              options.second_hotspot_bots,
+                              options.second_hotspot_center);
+    SimTime t2 = options.second_hotspot_at + options.second_hold;
+    std::size_t remaining2 = options.second_hotspot_bots;
+    while (remaining2 > 0) {
+      const std::size_t group = std::min(options.departure_group, remaining2);
+      scenario.remove_bots_at(t2, group, options.second_hotspot_center);
+      remaining2 -= group;
+      t2 += options.departure_interval;
+    }
+  }
+}
+
+}  // namespace matrix

@@ -1,0 +1,65 @@
+// Scenario scripting — the workload generators of the evaluation.
+//
+// A Scenario schedules population changes on a Deployment's event queue:
+// background players wandering the world, hotspot flash crowds joining at a
+// point, staged departures.  HotspotScenario reproduces the paper's Fig. 2
+// timeline exactly (600-client hotspot at t=10 s, staged 200-client
+// departures, second hotspot elsewhere at t=170 s).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/deployment.h"
+
+namespace matrix {
+
+/// Low-level scripting helpers; compose for custom scenarios.
+class Scenario {
+ public:
+  explicit Scenario(Deployment& deployment) : deployment_(deployment) {}
+
+  /// Spawns `count` bots at uniformly random positions at time `at`.
+  void add_background_bots(SimTime at, std::size_t count);
+
+  /// Spawns `count` bots at `center` (with spread) at time `at`; they stay
+  /// attracted to the hotspot.
+  void add_hotspot_bots(SimTime at, std::size_t count, Vec2 center,
+                        double spread = 20.0);
+
+  /// Removes `count` connected bots at time `at`, nearest to `near` first.
+  void remove_bots_at(SimTime at, std::size_t count,
+                      std::optional<Vec2> near = std::nullopt);
+
+ private:
+  Deployment& deployment_;
+};
+
+/// The paper's Fig. 2 workload, parameterised.
+struct HotspotScenarioOptions {
+  std::size_t background_bots = 100;
+  std::size_t hotspot_bots = 600;
+  Vec2 first_hotspot{150.0, 150.0};
+  SimTime first_hotspot_at = SimTime::from_sec(10.0);
+  /// Departures begin after the hotspot has been held this long...
+  SimTime hold = SimTime::from_sec(75.0);
+  /// ...leaving in groups of `departure_group` every `departure_interval`.
+  std::size_t departure_group = 200;
+  SimTime departure_interval = SimTime::from_sec(15.0);
+
+  bool second_hotspot = true;
+  Vec2 second_hotspot_center{850.0, 850.0};
+  SimTime second_hotspot_at = SimTime::from_sec(170.0);
+  std::size_t second_hotspot_bots = 600;
+  SimTime second_hold = SimTime::from_sec(50.0);
+
+  SimTime duration = SimTime::from_sec(300.0);
+};
+
+/// Schedules the full Fig. 2 timeline onto `deployment`.  Call
+/// deployment.run_until(options.duration) afterwards.
+void schedule_hotspot_scenario(Deployment& deployment,
+                               const HotspotScenarioOptions& options);
+
+}  // namespace matrix

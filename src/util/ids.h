@@ -1,0 +1,99 @@
+// Strongly-typed integer identifiers used across the Matrix middleware.
+//
+// The paper requires game servers to identify players with *globally unique*
+// ids (Section 3.2.2) so that clients can be switched between servers.  We
+// enforce that discipline at the type level: a ClientId can never be confused
+// with a ServerId or an EntityId, and ids are allocated from monotonic
+// generators so uniqueness is global by construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace matrix {
+
+/// A strongly-typed wrapper around a 64-bit id.  `Tag` makes each
+/// instantiation a distinct type; no implicit conversions exist between
+/// different id kinds or to/from raw integers.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t value) : value_(value) {}
+
+  /// Raw numeric value, for serialization and logging only.
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+
+  /// True when this id was produced by a generator (ids start at 1).
+  [[nodiscard]] constexpr bool valid() const { return value_ != 0; }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+template <typename Tag>
+std::ostream& operator<<(std::ostream& os, Id<Tag> id) {
+  return os << Tag::prefix() << id.value();
+}
+
+/// Monotonic id generator.  Not thread-safe; the simulator is single-threaded
+/// by design (determinism), and real deployments would use one generator per
+/// coordinator.
+template <typename IdType>
+class IdGenerator {
+ public:
+  /// Returns the next id.  Ids start at 1; 0 is reserved for "invalid".
+  IdType next() { return IdType(++last_); }
+
+  /// Makes the generator skip ids up to and including `floor`.  Used when
+  /// merging id spaces during state transfer.
+  void reserve_through(std::uint64_t floor) {
+    if (floor > last_) last_ = floor;
+  }
+
+ private:
+  std::uint64_t last_ = 0;
+};
+
+struct ServerIdTag {
+  static constexpr const char* prefix() { return "S"; }
+};
+struct ClientIdTag {
+  static constexpr const char* prefix() { return "C"; }
+};
+struct EntityIdTag {
+  static constexpr const char* prefix() { return "E"; }
+};
+struct NodeIdTag {
+  static constexpr const char* prefix() { return "N"; }
+};
+struct RegionIdTag {
+  static constexpr const char* prefix() { return "G"; }
+};
+
+/// Identifies one Matrix server / game server pair (they are co-located,
+/// paper Section 3.2.2).
+using ServerId = Id<ServerIdTag>;
+/// Globally unique player identity (the paper's "callsign").
+using ClientId = Id<ClientIdTag>;
+/// Identifies a game object (player avatar, projectile, map object).
+using EntityId = Id<EntityIdTag>;
+/// Address of a process on the simulated network.
+using NodeId = Id<NodeIdTag>;
+/// Identifies one overlap region within a server's overlap table.
+using RegionId = Id<RegionIdTag>;
+
+}  // namespace matrix
+
+namespace std {
+template <typename Tag>
+struct hash<matrix::Id<Tag>> {
+  size_t operator()(matrix::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

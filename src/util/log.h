@@ -1,0 +1,71 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded, so the logger is deliberately simple: a
+// global level, a stream sink, and printf-free formatting via ostream.  Tests
+// set the level to kOff; the hotspot example sets kInfo to narrate splits.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace matrix {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance() {
+    static Logger logger;
+    return logger;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  void write(LogLevel level, std::string_view component,
+             const std::string& message) {
+    if (!enabled(level) || sink_ == nullptr) return;
+    *sink_ << "[" << level_name(level) << "] " << component << ": " << message
+           << '\n';
+  }
+
+ private:
+  static std::string_view level_name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO ";
+      case LogLevel::kWarn: return "WARN ";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF  ";
+    }
+    return "?";
+  }
+
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_ = &std::cerr;
+};
+
+/// Streams `expr` into the global logger if `level` is enabled.
+#define MATRIX_LOG(level, component, expr)                            \
+  do {                                                                \
+    if (::matrix::Logger::instance().enabled(level)) {                \
+      std::ostringstream matrix_log_oss;                              \
+      matrix_log_oss << expr;                                         \
+      ::matrix::Logger::instance().write(level, component,            \
+                                         matrix_log_oss.str());       \
+    }                                                                 \
+  } while (0)
+
+#define MATRIX_INFO(component, expr) \
+  MATRIX_LOG(::matrix::LogLevel::kInfo, component, expr)
+#define MATRIX_DEBUG(component, expr) \
+  MATRIX_LOG(::matrix::LogLevel::kDebug, component, expr)
+#define MATRIX_WARN(component, expr) \
+  MATRIX_LOG(::matrix::LogLevel::kWarn, component, expr)
+
+}  // namespace matrix

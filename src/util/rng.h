@@ -1,0 +1,121 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the reproduction (bot movement, hotspot
+// placement, jitter) flows through Rng so that a scenario seed fully
+// determines a run.  This is what makes the figures regenerable.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace matrix {
+
+/// xoshiro256** by Blackman & Vigna, seeded via SplitMix64.  Chosen over
+/// std::mt19937_64 because its output sequence is specified independent of
+/// the standard library implementation, so runs are reproducible across
+/// toolchains.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound).  bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Lemire's multiply-shift rejection method: unbiased.
+    while (true) {
+      const std::uint64_t x = next_u64();
+      const unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+      const std::uint64_t low = static_cast<std::uint64_t>(m);
+      if (low >= bound || low >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double_in(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Bernoulli trial.
+  bool next_bool(double p_true) { return next_double() < p_true; }
+
+  /// Standard-normal variate (Marsaglia polar method, deterministic).
+  double next_normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = next_double_in(-1.0, 1.0);
+      v = next_double_in(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    has_spare_ = true;
+    return u * mul;
+  }
+
+  /// Exponential variate with the given mean.
+  double next_exponential(double mean) {
+    double u;
+    do {
+      u = next_double();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Derives an independent child generator (for giving each bot its own
+  /// stream without coupling their sequences).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace matrix

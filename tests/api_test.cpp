@@ -1,0 +1,108 @@
+// Tests for the developer-facing API layer (api/matrix_port.h): outbound
+// helpers encode the right messages, try_dispatch routes to the right
+// callbacks and leaves client traffic alone.
+#include <gtest/gtest.h>
+
+#include "api/matrix_port.h"
+#include "test_helpers.h"
+
+namespace matrix {
+namespace {
+
+using namespace time_literals;
+
+class MatrixPortTest : public ::testing::Test {
+ protected:
+  MatrixPortTest() : matrix_("fake-matrix"), game_("fake-game") {
+    network_.attach(&matrix_);
+    network_.attach(&game_);
+    port_ = std::make_unique<MatrixPort>(&network_, game_.node_id(),
+                                         matrix_.node_id());
+  }
+
+  void run() { network_.run_until(network_.now() + 10_ms); }
+
+  Network network_{1};
+  CaptureNode matrix_;
+  CaptureNode game_;
+  std::unique_ptr<MatrixPort> port_;
+};
+
+TEST_F(MatrixPortTest, SendPacketReachesMatrixNode) {
+  TaggedPacket packet;
+  packet.client = ClientId(1);
+  packet.origin = {10, 20};
+  packet.payload.assign(32, 0);
+  const std::size_t wire = port_->send_packet(packet);
+  EXPECT_GT(wire, 32u);  // payload + tags + framing
+  run();
+  ASSERT_EQ(matrix_.count<TaggedPacket>(), 1u);
+  EXPECT_EQ(matrix_.last<TaggedPacket>()->origin, (Vec2{10, 20}));
+}
+
+TEST_F(MatrixPortTest, OutboundHelpersEncodeTheRightTypes) {
+  port_->report_load(LoadReport{7, 0, 0.0, {}});
+  port_->shed_done(ShedDone{3, 2});
+  port_->query_owner(OwnerQuery{{1, 2}, ClientId(5), 9});
+  StateTransfer st;
+  st.to_game = NodeId(42);
+  port_->transfer_state(st);
+  ClientStateTransfer cst;
+  cst.client = ClientId(5);
+  port_->transfer_client_state(cst);
+  run();
+  EXPECT_EQ(matrix_.count<LoadReport>(), 1u);
+  EXPECT_EQ(matrix_.count<ShedDone>(), 1u);
+  EXPECT_EQ(matrix_.count<OwnerQuery>(), 1u);
+  EXPECT_EQ(matrix_.count<StateTransfer>(), 1u);
+  EXPECT_EQ(matrix_.count<ClientStateTransfer>(), 1u);
+  EXPECT_EQ(matrix_.last<LoadReport>()->client_count, 7u);
+}
+
+TEST_F(MatrixPortTest, DispatchRoutesMatrixMessagesToCallbacks) {
+  int packets = 0, ranges = 0, states = 0, cstates = 0, replies = 0;
+  port_->on_packet([&](const TaggedPacket&) { ++packets; });
+  port_->on_map_range([&](const MapRange&) { ++ranges; });
+  port_->on_state_transfer([&](const StateTransfer&) { ++states; });
+  port_->on_client_state([&](const ClientStateTransfer&) { ++cstates; });
+  port_->on_owner_reply([&](const OwnerReply&) { ++replies; });
+
+  EXPECT_TRUE(port_->try_dispatch(Message{TaggedPacket{}}));
+  EXPECT_TRUE(port_->try_dispatch(Message{MapRange{}}));
+  EXPECT_TRUE(port_->try_dispatch(Message{StateTransfer{}}));
+  EXPECT_TRUE(port_->try_dispatch(Message{ClientStateTransfer{}}));
+  EXPECT_TRUE(port_->try_dispatch(Message{OwnerReply{}}));
+  EXPECT_EQ(packets, 1);
+  EXPECT_EQ(ranges, 1);
+  EXPECT_EQ(states, 1);
+  EXPECT_EQ(cstates, 1);
+  EXPECT_EQ(replies, 1);
+}
+
+TEST_F(MatrixPortTest, DispatchLeavesClientTrafficAlone) {
+  // The game's own protocol must fall through untouched.
+  EXPECT_FALSE(port_->try_dispatch(Message{ClientHello{}}));
+  EXPECT_FALSE(port_->try_dispatch(Message{ClientAction{}}));
+  EXPECT_FALSE(port_->try_dispatch(Message{ClientBye{}}));
+  EXPECT_FALSE(port_->try_dispatch(Message{ServerUpdate{}}));
+  EXPECT_FALSE(port_->try_dispatch(Message{Welcome{}}));
+  EXPECT_FALSE(port_->try_dispatch(Message{Redirect{}}));
+}
+
+TEST_F(MatrixPortTest, MissingCallbacksAreNotFatal) {
+  // No callbacks registered at all: dispatch still consumes the messages.
+  EXPECT_TRUE(port_->try_dispatch(Message{TaggedPacket{}}));
+  EXPECT_TRUE(port_->try_dispatch(Message{MapRange{}}));
+}
+
+TEST_F(MatrixPortTest, WireBytesScaleWithPayload) {
+  TaggedPacket small, large;
+  small.payload.assign(8, 0);
+  large.payload.assign(512, 0);
+  const std::size_t small_wire = port_->send_packet(small);
+  const std::size_t large_wire = port_->send_packet(large);
+  EXPECT_GE(large_wire, small_wire + 500);
+}
+
+}  // namespace
+}  // namespace matrix

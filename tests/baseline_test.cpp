@@ -1,0 +1,116 @@
+// Tests for the baselines: static-partitioning option factories and the
+// replicated-static (commercial) deployment.
+#include <gtest/gtest.h>
+
+#include "baseline/replicated_static.h"
+#include "baseline/static_partitioning.h"
+
+namespace matrix {
+namespace {
+
+using namespace time_literals;
+
+TEST(StaticOptionsTest, FactoriesSetTheRightKnobs) {
+  DeploymentOptions base;
+  base.config.world = Rect(0, 0, 100, 100);
+
+  const auto static_opts = static_partitioning_options(base, 4);
+  EXPECT_FALSE(static_opts.config.allow_split);
+  EXPECT_FALSE(static_opts.config.allow_reclaim);
+  EXPECT_EQ(static_opts.initial_servers, 4u);
+  EXPECT_EQ(static_opts.pool_size, 0u);
+
+  const auto adaptive = adaptive_options(base, 1, 6);
+  EXPECT_TRUE(adaptive.config.allow_split);
+  EXPECT_EQ(adaptive.initial_servers, 1u);
+  EXPECT_EQ(adaptive.pool_size, 6u);
+}
+
+ReplicatedDeployment::Options replicated_options() {
+  ReplicatedDeployment::Options options;
+  options.config.world = Rect(0, 0, 1000, 1000);
+  options.config.visibility_radius = 60.0;
+  options.spec = bzflag_like();
+  options.partitions = 2;
+  options.replicas = 2;
+  options.seed = 5;
+  return options;
+}
+
+TEST(ReplicatedStaticTest, BootsKTimesMServers) {
+  ReplicatedDeployment deployment(replicated_options());
+  EXPECT_EQ(deployment.game_servers().size(), 4u);
+  EXPECT_EQ(deployment.routers().size(), 4u);
+  // Replicas of one partition share a range; partitions differ.
+  EXPECT_EQ(deployment.routers()[0]->range(), deployment.routers()[1]->range());
+  EXPECT_NE(deployment.routers()[0]->range(), deployment.routers()[2]->range());
+}
+
+TEST(ReplicatedStaticTest, ClientsRoundRobinAcrossReplicas) {
+  ReplicatedDeployment deployment(replicated_options());
+  for (int i = 0; i < 8; ++i) {
+    deployment.add_bot({100.0 + i, 500.0});  // all in partition 0
+  }
+  deployment.run_until(2_sec);
+  EXPECT_EQ(deployment.total_clients(), 8u);
+  EXPECT_EQ(deployment.game_servers()[0]->client_count(), 4u);
+  EXPECT_EQ(deployment.game_servers()[1]->client_count(), 4u);
+  EXPECT_EQ(deployment.game_servers()[2]->client_count(), 0u);
+}
+
+TEST(ReplicatedStaticTest, EveryReplicaHearsEveryEvent) {
+  // Tight coupling: a client on replica 0 acts; replica 1's game server
+  // must receive the event even with no client of its own nearby.
+  auto options = replicated_options();
+  options.spec.move_speed = 0.0;  // keep the bot put
+  ReplicatedDeployment deployment(options);
+  deployment.add_bot({100, 500});  // partition 0, replica 0
+  deployment.run_until(3_sec);
+  EXPECT_GT(deployment.game_servers()[1]->stats().remote_events, 0u);
+  EXPECT_GT(deployment.routers()[0]->stats().replica_fanout, 0u);
+}
+
+TEST(ReplicatedStaticTest, CrossPartitionVisibilityReachesAllPeerReplicas) {
+  auto options = replicated_options();
+  options.spec.move_speed = 0.0;
+  ReplicatedDeployment deployment(options);
+  // Partition boundary is x=500 (2-grid); stand just left of it.
+  deployment.add_bot({495, 500});
+  deployment.run_until(3_sec);
+  // BOTH replicas of partition 1 heard the boundary events.
+  EXPECT_GT(deployment.game_servers()[2]->stats().remote_events, 0u);
+  EXPECT_GT(deployment.game_servers()[3]->stats().remote_events, 0u);
+  EXPECT_GT(deployment.routers()[0]->stats().neighbour_fanout, 0u);
+}
+
+TEST(ReplicatedStaticTest, InteriorEventStaysWithinReplicaGroup) {
+  auto options = replicated_options();
+  options.spec.move_speed = 0.0;
+  ReplicatedDeployment deployment(options);
+  deployment.add_bot({100, 500});  // deep interior of partition 0
+  deployment.run_until(3_sec);
+  EXPECT_EQ(deployment.routers()[0]->stats().neighbour_fanout, 0u);
+  EXPECT_EQ(deployment.game_servers()[2]->stats().remote_events, 0u);
+}
+
+TEST(ReplicatedStaticTest, ReplicationCostScalesWithM) {
+  // The §5 criticism quantified: same workload, M=1 vs M=3 — routing
+  // bytes grow with the replica count even though the player population
+  // and their behaviour are identical.
+  auto run_bytes = [](std::size_t replicas) {
+    auto options = replicated_options();
+    options.replicas = replicas;
+    ReplicatedDeployment deployment(options);
+    for (int i = 0; i < 12; ++i) {
+      deployment.add_bot({100.0 + 10.0 * i, 500.0});
+    }
+    deployment.run_until(10_sec);
+    return deployment.routing_bytes();
+  };
+  const auto m1 = run_bytes(1);
+  const auto m3 = run_bytes(3);
+  EXPECT_GT(m3, m1 * 2);
+}
+
+}  // namespace
+}  // namespace matrix

@@ -1,0 +1,198 @@
+// Parameterized sweeps: the full hotspot-absorption behaviour must hold
+// for every game model × split policy × metric combination — the paper's
+// portability claim ("support multiple gaming platforms") expressed as a
+// test matrix.  Also statistical tests of bot behaviour against the game
+// models' declared action mixes.
+#include <gtest/gtest.h>
+
+#include "sim/deployment.h"
+#include "sim/metrics.h"
+#include "sim/scenario.h"
+
+namespace matrix {
+namespace {
+
+using namespace time_literals;
+
+struct Combo {
+  const char* game;
+  SplitPolicy policy;
+  Metric metric;
+};
+
+std::ostream& operator<<(std::ostream& os, const Combo& combo) {
+  return os << combo.game << "/"
+            << (combo.policy == SplitPolicy::kSplitToLeft ? "left" : "aware")
+            << "/"
+            << (combo.metric == Metric::kChebyshev ? "linf" : "l2");
+}
+
+GameModelSpec spec_by_name(const std::string& name) {
+  if (name == "quake") return quake_like();
+  if (name == "daimonin") return daimonin_like();
+  return bzflag_like();
+}
+
+class CrossGameTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(CrossGameTest, HotspotAbsorbedAndInvariantsHold) {
+  const Combo combo = GetParam();
+  DeploymentOptions options;
+  options.config.world = Rect(0, 0, 1000, 1000);
+  options.config.overload_clients = 40;
+  options.config.underload_clients = 20;
+  options.config.sustain_reports_to_split = 2;
+  options.config.topology_cooldown = 2_sec;
+  options.config.split_policy = combo.policy;
+  options.config.metric = combo.metric;
+  options.spec = spec_by_name(combo.game);
+  options.config.visibility_radius = options.spec.visibility_radius;
+  options.initial_servers = 1;
+  options.pool_size = 7;
+  options.map_objects = 50;
+  options.seed = 4242;
+
+  Deployment deployment(options);
+  Scenario scenario(deployment);
+  scenario.add_hotspot_bots(1_sec, 90, {480, 480}, 80.0);
+  deployment.run_until(20_sec);
+
+  // Splits happened and relieved the hotspot server.
+  EXPECT_GE(deployment.active_server_count(), 2u) << combo;
+  std::size_t max_on_one = 0, total = 0;
+  for (const GameServer* game : deployment.game_servers()) {
+    max_on_one = std::max(max_on_one, game->client_count());
+    total += game->client_count();
+  }
+  EXPECT_LT(max_on_one, 90u) << combo;
+  EXPECT_GE(total, 86u) << combo;  // a few may be mid-handoff
+
+  // Structural invariants hold regardless of game/policy/metric.
+  EXPECT_TRUE(deployment.coordinator().partition_map().tiles(
+      options.config.world))
+      << combo;
+  std::size_t objects = 0;
+  for (const GameServer* game : deployment.game_servers()) {
+    objects += game->map_object_count();
+  }
+  EXPECT_EQ(objects, options.map_objects) << combo;
+
+  // Players kept playing: the median stayed at one WAN RTT.
+  const LatencySummary latency = collect_latency(deployment);
+  EXPECT_GT(latency.actions, 1000u) << combo;
+  EXPECT_LT(latency.self_ms.median(), 80.0) << combo;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, CrossGameTest,
+    ::testing::Values(
+        Combo{"bzflag", SplitPolicy::kSplitToLeft, Metric::kChebyshev},
+        Combo{"bzflag", SplitPolicy::kLoadAware, Metric::kChebyshev},
+        Combo{"bzflag", SplitPolicy::kSplitToLeft, Metric::kEuclidean},
+        Combo{"quake", SplitPolicy::kSplitToLeft, Metric::kChebyshev},
+        Combo{"quake", SplitPolicy::kLoadAware, Metric::kEuclidean},
+        Combo{"daimonin", SplitPolicy::kSplitToLeft, Metric::kChebyshev},
+        Combo{"daimonin", SplitPolicy::kLoadAware, Metric::kChebyshev}));
+
+// ---------------------------------------------------------------------------
+// Bot behaviour vs the declared game model
+// ---------------------------------------------------------------------------
+
+TEST(BotBehaviourTest, ActionRateMatchesModel) {
+  // One lone bot for 60 simulated seconds: its action count must match the
+  // model's mean interval (clamped-exponential jitter preserves the mean
+  // only approximately; allow 25%).
+  for (const GameModelSpec& spec : {bzflag_like(), daimonin_like()}) {
+    DeploymentOptions options;
+    options.spec = spec;
+    options.config.visibility_radius = spec.visibility_radius;
+    options.seed = 9;
+    Deployment deployment(options);
+    deployment.add_bot({500, 500});
+    deployment.run_until(60_sec);
+    const double expected = 60.0 / spec.action_interval.sec();
+    const auto actions = deployment.bots()[0]->metrics().actions_sent;
+    EXPECT_NEAR(static_cast<double>(actions), expected, expected * 0.25)
+        << spec.name;
+  }
+}
+
+TEST(BotBehaviourTest, ActionMixMatchesModel) {
+  // Count action kinds arriving at the server for a daimonin bot: the
+  // chat/interact fractions are the model's distinguishing features.
+  DeploymentOptions options;
+  options.spec = daimonin_like();
+  options.spec.move_speed = 0.0;
+  options.config.visibility_radius = options.spec.visibility_radius;
+  options.seed = 10;
+  // Two static partitions so teleports can actually leave the caster's
+  // server (a single world-spanning server swallows every target locally).
+  options.config.allow_split = false;
+  options.config.allow_reclaim = false;
+  options.initial_servers = 2;
+  options.pool_size = 0;
+  Deployment deployment(options);
+  for (int i = 0; i < 20; ++i) deployment.add_bot({500.0 + i, 500.0});
+  deployment.run_until(120_sec);
+  // ~20 bots × 4 Hz × 120 s ≈ 9600 actions; enough for ±4% bounds.
+  const LatencySummary latency = collect_latency(deployment);
+  ASSERT_GT(latency.actions, 5000u);
+  // Verify through matrix-server fan-out payload sizes is indirect; use
+  // the bots' own sent counters by kind via the game servers' stats:
+  // the generic server does not tally kinds, so approximate via expected
+  // fractions against total actions using the chat payload share of bytes.
+  // Simpler and direct: fraction of actions that were teleports shows up
+  // as non-proximal lookups at the matrix layer.
+  std::uint64_t lookups = 0;
+  for (const MatrixServer* server : deployment.matrix_servers()) {
+    lookups += server->stats().nonproximal_lookups;
+  }
+  const double teleport_rate = static_cast<double>(lookups) /
+                               static_cast<double>(latency.actions);
+  // daimonin_like declares 1% non-proximal actions; owner-query migrations
+  // are zero here (bots are stationary), so lookups ≈ teleports whose
+  // target fell outside the single partition-with-R reach.  Allow a loose
+  // band around 1%.
+  EXPECT_GT(teleport_rate, 0.002);
+  EXPECT_LT(teleport_rate, 0.02);
+}
+
+TEST(BotBehaviourTest, StationaryBotsStayPut) {
+  DeploymentOptions options;
+  options.spec = bzflag_like();
+  options.spec.move_speed = 0.0;
+  options.seed = 11;
+  Deployment deployment(options);
+  BotClient* bot = deployment.add_bot({123, 456});
+  deployment.run_until(10_sec);
+  EXPECT_EQ(bot->position(), (Vec2{123, 456}));
+}
+
+TEST(BotBehaviourTest, AttractedBotsConvergeToHotspot) {
+  DeploymentOptions options;
+  options.spec = bzflag_like();
+  options.seed = 12;
+  Deployment deployment(options);
+  BotClient* bot = deployment.add_bot({100, 100}, Vec2{800, 800}, 10.0);
+  deployment.run_until(120_sec);
+  // 120 s at 25 u/s is ample to cross ~990 units of diagonal.
+  EXPECT_LT(Vec2::distance(bot->position(), {800, 800}), 60.0);
+}
+
+TEST(BotBehaviourTest, LeaveStopsActivity) {
+  DeploymentOptions options;
+  options.spec = bzflag_like();
+  options.seed = 13;
+  Deployment deployment(options);
+  BotClient* bot = deployment.add_bot({500, 500});
+  deployment.run_until(5_sec);
+  bot->leave();
+  deployment.run_until(6_sec);
+  const auto actions = bot->metrics().actions_sent;
+  deployment.run_until(20_sec);
+  EXPECT_EQ(bot->metrics().actions_sent, actions);
+  EXPECT_EQ(deployment.total_clients(), 0u);
+}
+
+}  // namespace
+}  // namespace matrix

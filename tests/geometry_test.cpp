@@ -1,0 +1,305 @@
+// Unit tests for src/geometry: Vec2, Rect, metrics, arrangement sweep.
+#include <gtest/gtest.h>
+
+#include "geometry/metric.h"
+#include "geometry/rect.h"
+#include "geometry/sweep.h"
+#include "geometry/vec2.h"
+#include "util/rng.h"
+
+namespace matrix {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Vec2
+// ---------------------------------------------------------------------------
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0}, b{3.0, -4.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, -2.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 6.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(b / 2.0, (Vec2{1.5, -2.0}));
+}
+
+TEST(Vec2Test, LengthAndDistance) {
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).length(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).length_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(Vec2::distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Vec2::distance_sq({1, 1}, {4, 5}), 25.0);
+}
+
+TEST(Vec2Test, Normalized) {
+  const Vec2 n = Vec2{10.0, 0.0}.normalized();
+  EXPECT_DOUBLE_EQ(n.x, 1.0);
+  EXPECT_DOUBLE_EQ(n.y, 0.0);
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});  // zero vector stays zero
+}
+
+TEST(Vec2Test, Dot) {
+  EXPECT_DOUBLE_EQ(Vec2::dot({1, 2}, {3, 4}), 11.0);
+  EXPECT_DOUBLE_EQ(Vec2::dot({1, 0}, {0, 1}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Rect
+// ---------------------------------------------------------------------------
+
+TEST(RectTest, BasicAccessors) {
+  const Rect r(1.0, 2.0, 5.0, 10.0);
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 8.0);
+  EXPECT_DOUBLE_EQ(r.area(), 32.0);
+  EXPECT_EQ(r.center(), (Vec2{3.0, 6.0}));
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(Rect{}.empty());
+  EXPECT_TRUE(Rect(5, 5, 5, 9).empty());  // zero width
+}
+
+TEST(RectTest, HalfOpenContainment) {
+  const Rect r(0.0, 0.0, 10.0, 10.0);
+  EXPECT_TRUE(r.contains({0.0, 0.0}));    // low edges inclusive
+  EXPECT_TRUE(r.contains({9.999, 9.999}));
+  EXPECT_FALSE(r.contains({10.0, 5.0}));  // high edges exclusive
+  EXPECT_FALSE(r.contains({5.0, 10.0}));
+  EXPECT_TRUE(r.contains_closed({10.0, 10.0}));
+}
+
+TEST(RectTest, SharedEdgeBelongsToExactlyOnePartition) {
+  // Two partitions split at x=5: a boundary point has exactly one home.
+  const Rect left(0, 0, 5, 10), right(5, 0, 10, 10);
+  const Vec2 p{5.0, 3.0};
+  EXPECT_FALSE(left.contains(p));
+  EXPECT_TRUE(right.contains(p));
+}
+
+TEST(RectTest, IntersectionSemantics) {
+  const Rect a(0, 0, 10, 10);
+  EXPECT_TRUE(a.intersects(Rect(5, 5, 15, 15)));
+  EXPECT_FALSE(a.intersects(Rect(10, 0, 20, 10)));  // touching edge ≠ overlap
+  EXPECT_FALSE(a.intersects(Rect(20, 20, 30, 30)));
+  EXPECT_EQ(a.intersection(Rect(5, 5, 15, 15)), Rect(5, 5, 10, 10));
+  EXPECT_TRUE(a.intersection(Rect(11, 11, 12, 12)).empty());
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.contains_rect(Rect(2, 2, 8, 8)));
+  EXPECT_TRUE(outer.contains_rect(outer));
+  EXPECT_FALSE(outer.contains_rect(Rect(5, 5, 11, 8)));
+}
+
+TEST(RectTest, Inflated) {
+  const Rect r(10, 10, 20, 20);
+  EXPECT_EQ(r.inflated(5.0), Rect(5, 5, 25, 25));
+  EXPECT_EQ(r.inflated(0.0), r);
+}
+
+TEST(RectTest, DistanceTo) {
+  const Rect r(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(r.distance_to({5, 5}), 0.0);          // inside
+  EXPECT_DOUBLE_EQ(r.distance_to({13, 14}), 5.0);        // corner, Euclidean
+  EXPECT_DOUBLE_EQ(r.distance_to({15, 5}), 5.0);         // edge
+  EXPECT_DOUBLE_EQ(r.chebyshev_distance_to({13, 14}), 4.0);
+  EXPECT_DOUBLE_EQ(r.chebyshev_distance_to({15, 5}), 5.0);
+}
+
+TEST(RectTest, SplitHalfAcrossLongerDimension) {
+  const auto [left, right] = Rect(0, 0, 100, 50).split_half();
+  EXPECT_EQ(left, Rect(0, 0, 50, 50));
+  EXPECT_EQ(right, Rect(50, 0, 100, 50));
+
+  const auto [bottom, top] = Rect(0, 0, 50, 100).split_half();
+  EXPECT_EQ(bottom, Rect(0, 0, 50, 50));
+  EXPECT_EQ(top, Rect(0, 50, 50, 100));
+}
+
+TEST(RectTest, SplitHalvesTileOriginal) {
+  const Rect r(3, 7, 45, 19);
+  const auto [a, b] = r.split_half();
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_DOUBLE_EQ(a.area() + b.area(), r.area());
+  EXPECT_EQ(Rect::bounding(a, b), r);
+}
+
+TEST(RectTest, SplitAtFraction) {
+  const auto [a, b] = Rect(0, 0, 100, 10).split_at(0.25);
+  EXPECT_EQ(a, Rect(0, 0, 25, 10));
+  EXPECT_EQ(b, Rect(25, 0, 100, 10));
+  // Degenerate fractions are clamped away from the edges.
+  const auto [c, d] = Rect(0, 0, 100, 10).split_at(0.0);
+  EXPECT_GT(c.width(), 0.0);
+  EXPECT_GT(d.width(), 0.0);
+}
+
+TEST(RectTest, BoundingAndClamp) {
+  EXPECT_EQ(Rect::bounding(Rect(0, 0, 5, 5), Rect(5, 0, 10, 5)),
+            Rect(0, 0, 10, 5));
+  EXPECT_EQ(Rect::bounding(Rect{}, Rect(1, 1, 2, 2)), Rect(1, 1, 2, 2));
+  const Rect r(0, 0, 10, 10);
+  EXPECT_EQ(r.clamp({-5, 5}), (Vec2{0, 5}));
+  EXPECT_EQ(r.clamp({20, 20}), (Vec2{10, 10}));
+  EXPECT_EQ(r.clamp({3, 4}), (Vec2{3, 4}));
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+TEST(MetricTest, PointToPoint) {
+  EXPECT_DOUBLE_EQ(metric_distance(Metric::kEuclidean, {0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(metric_distance(Metric::kChebyshev, {0, 0}, {3, 4}), 4.0);
+}
+
+TEST(MetricTest, PointToRect) {
+  const Rect r(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(metric_distance(Metric::kEuclidean, {13, 14}, r), 5.0);
+  EXPECT_DOUBLE_EQ(metric_distance(Metric::kChebyshev, {13, 14}, r), 4.0);
+  EXPECT_DOUBLE_EQ(metric_distance(Metric::kEuclidean, {5, 5}, r), 0.0);
+}
+
+TEST(MetricTest, BallIntersectsRect) {
+  const Rect r(0, 0, 10, 10);
+  EXPECT_TRUE(ball_intersects_rect(Metric::kEuclidean, {12, 5}, 2.0, r));
+  EXPECT_FALSE(ball_intersects_rect(Metric::kEuclidean, {13, 14}, 4.9, r));
+  // Chebyshev ball (a square) reaches the corner sooner than the L2 disc.
+  EXPECT_TRUE(ball_intersects_rect(Metric::kChebyshev, {13, 14}, 4.0, r));
+}
+
+// ---------------------------------------------------------------------------
+// Arrangement sweep
+// ---------------------------------------------------------------------------
+
+double total_area(const std::vector<ArrangementCell>& cells) {
+  double area = 0.0;
+  for (const auto& c : cells) area += c.rect.area();
+  return area;
+}
+
+TEST(SweepTest, NoStampsYieldsOneEmptyCell) {
+  const Rect clip(0, 0, 10, 10);
+  const auto cells = decompose_arrangement(clip, {});
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].rect, clip);
+  EXPECT_TRUE(cells[0].payloads.empty());
+}
+
+TEST(SweepTest, SingleStampSplitsClip) {
+  const Rect clip(0, 0, 10, 10);
+  const auto cells = decompose_arrangement(clip, {{Rect(5, 0, 15, 10), 7}});
+  // Left half uncovered, right half covered by stamp 7.
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(total_area(cells), clip.area());
+  bool found_covered = false;
+  for (const auto& cell : cells) {
+    if (!cell.payloads.empty()) {
+      EXPECT_EQ(cell.payloads, (std::vector<std::uint32_t>{7}));
+      EXPECT_EQ(cell.rect, Rect(5, 0, 10, 10));
+      found_covered = true;
+    }
+  }
+  EXPECT_TRUE(found_covered);
+}
+
+TEST(SweepTest, StampCoveringEverything) {
+  const Rect clip(0, 0, 10, 10);
+  const auto cells = decompose_arrangement(clip, {{Rect(-5, -5, 15, 15), 1}});
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].rect, clip);
+  EXPECT_EQ(cells[0].payloads, (std::vector<std::uint32_t>{1}));
+}
+
+TEST(SweepTest, DisjointStampOutsideClipIgnored) {
+  const Rect clip(0, 0, 10, 10);
+  const auto cells = decompose_arrangement(clip, {{Rect(20, 20, 30, 30), 1}});
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_TRUE(cells[0].payloads.empty());
+}
+
+TEST(SweepTest, OverlappingStampsProduceIntersectionCell) {
+  const Rect clip(0, 0, 10, 10);
+  const auto cells = decompose_arrangement(
+      clip, {{Rect(0, 0, 6, 10), 1}, {Rect(4, 0, 10, 10), 2}});
+  EXPECT_DOUBLE_EQ(total_area(cells), clip.area());
+  // The strip x∈[4,6] must carry both payloads.
+  bool found_both = false;
+  for (const auto& cell : cells) {
+    if (cell.payloads == std::vector<std::uint32_t>{1, 2}) {
+      EXPECT_EQ(cell.rect, Rect(4, 0, 6, 10));
+      found_both = true;
+    }
+  }
+  EXPECT_TRUE(found_both);
+}
+
+TEST(SweepTest, CellsAreDisjoint) {
+  const Rect clip(0, 0, 100, 100);
+  std::vector<StampRect> stamps;
+  Rng rng(3);
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    const double x = rng.next_double_in(-20, 90);
+    const double y = rng.next_double_in(-20, 90);
+    stamps.push_back({Rect(x, y, x + rng.next_double_in(10, 50),
+                           y + rng.next_double_in(10, 50)),
+                      i});
+  }
+  const auto cells = decompose_arrangement(clip, stamps);
+  EXPECT_NEAR(total_area(cells), clip.area(), 1e-6);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      EXPECT_FALSE(cells[i].rect.intersects(cells[j].rect))
+          << cells[i].rect << " vs " << cells[j].rect;
+    }
+  }
+}
+
+TEST(SweepTest, PayloadSetsMatchGroundTruth) {
+  // Property: for random interior probe points, the cell's payload set must
+  // equal the set of stamps containing the point.
+  const Rect clip(0, 0, 100, 100);
+  Rng rng(17);
+  std::vector<StampRect> stamps;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const double x = rng.next_double_in(-30, 80);
+    const double y = rng.next_double_in(-30, 80);
+    stamps.push_back({Rect(x, y, x + rng.next_double_in(5, 60),
+                           y + rng.next_double_in(5, 60)),
+                      i});
+  }
+  const auto cells = decompose_arrangement(clip, stamps);
+  for (int probe = 0; probe < 500; ++probe) {
+    const Vec2 p{rng.next_double_in(0.001, 99.99),
+                 rng.next_double_in(0.001, 99.99)};
+    std::vector<std::uint32_t> expected;
+    for (const auto& s : stamps) {
+      if (s.rect.contains(p)) expected.push_back(s.payload);
+    }
+    const ArrangementCell* home = nullptr;
+    for (const auto& cell : cells) {
+      if (cell.rect.contains(p)) {
+        EXPECT_EQ(home, nullptr) << "point in two cells";
+        home = &cell;
+      }
+    }
+    ASSERT_NE(home, nullptr) << "point " << p << " in no cell";
+    EXPECT_EQ(home->payloads, expected) << "at " << p;
+  }
+}
+
+TEST(SweepTest, CoalescingMergesUniformRows) {
+  // A single vertical stamp strip should produce exactly 2 cells, not a
+  // cell per sweep row.
+  const Rect clip(0, 0, 10, 10);
+  const auto cells = decompose_arrangement(
+      clip, {{Rect(6, -5, 20, 15), 1}, {Rect(6, -7, 25, 18), 2}});
+  // Strip x∈[6,10] carries {1,2}; x∈[0,6] carries {}.
+  ASSERT_EQ(cells.size(), 2u);
+}
+
+TEST(SweepTest, EmptyClipYieldsNothing) {
+  EXPECT_TRUE(decompose_arrangement(Rect{}, {{Rect(0, 0, 1, 1), 0}}).empty());
+}
+
+}  // namespace
+}  // namespace matrix

@@ -1,0 +1,296 @@
+// Unit tests for src/net: event queue ordering, delivery timing, service
+// queues, drops, detach semantics, instrumentation.
+#include <gtest/gtest.h>
+
+#include "net/event_queue.h"
+#include "net/network.h"
+
+namespace matrix {
+namespace {
+
+using namespace time_literals;
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30_ms, [&] { order.push_back(3); });
+  q.schedule_at(10_ms, [&] { order.push_back(1); });
+  q.schedule_at(20_ms, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30_ms);
+}
+
+TEST(EventQueueTest, TiesBreakInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(5_ms, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, ScheduleAfterIsRelative) {
+  EventQueue q;
+  SimTime fired{};
+  q.schedule_at(10_ms, [&] {
+    q.schedule_after(5_ms, [&] { fired = q.now(); });
+  });
+  q.run_all();
+  EXPECT_EQ(fired, 15_ms);
+}
+
+TEST(EventQueueTest, PastSchedulingClampsToNow) {
+  EventQueue q;
+  SimTime fired{};
+  q.schedule_at(10_ms, [&] {
+    q.schedule_at(1_ms, [&] { fired = q.now(); });  // in the past
+  });
+  q.run_all();
+  EXPECT_EQ(fired, 10_ms);
+}
+
+TEST(EventQueueTest, RunUntilStopsAndAdvancesClock) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10_ms, [&] { ++fired; });
+  q.schedule_at(50_ms, [&] { ++fired; });
+  q.run_until(20_ms);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 20_ms);  // advanced even without an event at 20ms
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(100_ms);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue q;
+  int chain = 0;
+  std::function<void()> tick = [&] {
+    if (++chain < 10) q.schedule_after(1_ms, tick);
+  };
+  q.schedule_at(0_ms, tick);
+  q.run_all();
+  EXPECT_EQ(chain, 10);
+  EXPECT_EQ(q.now(), 9_ms);
+}
+
+// ---------------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------------
+
+/// Test node recording deliveries.
+class Recorder : public Node {
+ public:
+  explicit Recorder(std::string label = "recorder") : label_(std::move(label)) {}
+  [[nodiscard]] std::string name() const override { return label_; }
+  void handle_message(const Envelope& env) override {
+    received.push_back(env);
+  }
+  std::vector<Envelope> received;
+
+ private:
+  std::string label_;
+};
+
+TEST(NetworkTest, AttachAssignsDistinctIds) {
+  Network net;
+  Recorder a, b;
+  const NodeId ia = net.attach(&a);
+  const NodeId ib = net.attach(&b);
+  EXPECT_TRUE(ia.valid());
+  EXPECT_NE(ia, ib);
+  EXPECT_EQ(a.node_id(), ia);
+  EXPECT_EQ(a.network(), &net);
+}
+
+TEST(NetworkTest, DeliveryTimingIncludesLatencyTransferService) {
+  Network net;
+  Recorder a, b;
+  net.attach(&a, {});
+  // service: 1ms per message, no per-byte component.
+  net.attach(&b, {1_ms, 0_us, std::nullopt});
+  // link: 10ms latency, 1000 bytes/sec bandwidth.
+  net.set_link(a.node_id(), b.node_id(), {10_ms, 1000.0, 0.0});
+
+  std::vector<std::uint8_t> payload(100 - kWireHeaderBytes, 0xEE);
+  net.send(a.node_id(), b.node_id(), payload);
+  net.run_until(1_sec);
+
+  ASSERT_EQ(b.received.size(), 1u);
+  // 10ms latency + 100B/1000Bps = 100ms transfer + 1ms service = 111ms.
+  EXPECT_EQ(b.received[0].delivered_at, 110_ms);
+  EXPECT_EQ(b.received[0].sent_at, 0_ms);
+}
+
+TEST(NetworkTest, FifoPerDestination) {
+  Network net;
+  Recorder a, b;
+  net.attach(&a);
+  net.attach(&b);
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    net.send(a.node_id(), b.node_id(), {i});
+  }
+  net.run_until(1_sec);
+  ASSERT_EQ(b.received.size(), 10u);
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(b.received[i].payload[0], i);
+  }
+}
+
+TEST(NetworkTest, ServiceQueueSerializesProcessing) {
+  Network net;
+  Recorder a, b;
+  net.attach(&a);
+  net.attach(&b, {10_ms, 0_us, std::nullopt});  // 10ms per message
+  net.set_link(a.node_id(), b.node_id(), {0_us, 0.0, 0.0});  // instant link
+
+  for (int i = 0; i < 5; ++i) net.send(a.node_id(), b.node_id(), {1});
+  // After arrival, messages are queued and served one per 10ms.
+  net.run_until(25_ms);
+  EXPECT_EQ(b.received.size(), 2u);  // served at 10ms and 20ms
+  EXPECT_GE(net.queue_length(b.node_id()), 2u);
+  net.run_until(1_sec);
+  EXPECT_EQ(b.received.size(), 5u);
+  EXPECT_EQ(net.queue_length(b.node_id()), 0u);
+}
+
+TEST(NetworkTest, QueueGrowsUnderOverload) {
+  // Arrival rate 1/ms, service rate 1/2ms → queue grows ~ t/2.
+  Network net;
+  Recorder a, b;
+  net.attach(&a);
+  net.attach(&b, {2_ms, 0_us, std::nullopt});
+  net.set_link(a.node_id(), b.node_id(), {0_us, 0.0, 0.0});
+  for (int t = 0; t < 100; ++t) {
+    net.events().schedule_at(SimTime::from_ms(t), [&net, &a, &b] {
+      net.send(a.node_id(), b.node_id(), {0});
+    });
+  }
+  net.run_until(100_ms);
+  EXPECT_GT(net.queue_length(b.node_id()), 40u);
+}
+
+TEST(NetworkTest, BoundedQueueTailDrops) {
+  Network net;
+  Recorder a, b;
+  net.attach(&a);
+  net.attach(&b, {10_ms, 0_us, std::size_t{3}});
+  net.set_link(a.node_id(), b.node_id(), {0_us, 0.0, 0.0});
+  for (int i = 0; i < 10; ++i) net.send(a.node_id(), b.node_id(), {1});
+  net.run_until(1_sec);
+  // 1 in service + 3 queued survive at most.
+  EXPECT_LE(b.received.size(), 4u);
+  EXPECT_GT(net.total_dropped(), 0u);
+}
+
+TEST(NetworkTest, DropProbabilityDropsEverythingAtOne) {
+  Network net(7);
+  Recorder a, b;
+  net.attach(&a);
+  net.attach(&b);
+  net.set_link(a.node_id(), b.node_id(), {1_ms, 0.0, 1.0});
+  for (int i = 0; i < 20; ++i) net.send(a.node_id(), b.node_id(), {1});
+  net.run_until(1_sec);
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.stats(a.node_id(), b.node_id()).dropped_messages, 20u);
+}
+
+TEST(NetworkTest, SendToDetachedNodeCountsAsDrop) {
+  Network net;
+  Recorder a, b;
+  net.attach(&a);
+  const NodeId ib = net.attach(&b);
+  net.detach(ib);
+  net.send(a.node_id(), ib, {1});
+  net.run_until(1_sec);
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.total_dropped(), 1u);
+}
+
+TEST(NetworkTest, DetachDropsInFlightAndQueued) {
+  Network net;
+  Recorder a, b;
+  net.attach(&a);
+  const NodeId ib = net.attach(&b, {50_ms, 0_us, std::nullopt});
+  net.set_link(a.node_id(), ib, {10_ms, 0.0, 0.0});
+  for (int i = 0; i < 3; ++i) net.send(a.node_id(), ib, {1});
+  net.run_until(15_ms);  // arrived, first in service
+  net.detach(ib);
+  net.run_until(1_sec);
+  EXPECT_TRUE(b.received.empty());  // service completion cancelled by epoch
+}
+
+TEST(NetworkTest, StatsCountMessagesAndBytes) {
+  Network net;
+  Recorder a, b;
+  net.attach(&a);
+  net.attach(&b);
+  net.send(a.node_id(), b.node_id(), std::vector<std::uint8_t>(72, 0));
+  net.send(a.node_id(), b.node_id(), std::vector<std::uint8_t>(72, 0));
+  const auto& stats = net.stats(a.node_id(), b.node_id());
+  EXPECT_EQ(stats.messages, 2u);
+  EXPECT_EQ(stats.bytes, 2 * (72 + kWireHeaderBytes));
+  EXPECT_EQ(net.total_messages(), 2u);
+  // Reverse direction untouched.
+  EXPECT_EQ(net.stats(b.node_id(), a.node_id()).messages, 0u);
+}
+
+TEST(NetworkTest, BytesMatchingFiltersByPredicate) {
+  Network net;
+  Recorder a, b, c;
+  net.attach(&a);
+  net.attach(&b);
+  net.attach(&c);
+  net.send(a.node_id(), b.node_id(), {1});
+  net.send(a.node_id(), c.node_id(), {1, 2});
+  const auto only_to_b = net.bytes_matching(
+      [&](NodeId, NodeId dst) { return dst == b.node_id(); });
+  EXPECT_EQ(only_to_b, 1 + kWireHeaderBytes);
+}
+
+TEST(NetworkTest, HandlerMayDetachItsOwnNode) {
+  // A node that detaches itself while handling a message (reclaimed server)
+  // must not crash or process further messages.
+  class SelfDetacher : public Node {
+   public:
+    [[nodiscard]] std::string name() const override { return "self-detach"; }
+    void handle_message(const Envelope&) override {
+      ++handled;
+      network()->detach(node_id());
+    }
+    int handled = 0;
+  };
+  Network net;
+  Recorder a;
+  SelfDetacher d;
+  net.attach(&a);
+  net.attach(&d);
+  net.send(a.node_id(), d.node_id(), {1});
+  net.send(a.node_id(), d.node_id(), {2});
+  net.run_until(1_sec);
+  EXPECT_EQ(d.handled, 1);
+}
+
+TEST(NetworkTest, TransferDelayScalesWithSize) {
+  const LinkConfig link{0_us, 1e6, 0.0};  // 1 MB/s
+  EXPECT_EQ(link.transfer_delay(1000), 1_ms);
+  EXPECT_EQ(link.transfer_delay(0), 0_us);
+  const LinkConfig infinite{0_us, 0.0, 0.0};  // bandwidth 0 = infinite
+  EXPECT_EQ(infinite.transfer_delay(1 << 20), 0_us);
+}
+
+TEST(NetworkTest, NodeServiceTimeScalesWithSize) {
+  const NodeConfig cfg{10_us, 100_us, std::nullopt};  // 100us per KiB
+  EXPECT_EQ(cfg.service_time(0), 10_us);
+  EXPECT_EQ(cfg.service_time(1024), 110_us);
+  EXPECT_EQ(cfg.service_time(2048), 210_us);
+}
+
+}  // namespace
+}  // namespace matrix

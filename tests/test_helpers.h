@@ -1,0 +1,120 @@
+// Shared test scaffolding: a message-capturing protocol node and a
+// mini-harness that wires Matrix servers to *fake* game servers, so control
+// protocol tests can inject load reports and observe MapRange/Adopt traffic
+// with surgical precision (the full game stack is exercised separately in
+// game_server_test.cpp and integration_test.cpp).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/coordinator.h"
+#include "core/matrix_server.h"
+#include "core/protocol_node.h"
+#include "core/resource_pool.h"
+#include "net/network.h"
+
+namespace matrix {
+
+/// Records every decoded message; can send arbitrary messages on demand.
+class CaptureNode : public ProtocolNode {
+ public:
+  explicit CaptureNode(std::string label = "capture")
+      : label_(std::move(label)) {}
+
+  [[nodiscard]] std::string name() const override { return label_; }
+
+  void on_message(const Message& message, const Envelope& envelope) override {
+    messages.push_back(message);
+    envelopes.push_back(envelope);
+  }
+
+  /// Sends a message to `dst` as if this node originated it.
+  void inject(NodeId dst, const Message& message) { send(dst, message); }
+
+  /// Latest message of type T, or nullptr.
+  template <typename T>
+  [[nodiscard]] const T* last() const {
+    for (auto it = messages.rbegin(); it != messages.rend(); ++it) {
+      if (const T* msg = std::get_if<T>(&*it)) return msg;
+    }
+    return nullptr;
+  }
+
+  template <typename T>
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (const auto& m : messages) {
+      if (std::holds_alternative<T>(m)) ++n;
+    }
+    return n;
+  }
+
+  std::vector<Message> messages;
+  std::vector<Envelope> envelopes;
+
+ private:
+  std::string label_;
+};
+
+/// Coordinator + pool + K Matrix servers, each wired to a CaptureNode
+/// standing in for its game server.  Server i is pre-attached; callers
+/// decide which get activate_root() vs. parked in the pool.
+class ControlHarness {
+ public:
+  explicit ControlHarness(std::size_t servers, Config config,
+                          std::uint64_t seed = 1)
+      : network(seed), coordinator(config) {
+    mc_node = network.attach(&coordinator);
+    pool_node = network.attach(&pool);
+    for (std::size_t i = 0; i < servers; ++i) {
+      matrix_servers.push_back(
+          std::make_unique<MatrixServer>(ServerId(i + 1), config));
+      games.push_back(std::make_unique<CaptureNode>("fake-game"));
+      network.attach(matrix_servers.back().get());
+      const NodeId gnode = network.attach(games.back().get());
+      matrix_servers.back()->wire({gnode, mc_node, pool_node});
+    }
+  }
+
+  /// Parks server `index` in the resource pool.
+  void park(std::size_t index) {
+    pool.add_entry({ServerId(index + 1),
+                    matrix_servers[index]->node_id(),
+                    games[index]->node_id()});
+  }
+
+  /// Sends a LoadReport from server `index`'s fake game server.
+  void report_load(std::size_t index, std::uint32_t clients,
+                   std::uint32_t queue_len = 0) {
+    LoadReport report;
+    report.client_count = clients;
+    report.queue_length = queue_len;
+    games[index]->inject(matrix_servers[index]->node_id(), report);
+  }
+
+  /// Acknowledges the most recent MapRange shed order at server `index`.
+  void ack_shed(std::size_t index) {
+    const MapRange* range = games[index]->last<MapRange>();
+    ASSERT_NE(range, nullptr);
+    ShedDone done;
+    done.topology_epoch = range->topology_epoch;
+    games[index]->inject(matrix_servers[index]->node_id(), done);
+  }
+
+  void run_for(SimTime dt) { network.run_until(network.now() + dt); }
+
+  Network network;
+  Coordinator coordinator;
+  ResourcePool pool;
+  NodeId mc_node;
+  NodeId pool_node;
+  std::vector<std::unique_ptr<MatrixServer>> matrix_servers;
+  std::vector<std::unique_ptr<CaptureNode>> games;
+};
+
+}  // namespace matrix
