@@ -80,6 +80,7 @@ class MatrixPort {
   using StateHandler = std::function<void(const StateTransfer&)>;
   using ClientStateHandler = std::function<void(const ClientStateTransfer&)>;
   using OwnerReplyHandler = std::function<void(const OwnerReply&)>;
+  using AdmissionHandler = std::function<void(const AdmissionUpdate&)>;
 
   /// A remote event relevant to this server's partition (range-verified by
   /// the Matrix server before delivery).
@@ -95,6 +96,11 @@ class MatrixPort {
   /// Answer to an earlier query_owner.
   void on_owner_reply(OwnerReplyHandler handler) {
     owner_reply_ = std::move(handler);
+  }
+  /// The admission valve changed state (src/control/): the game server
+  /// should start/stop gating new joins accordingly.
+  void on_admission(AdmissionHandler handler) {
+    admission_ = std::move(handler);
   }
 
   /// Routes a decoded message to the registered callback.  Returns true if
@@ -121,6 +127,10 @@ class MatrixPort {
       if (owner_reply_) owner_reply_(*reply);
       return true;
     }
+    if (const auto* update = std::get_if<AdmissionUpdate>(&message)) {
+      if (admission_) admission_(*update);
+      return true;
+    }
     return false;
   }
 
@@ -139,6 +149,7 @@ class MatrixPort {
   StateHandler state_;
   ClientStateHandler client_state_;
   OwnerReplyHandler owner_reply_;
+  AdmissionHandler admission_;
 };
 
 }  // namespace matrix

@@ -1,0 +1,142 @@
+// Admission & overload protection — the boundary valve for pool-exhausted
+// deployments.
+//
+// Matrix absorbs hotspots by splitting partitions onto spare servers, but
+// once the resource pool runs dry the middleware itself has no remaining
+// move: clients keep connecting into a saturated partition and latency
+// collapses unboundedly.  This subsystem makes that regime explicit instead
+// of unmodeled, following the control-plane shape of the Continuity design
+// (SNIPPETS.md): an enforceable three-state admission machine,
+//
+//   NORMAL  admit every join;
+//   SOFT    admit under a token budget (rate + burst), defer the rest;
+//   HARD    deny new joins outright (fast fail);
+//
+// driven by per-server load signals (reported client count, receive-queue
+// depth, consecutive pool denials) plus the deployment-wide pool-occupancy
+// signal the coordinator broadcasts.  Sessions already admitted are never
+// cut: handoffs/resumes bypass the valve, so protection degrades *new*
+// traffic, not live players.
+//
+// Hysteresis is mandatory, not optional: escalation is immediate (a
+// saturated server must close the valve now), relaxation is slow — the
+// signals must sit *below* the current state's severity continuously for
+// `recover_min`, no transition may follow another within `dwell`, and
+// relaxation steps down one level at a time (HARD→SOFT→NORMAL).  Those three
+// rules are machine-checkable on the recorded timeline; see
+// admission_timeline_valid().
+//
+// Knobs live in AdmissionConfig (core/config.h); the subsystem is disabled
+// by default so the paper-faithful benches are untouched.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "control/token_bucket.h"
+#include "core/config.h"
+#include "util/sim_time.h"
+
+namespace matrix {
+
+enum class AdmissionState : std::uint8_t {
+  kNormal = 0,
+  kSoft = 1,
+  kHard = 2,
+};
+
+[[nodiscard]] const char* admission_state_name(AdmissionState state);
+
+/// One load observation, assembled by the Matrix server from its game
+/// server's LoadReport, direct queue observation, its own split-denied
+/// streak, and the coordinator's pool-pressure broadcasts.
+struct AdmissionSignals {
+  std::uint32_t client_count = 0;
+  std::uint32_t queue_length = 0;
+  /// Consecutive PoolDeny answers since the last successful grant.
+  std::uint32_t split_denied_streak = 0;
+  /// Idle fraction of the deployment's spare pool; negative ⇒ unknown.
+  double pool_idle_fraction = -1.0;
+};
+
+/// One recorded state change, for metrics and invariant checking.
+struct AdmissionTransition {
+  SimTime at;
+  AdmissionState from = AdmissionState::kNormal;
+  AdmissionState to = AdmissionState::kNormal;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(const AdmissionConfig& config,
+                      std::uint32_t overload_clients);
+
+  /// Feeds one observation and applies the transition rules.  Returns true
+  /// when the admission state changed.
+  bool observe(SimTime now, const AdmissionSignals& signals);
+
+  [[nodiscard]] AdmissionState state() const { return state_; }
+
+  /// The join gate: NORMAL always admits, HARD never does, SOFT spends one
+  /// token.  (The game server enforces joins with its own bucket replica;
+  /// this one backs the controller's unit tests and metrics.)
+  bool try_admit(SimTime now);
+
+  /// Severity the given signals map to before hysteresis — the "target"
+  /// state of the Continuity mode-selection equation.  Exposed for tests.
+  [[nodiscard]] AdmissionState target_for(const AdmissionSignals& signals) const;
+
+  /// Full transition timeline since construction/reset.
+  [[nodiscard]] const std::vector<AdmissionTransition>& transitions() const {
+    return transitions_;
+  }
+
+  /// Hysteresis-contract check over the controller's WHOLE life: the
+  /// current timeline plus every pre-reset one (reset() folds the check in
+  /// before clearing, so a violation can never be laundered by re-adoption).
+  [[nodiscard]] bool lifetime_timeline_valid() const;
+
+  struct Stats {
+    std::uint64_t observations = 0;
+    std::uint64_t escalations = 0;
+    std::uint64_t relaxations = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t soft_denied = 0;  ///< token budget exhausted
+    std::uint64_t hard_denied = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Returns to NORMAL with a full bucket and an empty timeline (a pooled
+  /// server being re-adopted starts a fresh admission life).
+  void reset(SimTime now);
+
+ private:
+  void transition(SimTime now, AdmissionState to);
+
+  AdmissionConfig config_;
+  std::uint32_t overload_clients_;
+
+  AdmissionState state_ = AdmissionState::kNormal;
+  SimTime last_transition_{};
+  /// Start of the current continuous below-state-severity window; invalid
+  /// while the signals still justify the current state.
+  SimTime calm_since_{};
+  bool calm_ = false;
+  bool ever_transitioned_ = false;
+  bool lifetime_timeline_valid_ = true;
+
+  TokenBucket bucket_;
+  std::vector<AdmissionTransition> transitions_;
+  Stats stats_;
+};
+
+/// Checks a recorded timeline against the hysteresis contract:
+///   * relaxations step down exactly one level;
+///   * a relaxation follows the previous transition by >= dwell and >=
+///     recover_min (the stability window cannot predate the last change);
+///   * escalations may be immediate but must go strictly up.
+[[nodiscard]] bool admission_timeline_valid(
+    const std::vector<AdmissionTransition>& timeline,
+    const AdmissionConfig& config);
+
+}  // namespace matrix

@@ -25,6 +25,50 @@ enum class SplitPolicy {
   kLoadAware,
 };
 
+/// Knobs for the admission & overload-protection subsystem (src/control/).
+/// Disabled by default: the paper's evaluation never models the
+/// beyond-capacity regime, so the faithful benches run with the valve off.
+struct AdmissionConfig {
+  bool enabled = false;
+
+  // ---- escalation thresholds ----------------------------------------------
+  /// SOFT when reported clients reach this fraction of overload_clients.
+  double soft_load_fraction = 0.85;
+  /// HARD when reported clients reach this fraction of overload_clients.
+  double hard_load_fraction = 1.15;
+  /// Receive-queue depths (messages) triggering SOFT / HARD.
+  std::uint32_t soft_queue_length = 1500;
+  std::uint32_t hard_queue_length = 4000;
+  /// Consecutive PoolDeny answers (split wanted, no spare server) that
+  /// trigger SOFT / HARD — the "pool is exhausted and I am still hot" case.
+  std::uint32_t soft_denied_streak = 1;
+  std::uint32_t hard_denied_streak = 3;
+  /// Pool-pressure pre-escalation: when the deployment-wide idle fraction
+  /// is at or below soft_pool_idle_fraction AND this server already carries
+  /// pool_pressure_load_fraction × overload_clients, go SOFT before the
+  /// local thresholds fire (a split is unlikely to be granted).
+  double soft_pool_idle_fraction = 0.0;
+  double pool_pressure_load_fraction = 0.70;
+
+  // ---- SOFT-mode token budget ---------------------------------------------
+  /// Joins admitted per second while SOFT, and the burst allowance.
+  double token_rate_per_sec = 20.0;
+  double token_burst = 40.0;
+
+  // ---- hysteresis (mandatory) ---------------------------------------------
+  /// No transition may follow another within the dwell time...
+  SimTime dwell = SimTime::from_sec(2.0);
+  /// ...and relaxation additionally requires the signals to sit below the
+  /// current state's severity continuously for this long.  Escalation is
+  /// exempt from both: a saturated server closes the valve immediately.
+  SimTime recover_min = SimTime::from_sec(5.0);
+
+  // ---- client guidance ------------------------------------------------------
+  /// Retry hint carried by JoinDefer (SOFT) and JoinDeny (HARD).
+  SimTime defer_retry = SimTime::from_sec(2.0);
+  SimTime deny_retry = SimTime::from_sec(10.0);
+};
+
 struct Config {
   // ---- world ---------------------------------------------------------------
   Rect world{0.0, 0.0, 1000.0, 1000.0};
@@ -62,6 +106,18 @@ struct Config {
   /// fraction of the overload threshold (prevents reclaim→overload→split
   /// oscillation).
   double reclaim_headroom_fraction = 0.8;
+
+  // ---- pool-exhaustion retry backoff ---------------------------------------
+  /// Quiet period before re-asking the pool after a PoolDeny; doubles with
+  /// every consecutive denial (capped) so an exhausted pool is not hammered
+  /// at the load-report rate.  0 ⇒ start from topology_cooldown, which
+  /// keeps the first retry identical to the original flat-cooldown
+  /// behaviour.
+  SimTime pool_backoff_initial{};
+  SimTime pool_backoff_max = SimTime::from_sec(60.0);
+
+  // ---- admission & overload protection (src/control/) ----------------------
+  AdmissionConfig admission;
 
   // ---- reporting cadence ----------------------------------------------------
   /// Game server → Matrix server load report interval.

@@ -22,6 +22,19 @@ void Coordinator::on_message(const Message& message, const Envelope& envelope) {
       reply.game_node = owner->game_node;
     }
     send(envelope.src, reply);
+  } else if (const auto* status = std::get_if<PoolStatus>(&message)) {
+    const bool changed = status->idle != pool_status_.idle ||
+                         status->total != pool_status_.total;
+    pool_status_ = *status;
+    if (changed) broadcast_pool_pressure();
+  }
+}
+
+void Coordinator::broadcast_pool_pressure() {
+  if (pool_status_.total == 0) return;  // nothing heard from the pool yet
+  for (const auto& entry : map_.entries()) {
+    send(entry.matrix_node, PoolPressure{pool_status_.idle, pool_status_.total});
+    ++pool_pressure_broadcasts_;
   }
 }
 
@@ -38,6 +51,12 @@ void Coordinator::register_server(const ServerRegister& reg) {
   if (radii_.empty()) radii_.push_back(config_.visibility_radius);
   MATRIX_DEBUG("mc", "register " << reg.server << " range=" << reg.range);
   recompute_and_push();
+  // A (re-)registered server also learns the current pool pressure, so a
+  // freshly adopted child starts with the deployment-wide signal.
+  if (pool_status_.total != 0) {
+    send(reg.matrix_node, PoolPressure{pool_status_.idle, pool_status_.total});
+    ++pool_pressure_broadcasts_;
+  }
 }
 
 void Coordinator::unregister_server(ServerId server) {

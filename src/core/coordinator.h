@@ -6,6 +6,12 @@
 // servers.  It also answers point-ownership lookups for the rare
 // non-proximal interactions.  The MC is deliberately OFF the per-packet
 // routing path — the paper's argument for why a central coordinator scales.
+//
+// For the admission subsystem (src/control/) the MC additionally relays the
+// resource pool's occupancy: each PoolStatus from the pool is rebroadcast
+// as PoolPressure to every registered Matrix server (and pushed to servers
+// as they register), giving the per-server admission controllers the
+// deployment-wide "can a split still be granted?" signal.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +41,9 @@ class Coordinator : public ProtocolNode {
   }
   [[nodiscard]] std::uint64_t lookups_served() const { return lookups_; }
   [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] std::uint64_t pool_pressure_broadcasts() const {
+    return pool_pressure_broadcasts_;
+  }
 
   /// Builds (but does not send) all tables — exposed for the coordinator
   /// microbenchmark, which measures pure recompute cost vs. server count.
@@ -47,6 +56,7 @@ class Coordinator : public ProtocolNode {
   void register_server(const ServerRegister& reg);
   void unregister_server(ServerId server);
   void recompute_and_push();
+  void broadcast_pool_pressure();
 
   Config config_;
   PartitionMap map_;
@@ -56,6 +66,9 @@ class Coordinator : public ProtocolNode {
   std::uint64_t tables_pushed_ = 0;
   std::uint64_t table_bytes_pushed_ = 0;
   std::uint64_t lookups_ = 0;
+  /// Latest pool occupancy heard from the resource pool; total 0 ⇒ unknown.
+  PoolStatus pool_status_;
+  std::uint64_t pool_pressure_broadcasts_ = 0;
 };
 
 }  // namespace matrix

@@ -22,6 +22,8 @@ void MatrixServer::activate_root(const Rect& range,
   parent_ = ServerId{};
   ++activation_epoch_;
   topology_epoch_ = 0;
+  clear_pool_denial_episode();
+  admission_.reset(now());
   register_with_mc();
   push_range_to_game(Rect{}, NodeId{}, ServerId{}, /*reclaim=*/false);
 }
@@ -42,9 +44,41 @@ void MatrixServer::on_message(const Message& message, const Envelope& env) {
     handle_pool_grant(*grant);
   } else if (std::holds_alternative<PoolDeny>(message)) {
     ++stats_.split_denied_no_server;
+    ++stats_.split_denied_streak;
     split_pending_ = false;
-    // Back off before asking the pool again.
-    cooldown_until_ = now() + config_.topology_cooldown;
+    // Exponential backoff before asking the pool again: doubling per
+    // consecutive denial (capped) keeps an exhausted pool from being
+    // hammered at the load-report rate, while recovering quickly once a
+    // release frees a server.
+    SimTime backoff = config_.pool_backoff_initial.us() > 0
+                          ? config_.pool_backoff_initial
+                          : config_.topology_cooldown;
+    for (std::uint32_t i = 1;
+         i < stats_.split_denied_streak && backoff < config_.pool_backoff_max;
+         ++i) {
+      backoff = backoff * 2;
+    }
+    backoff = std::min(backoff, config_.pool_backoff_max);
+    stats_.pool_backoff_us = static_cast<std::uint64_t>(backoff.us());
+    cooldown_until_ = now() + backoff;
+    // A denied split is also an admission signal: the pool is exhausted
+    // and this server is still hot.
+    observe_admission(last_report_.client_count, last_report_.queue_length);
+  } else if (const auto* pressure = std::get_if<PoolPressure>(&message)) {
+    pool_idle_fraction_ =
+        pressure->total > 0 ? static_cast<double>(pressure->idle) /
+                                  static_cast<double>(pressure->total)
+                            : -1.0;
+    // A spare has been freed: the denial streak (and its doubled backoff)
+    // describes a pool that no longer exists, so end the episode — the
+    // next overload report may re-ask immediately instead of sitting out
+    // up to pool_backoff_max while a server idles in the pool.
+    if (pressure->idle > 0 && stats_.split_denied_streak > 0) {
+      clear_pool_denial_episode();
+    }
+    if (active_) {
+      observe_admission(last_report_.client_count, last_report_.queue_length);
+    }
   } else if (const auto* adopt = std::get_if<Adopt>(&message)) {
     handle_adopt(*adopt);
   } else if (const auto* table = std::get_if<OverlapTableMsg>(&message)) {
@@ -211,13 +245,68 @@ void MatrixServer::handle_load_report(const LoadReport& report) {
       network()->queue_length(wiring_.game_node));
   const std::uint32_t queue_len = std::max(report.queue_length, observed_queue);
 
-  if (config_.overloaded(report.client_count, queue_len)) {
+  const bool overloaded = config_.overloaded(report.client_count, queue_len);
+
+  // A calm report ends the pool-denial episode: the streak and its backoff
+  // describe the *current* run of denied splits, and with the overload gone
+  // no further PoolAcquire (and hence no clearing PoolGrant) would ever be
+  // sent — without this, one denial would latch the admission valve and
+  // block reclaim forever.
+  if (!overloaded) clear_pool_denial_episode();
+
+  observe_admission(report.client_count, queue_len);
+
+  if (overloaded) {
     ++consecutive_overload_;
     maybe_split();
   } else {
     consecutive_overload_ = 0;
     if (config_.underloaded(report.client_count)) maybe_reclaim();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control (src/control/)
+// ---------------------------------------------------------------------------
+
+void MatrixServer::observe_admission(std::uint32_t clients,
+                                     std::uint32_t queue_len) {
+  if (!config_.admission.enabled) return;
+  AdmissionSignals signals;
+  signals.client_count = clients;
+  // Always fold in the directly observed receive queue: callers outside
+  // the LoadReport path (PoolDeny, PoolPressure) would otherwise escalate
+  // on a queue figure up to one report interval stale.
+  signals.queue_length = std::max(
+      queue_len, static_cast<std::uint32_t>(
+                     network()->queue_length(wiring_.game_node)));
+  signals.split_denied_streak = stats_.split_denied_streak;
+  signals.pool_idle_fraction = pool_idle_fraction_;
+  if (admission_.observe(now(), signals)) push_admission_to_game();
+}
+
+void MatrixServer::clear_pool_denial_episode() {
+  if (stats_.pool_backoff_us > 0) {
+    // A doubled backoff may still be holding the topology cooldown far in
+    // the future; with the episode over, shrink it to the ordinary
+    // cooldown so an underloaded server can reclaim (and a re-overloaded
+    // one re-ask a refilled pool) promptly.  min() preserves any cooldown
+    // a split/reclaim set through the normal hysteresis path.
+    cooldown_until_ =
+        std::min(cooldown_until_, now() + config_.topology_cooldown);
+  }
+  stats_.split_denied_streak = 0;
+  stats_.pool_backoff_us = 0;
+}
+
+void MatrixServer::push_admission_to_game() {
+  AdmissionUpdate update;
+  update.state = static_cast<std::uint8_t>(admission_.state());
+  update.seq = ++admission_seq_;
+  send(wiring_.game_node, update);
+  ++stats_.admission_updates;
+  MATRIX_INFO("matrix", name() << " admission -> "
+                               << admission_state_name(admission_.state()));
 }
 
 bool MatrixServer::can_change_topology() const {
@@ -268,6 +357,9 @@ void MatrixServer::handle_pool_grant(const PoolGrant& grant) {
     return;
   }
 
+  // The pool came through: clear the denial streak and its backoff.
+  clear_pool_denial_episode();
+
   const auto [give_away, keep] = choose_split();
   ++topology_epoch_;
   range_ = keep;
@@ -317,6 +409,13 @@ void MatrixServer::handle_adopt(const Adopt& adopt) {
   // cooldown to settle.
   cooldown_until_ = now() + config_.topology_cooldown;
   ++activation_epoch_;
+  // A re-granted pool server starts a fresh admission life (and tells its
+  // game server so: the pair may have parted in SOFT/HARD last time).
+  clear_pool_denial_episode();
+  if (config_.admission.enabled) {
+    admission_.reset(now());
+    push_admission_to_game();
+  }
 
   MATRIX_INFO("matrix", name() << " adopted range " << range_ << " from S"
                                << parent_.value());
@@ -357,6 +456,13 @@ void MatrixServer::handle_peer_load(const PeerLoad& load) {
 void MatrixServer::maybe_reclaim() {
   if (!config_.allow_reclaim || !can_change_topology()) return;
   if (children_.empty()) return;
+  // Admission gate: reclaiming hands this server the child's entire
+  // population.  Under SOFT/HARD the valve is closed to *new* load — do not
+  // voluntarily accept a bulk handoff either.
+  if (config_.admission.enabled &&
+      admission_.state() != AdmissionState::kNormal) {
+    return;
+  }
   // Only the most recent child can be reclaimed: its range is the complement
   // of our latest split, so the merge below is exact.  Earlier children
   // become reclaimable as later ones are absorbed (LIFO collapse).
@@ -459,6 +565,8 @@ void MatrixServer::deactivate() {
   table_versions_.clear();
   pending_lookups_.clear();
   last_report_ = LoadReport{};
+  clear_pool_denial_episode();
+  admission_.reset(now());
   ++activation_epoch_;
 }
 

@@ -15,7 +15,13 @@
 //     the child to the pool;
 //   * applies hysteresis (sustained overload, topology cooldown, reclaim
 //     headroom) to prevent split/reclaim oscillation — the paper's "simple
-//     heuristics ... to ensure stability".
+//     heuristics ... to ensure stability";
+//   * runs the admission controller (src/control/): every load observation
+//     (LoadReport, queue depth, pool denials, the MC's pool-pressure
+//     broadcasts) feeds the NORMAL/SOFT/HARD valve, state changes are
+//     pushed to the game server as AdmissionUpdate, and an elevated state
+//     blocks reclaim — a parent under admission pressure must not accept
+//     the handoff of its child's whole population.
 //
 // Lifecycle: a server is either *active* (owns a partition) or *idle*
 // (parked in the resource pool awaiting an Adopt).  Roots are activated
@@ -28,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "control/admission.h"
 #include "core/config.h"
 #include "core/overlap.h"
 #include "core/protocol_node.h"
@@ -87,6 +94,13 @@ class MatrixServer : public ProtocolNode {
     std::uint64_t splits_initiated = 0;
     std::uint64_t splits_completed = 0;
     std::uint64_t split_denied_no_server = 0;
+    /// Consecutive PoolDeny answers since the last successful grant.
+    std::uint32_t split_denied_streak = 0;
+    /// Current pool-retry backoff (µs); 0 when not backing off.  Doubles
+    /// per consecutive denial up to Config::pool_backoff_max.
+    std::uint64_t pool_backoff_us = 0;
+    /// Admission state changes pushed to the game server.
+    std::uint64_t admission_updates = 0;
     std::uint64_t reclaims_initiated = 0;
     std::uint64_t reclaims_completed = 0;
     std::uint64_t table_updates = 0;
@@ -97,6 +111,15 @@ class MatrixServer : public ProtocolNode {
     std::uint64_t reclaim_latency_us_sum = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// The admission valve (src/control/); NORMAL forever unless
+  /// Config::admission.enabled.
+  [[nodiscard]] const AdmissionController& admission() const {
+    return admission_;
+  }
+  [[nodiscard]] AdmissionState admission_state() const {
+    return admission_.state();
+  }
 
   /// Consistency-set lookup for `point` in radius class `rc` — exposed for
   /// tests and the lookup ablation.  nullptr ⇒ empty set (interior point).
@@ -133,6 +156,11 @@ class MatrixServer : public ProtocolNode {
   void handle_shed_done(const ShedDone& done);
   void handle_point_owner(const PointOwner& owner);
 
+  // admission control (src/control/)
+  void observe_admission(std::uint32_t clients, std::uint32_t queue_len);
+  void push_admission_to_game();
+  void clear_pool_denial_episode();
+
   // split / reclaim machinery
   void maybe_split();
   void maybe_reclaim();
@@ -166,6 +194,10 @@ class MatrixServer : public ProtocolNode {
   LoadReport last_report_;
   std::uint32_t consecutive_overload_ = 0;
   SimTime cooldown_until_{};
+  /// Idle fraction of the deployment pool, per the MC's latest
+  /// PoolPressure; negative ⇒ never heard.
+  double pool_idle_fraction_ = -1.0;
+  std::uint64_t admission_seq_ = 0;
   SimTime split_started_at_{};
   SimTime reclaim_started_at_{};
   /// While reclaim_pending_: when to re-send the request (lost-message
@@ -184,6 +216,8 @@ class MatrixServer : public ProtocolNode {
   // Pending game-server owner queries awaiting MC point lookups, keyed by
   // the MC lookup seq; value = the game's original query.
   std::map<std::uint32_t, OwnerQuery> pending_owner_queries_;
+
+  AdmissionController admission_{config_.admission, config_.overload_clients};
 
   Stats stats_;
 };

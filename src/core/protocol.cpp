@@ -37,6 +37,11 @@ enum class MsgType : std::uint8_t {
   kPoolDeny,
   kPoolRelease,
   kMcAnnounce,
+  kJoinDeny,
+  kJoinDefer,
+  kAdmissionUpdate,
+  kPoolStatus,
+  kPoolPressure,
 };
 
 void put(ByteWriter& w, Vec2 v) {
@@ -514,6 +519,61 @@ McAnnounce decode_mc_announce(ByteReader& r) {
   return m;
 }
 
+void encode_body(ByteWriter& w, const JoinDeny& m) {
+  w.id(m.client);
+  put(w, m.retry_after);
+}
+JoinDeny decode_join_deny(ByteReader& r) {
+  JoinDeny m;
+  m.client = r.id<ClientId>();
+  m.retry_after = get_time(r);
+  return m;
+}
+
+void encode_body(ByteWriter& w, const JoinDefer& m) {
+  w.id(m.client);
+  put(w, m.retry_after);
+}
+JoinDefer decode_join_defer(ByteReader& r) {
+  JoinDefer m;
+  m.client = r.id<ClientId>();
+  m.retry_after = get_time(r);
+  return m;
+}
+
+void encode_body(ByteWriter& w, const AdmissionUpdate& m) {
+  w.u8(m.state);
+  w.u64(m.seq);
+}
+AdmissionUpdate decode_admission_update(ByteReader& r) {
+  AdmissionUpdate m;
+  m.state = r.u8();
+  m.seq = r.u64();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const PoolStatus& m) {
+  w.u32(m.idle);
+  w.u32(m.total);
+}
+PoolStatus decode_pool_status(ByteReader& r) {
+  PoolStatus m;
+  m.idle = r.u32();
+  m.total = r.u32();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const PoolPressure& m) {
+  w.u32(m.idle);
+  w.u32(m.total);
+}
+PoolPressure decode_pool_pressure(ByteReader& r) {
+  PoolPressure m;
+  m.idle = r.u32();
+  m.total = r.u32();
+  return m;
+}
+
 template <typename T>
 constexpr MsgType type_tag() {
   if constexpr (std::is_same_v<T, TaggedPacket>) return MsgType::kTaggedPacket;
@@ -545,6 +605,11 @@ constexpr MsgType type_tag() {
   else if constexpr (std::is_same_v<T, PoolDeny>) return MsgType::kPoolDeny;
   else if constexpr (std::is_same_v<T, PoolRelease>) return MsgType::kPoolRelease;
   else if constexpr (std::is_same_v<T, McAnnounce>) return MsgType::kMcAnnounce;
+  else if constexpr (std::is_same_v<T, JoinDeny>) return MsgType::kJoinDeny;
+  else if constexpr (std::is_same_v<T, JoinDefer>) return MsgType::kJoinDefer;
+  else if constexpr (std::is_same_v<T, AdmissionUpdate>) return MsgType::kAdmissionUpdate;
+  else if constexpr (std::is_same_v<T, PoolStatus>) return MsgType::kPoolStatus;
+  else if constexpr (std::is_same_v<T, PoolPressure>) return MsgType::kPoolPressure;
 }
 
 }  // namespace
@@ -596,6 +661,11 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> bytes) {
     case MsgType::kPoolDeny: m = PoolDeny{}; break;
     case MsgType::kPoolRelease: m = decode_pool_release(r); break;
     case MsgType::kMcAnnounce: m = decode_mc_announce(r); break;
+    case MsgType::kJoinDeny: m = decode_join_deny(r); break;
+    case MsgType::kJoinDefer: m = decode_join_defer(r); break;
+    case MsgType::kAdmissionUpdate: m = decode_admission_update(r); break;
+    case MsgType::kPoolStatus: m = decode_pool_status(r); break;
+    case MsgType::kPoolPressure: m = decode_pool_pressure(r); break;
     default: return std::nullopt;
   }
   if (!r.ok()) return std::nullopt;
@@ -635,6 +705,11 @@ const char* message_name(const Message& message) {
         else if constexpr (std::is_same_v<T, PoolDeny>) return "PoolDeny";
         else if constexpr (std::is_same_v<T, PoolRelease>) return "PoolRelease";
         else if constexpr (std::is_same_v<T, McAnnounce>) return "McAnnounce";
+        else if constexpr (std::is_same_v<T, JoinDeny>) return "JoinDeny";
+        else if constexpr (std::is_same_v<T, JoinDefer>) return "JoinDefer";
+        else if constexpr (std::is_same_v<T, AdmissionUpdate>) return "AdmissionUpdate";
+        else if constexpr (std::is_same_v<T, PoolStatus>) return "PoolStatus";
+        else if constexpr (std::is_same_v<T, PoolPressure>) return "PoolPressure";
         else return "Unknown";
       },
       message);

@@ -8,15 +8,16 @@
 // Component roles and the messages they exchange (paper §3.2):
 //
 //   client  → game    : ClientHello, ClientAction, ClientBye
-//   game    → client  : Welcome, ServerUpdate, Redirect
+//   game    → client  : Welcome, ServerUpdate, Redirect, JoinDeny, JoinDefer
 //   game    → matrix  : TaggedPacket, LoadReport, ShedDone
-//   matrix  → game    : TaggedPacket (verified), MapRange
+//   matrix  → game    : TaggedPacket (verified), MapRange, AdmissionUpdate
 //   matrix  ↔ matrix  : TaggedPacket (peer forward), Adopt, PeerLoad,
 //                       ReclaimRequest, ReclaimDone, StateTransfer (relay),
 //                       ClientStateTransfer (relay)
 //   matrix  ↔ MC      : ServerRegister, ServerUnregister, OverlapTableMsg,
 //                       PointLookup, PointOwner
 //   matrix  ↔ pool    : PoolAcquire, PoolGrant, PoolDeny, PoolRelease
+//   pool    → MC      : PoolStatus;  MC → matrix : PoolPressure
 #pragma once
 
 #include <cstdint>
@@ -307,6 +308,48 @@ struct PoolRelease {
 };
 
 // ---------------------------------------------------------------------------
+// Admission & overload protection (src/control/)
+// ---------------------------------------------------------------------------
+
+/// Game server → client: join refused outright (admission HARD).  The
+/// session was never created; `retry_after` is the server's reconnect hint.
+struct JoinDeny {
+  ClientId client;
+  SimTime retry_after{};
+};
+
+/// Game server → client: join not admitted right now (admission SOFT and
+/// the token budget is spent).  Unlike JoinDeny this is transient — retry
+/// after `retry_after` and the join will likely clear the bucket.
+struct JoinDefer {
+  ClientId client;
+  SimTime retry_after{};
+};
+
+/// Matrix server → its game server: the admission state changed.  `state`
+/// carries the numeric AdmissionState (the wire stays independent of
+/// control/ headers); `seq` is monotonic so a reordered update can never
+/// roll the valve back.
+struct AdmissionUpdate {
+  std::uint8_t state = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Resource pool → MC: occupancy changed (grant/release/seed).
+struct PoolStatus {
+  std::uint32_t idle = 0;
+  std::uint32_t total = 0;
+};
+
+/// MC → every Matrix server: deployment-wide pool pressure, rebroadcast
+/// from PoolStatus.  Feeds the pre-escalation signal: a server nearing
+/// overload with an exhausted pool cannot count on a split being granted.
+struct PoolPressure {
+  std::uint32_t idle = 0;
+  std::uint32_t total = 0;
+};
+
+// ---------------------------------------------------------------------------
 // Coordinator fail-over
 // ---------------------------------------------------------------------------
 
@@ -332,7 +375,8 @@ using Message =
                  ReclaimRequest, ReclaimDecline, ReclaimDone, StateTransfer,
                  ClientStateTransfer, ServerRegister, ServerUnregister,
                  OverlapTableMsg, PointLookup, PointOwner, PoolAcquire,
-                 PoolGrant, PoolDeny, PoolRelease, McAnnounce>;
+                 PoolGrant, PoolDeny, PoolRelease, McAnnounce, JoinDeny,
+                 JoinDefer, AdmissionUpdate, PoolStatus, PoolPressure>;
 
 /// Serializes `message` (1 type byte + body).
 [[nodiscard]] std::vector<std::uint8_t> encode_message(const Message& message);

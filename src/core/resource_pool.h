@@ -2,6 +2,12 @@
 // Matrix server consults for an available spare server when it decides to
 // split.  Grants are (Matrix-server node, game-server node) pairs; reclaimed
 // servers are released back and can be granted again.
+//
+// For the admission subsystem (src/control/) the pool additionally reports
+// its occupancy to the Matrix Coordinator whenever it changes; the MC
+// rebroadcasts the resulting pool-pressure signal to every Matrix server so
+// servers nearing overload can pre-emptively throttle joins when no spare
+// capacity remains.
 #pragma once
 
 #include <deque>
@@ -21,10 +27,22 @@ class ResourcePool : public ProtocolNode {
 
   [[nodiscard]] std::string name() const override { return "pool"; }
 
+  /// Points occupancy reports at the MC.  Optional: an unwired pool (unit
+  /// harnesses, the static baseline) simply never reports.
+  void wire(NodeId mc_node) {
+    mc_node_ = mc_node;
+    push_status();
+  }
+
   /// Seeds the pool with a spare server pair (deployment-time).
-  void add_entry(const Entry& entry) { idle_.push_back(entry); }
+  void add_entry(const Entry& entry) {
+    idle_.push_back(entry);
+    ++total_;
+    push_status();
+  }
 
   [[nodiscard]] std::size_t idle_count() const { return idle_.size(); }
+  [[nodiscard]] std::size_t total_count() const { return total_; }
   [[nodiscard]] std::uint64_t grants() const { return grants_; }
   [[nodiscard]] std::uint64_t denies() const { return denies_; }
   [[nodiscard]] std::uint64_t releases() const { return releases_; }
@@ -42,15 +60,25 @@ class ResourcePool : public ProtocolNode {
       ++grants_;
       send(envelope.src,
            PoolGrant{entry.server, entry.matrix_node, entry.game_node});
+      push_status();
     } else if (const auto* release = std::get_if<PoolRelease>(&message)) {
       ++releases_;
       idle_.push_back(
           {release->server, release->matrix_node, release->game_node});
+      push_status();
     }
   }
 
  private:
+  void push_status() {
+    if (!mc_node_.valid() || network() == nullptr) return;
+    send(mc_node_, PoolStatus{static_cast<std::uint32_t>(idle_.size()),
+                              static_cast<std::uint32_t>(total_)});
+  }
+
   std::deque<Entry> idle_;
+  std::size_t total_ = 0;
+  NodeId mc_node_;
   std::uint64_t grants_ = 0;
   std::uint64_t denies_ = 0;
   std::uint64_t releases_ = 0;

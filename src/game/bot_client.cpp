@@ -17,6 +17,7 @@ void BotClient::join(NodeId game_server, Vec2 position) {
   waypoint_ = position_;
   playing_ = true;
   connected_ = false;
+  defer_pending_ = false;
   last_move_at_ = now();
   ++play_epoch_;
 
@@ -28,8 +29,9 @@ void BotClient::join(NodeId game_server, Vec2 position) {
 }
 
 void BotClient::leave() {
-  if (!playing_) return;
+  if (!playing_ && !defer_pending_) return;
   playing_ = false;
+  defer_pending_ = false;  // cancels a scheduled JoinDefer retry
   connected_ = false;
   ++play_epoch_;
   send(server_node_, ClientBye{id_});
@@ -38,6 +40,7 @@ void BotClient::leave() {
 void BotClient::on_message(const Message& message, const Envelope&) {
   if (const auto* welcome = std::get_if<Welcome>(&message)) {
     connected_ = true;
+    ever_connected_ = true;
     if (switch_pending_ && welcome->redirect_seq == switch_seq_) {
       switch_pending_ = false;
       metrics_.switch_latency_ms.add((now() - redirect_received_at_).ms());
@@ -74,6 +77,33 @@ void BotClient::on_message(const Message& message, const Envelope&) {
     } else if (update->origin_sent_at.us() > 0) {
       metrics_.observer_latency_ms.add((now() - update->origin_sent_at).ms());
     }
+    return;
+  }
+  if (const auto* deny = std::get_if<JoinDeny>(&message)) {
+    if (!playing_ || connected_ || deny->client != id_) return;
+    // Refused at the valve (admission HARD): give up.  A real launcher
+    // would surface "servers full, retry later"; the scenario's measure is
+    // simply how many players were turned away.
+    ++metrics_.joins_denied;
+    playing_ = false;
+    ++play_epoch_;
+    return;
+  }
+  if (const auto* defer = std::get_if<JoinDefer>(&message)) {
+    if (!playing_ || connected_ || defer->client != id_) return;
+    // Throttled (admission SOFT): stop acting and retry after the server's
+    // hint, jittered so a deferred cohort does not stampede back in phase.
+    ++metrics_.joins_deferred;
+    playing_ = false;
+    defer_pending_ = true;
+    const std::uint64_t epoch = ++play_epoch_;
+    const double jitter = 1.0 + rng_.next_double() * 0.5;
+    const auto delay =
+        SimTime::from_ms(defer->retry_after.ms() * jitter);
+    network()->events().schedule_after(delay, [this, epoch] {
+      if (playing_ || play_epoch_ != epoch || !defer_pending_) return;
+      join(server_node_, position_);
+    });
     return;
   }
 }

@@ -37,6 +37,12 @@ class BotClient : public ProtocolNode {
   [[nodiscard]] ClientId client_id() const { return id_; }
   [[nodiscard]] Vec2 position() const { return position_; }
   [[nodiscard]] bool connected() const { return connected_; }
+  /// True once any Welcome has been received — distinguishes an admitted
+  /// client (whose session must never be cut) from one that was denied or
+  /// is still deferred at the valve.
+  [[nodiscard]] bool ever_connected() const { return ever_connected_; }
+  /// True while a JoinDefer retry is scheduled.
+  [[nodiscard]] bool defer_pending() const { return defer_pending_; }
   [[nodiscard]] NodeId current_server() const { return server_node_; }
 
   /// Connects to `game_server` at `position` and starts the action loop.
@@ -65,6 +71,8 @@ class BotClient : public ProtocolNode {
     std::uint64_t actions_sent = 0;
     std::uint64_t updates_received = 0;
     std::uint64_t switches = 0;
+    std::uint64_t joins_denied = 0;    ///< JoinDeny received (gave up)
+    std::uint64_t joins_deferred = 0;  ///< JoinDefer received (will retry)
   };
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   [[nodiscard]] Metrics& metrics() { return metrics_; }
@@ -86,6 +94,8 @@ class BotClient : public ProtocolNode {
   NodeId server_node_;
   bool connected_ = false;
   bool playing_ = false;
+  bool ever_connected_ = false;
+  bool defer_pending_ = false;
   std::uint64_t play_epoch_ = 0;  ///< guards stale action timers
 
   Vec2 position_;

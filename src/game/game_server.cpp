@@ -33,6 +33,50 @@ void GameServer::wire(NodeId matrix_node) {
   port_->on_client_state(
       [this](const ClientStateTransfer& t) { handle_client_state(t); });
   port_->on_owner_reply([this](const OwnerReply& r) { handle_owner_reply(r); });
+  port_->on_admission(
+      [this](const AdmissionUpdate& u) { handle_admission(u); });
+}
+
+void GameServer::handle_admission(const AdmissionUpdate& update) {
+  if (update.seq <= admission_seq_seen_) return;  // reordered/stale update
+  admission_seq_seen_ = update.seq;
+  admission_state_ = static_cast<AdmissionState>(update.state);
+}
+
+bool GameServer::admit_join(const ClientHello& hello, NodeId client_node) {
+  if (!config_.admission.enabled) return true;
+  if (hello.resume) {
+    // Redirects and boundary migrations carry a live session; the valve
+    // only sheds NEW load — a resume always passes, even to a server that
+    // currently owns no range (seed behaviour).
+    if (admission_state_ != AdmissionState::kNormal) ++stats_.resumes_admitted;
+    return true;
+  }
+  if (authority_.empty()) {
+    // Parked (reclaimed) or not yet activated: this server owns no range,
+    // so a fresh session created here would play against nobody.
+    // Reachable when a deferred client's retry races a reclaim; defer
+    // again — if the server is re-granted the retry lands normally,
+    // otherwise the client keeps backing off exactly as it would against
+    // a full deployment.
+    ++stats_.joins_deferred;
+    send(client_node, JoinDefer{hello.client, config_.admission.defer_retry});
+    return false;
+  }
+  switch (admission_state_) {
+    case AdmissionState::kNormal:
+      return true;
+    case AdmissionState::kSoft:
+      if (join_bucket_.try_take(now())) return true;
+      ++stats_.joins_deferred;
+      send(client_node, JoinDefer{hello.client, config_.admission.defer_retry});
+      return false;
+    case AdmissionState::kHard:
+      ++stats_.joins_denied;
+      send(client_node, JoinDeny{hello.client, config_.admission.deny_retry});
+      return false;
+  }
+  return true;
 }
 
 void GameServer::start() {
@@ -77,6 +121,7 @@ void GameServer::on_message(const Message& message, const Envelope& envelope) {
 void GameServer::handle_hello(const ClientHello& hello,
                               const Envelope& envelope) {
   ++stats_.hellos;
+  if (!admit_join(hello, envelope.src)) return;  // no session was created
   Session session;
   session.client_node = envelope.src;
   session.avatar = avatar_entity_id(hello.client);

@@ -16,7 +16,12 @@
 //   * obeys MapRange orders: transfers map-object state, hands off clients
 //     to the named successor, and acknowledges with ShedDone;
 //   * migrates clients that walk out of its range, using Matrix's owner
-//     lookup to find the right destination.
+//     lookup to find the right destination;
+//   * enforces the admission valve (src/control/): its Matrix server pushes
+//     NORMAL/SOFT/HARD via AdmissionUpdate, and NEW joins are denied (HARD)
+//     or token-budgeted (SOFT) with JoinDeny/JoinDefer.  Resumed joins —
+//     redirects and boundary migrations — always pass: protection sheds new
+//     load, never live sessions.
 //
 // Game-genre specifics (rates, payload sizes, radius) come from the injected
 // GameModelSpec; the server logic itself is game-agnostic.
@@ -31,6 +36,8 @@
 #include <vector>
 
 #include "api/matrix_port.h"
+#include "control/admission.h"
+#include "control/token_bucket.h"
 #include "core/config.h"
 #include "core/protocol_node.h"
 #include "game/entity.h"
@@ -67,6 +74,10 @@ class GameServer : public ProtocolNode {
   }
   [[nodiscard]] std::size_t ghost_count() const { return ghosts_.size(); }
   [[nodiscard]] const GameModelSpec& spec() const { return spec_; }
+  /// Admission state last pushed by the co-located Matrix server.
+  [[nodiscard]] AdmissionState admission_state() const {
+    return admission_state_;
+  }
 
   struct Stats {
     std::uint64_t hellos = 0;
@@ -81,6 +92,10 @@ class GameServer : public ProtocolNode {
     std::uint64_t state_objects_sent = 0;
     std::uint64_t state_objects_received = 0;
     std::uint64_t load_reports = 0;
+    std::uint64_t joins_denied = 0;    ///< HARD admission refusals
+    std::uint64_t joins_deferred = 0;  ///< SOFT token budget exhausted
+    /// Resumed joins (redirect/migration) that bypassed a non-NORMAL valve.
+    std::uint64_t resumes_admitted = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -106,6 +121,9 @@ class GameServer : public ProtocolNode {
   void handle_state_transfer(const StateTransfer& transfer);
   void handle_client_state(const ClientStateTransfer& transfer);
   void handle_owner_reply(const OwnerReply& reply);
+  void handle_admission(const AdmissionUpdate& update);
+  /// The admission gate for a fresh (non-resume) join; true ⇒ admit.
+  [[nodiscard]] bool admit_join(const ClientHello& hello, NodeId client_node);
 
   void redirect_client(ClientId client, Session& session, NodeId to_game,
                        ServerId to_server);
@@ -152,6 +170,14 @@ class GameServer : public ProtocolNode {
   bool started_ = false;
   std::uint64_t msgs_since_report_ = 0;
   SimTime last_report_at_{};
+
+  // Admission enforcement (src/control/): the Matrix server decides the
+  // state; this server spends the SOFT-mode token budget locally so no
+  // per-join round trip exists.
+  AdmissionState admission_state_ = AdmissionState::kNormal;
+  std::uint64_t admission_seq_seen_ = 0;
+  TokenBucket join_bucket_{config_.admission.token_rate_per_sec,
+                           config_.admission.token_burst};
 
   Stats stats_;
 };

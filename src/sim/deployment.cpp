@@ -50,6 +50,11 @@ Deployment::Deployment(DeploymentOptions options)
   const NodeId mc_node = network_.attach(coordinator_.get(), options_.infra_node);
   pool_ = std::make_unique<ResourcePool>();
   const NodeId pool_node = network_.attach(pool_.get(), options_.infra_node);
+  // The pool reports occupancy to the MC, which rebroadcasts pool pressure
+  // to every Matrix server (admission subsystem, src/control/).  Left
+  // unwired when the valve is off so baseline runs carry zero extra
+  // control traffic.
+  if (options_.config.admission.enabled) pool_->wire(mc_node);
 
   const std::size_t total_servers =
       options_.initial_servers + options_.pool_size;
@@ -134,6 +139,10 @@ void Deployment::fail_over_coordinator() {
   }
   for (GameServer* game : game_ptrs_) {
     network_.set_link_bidirectional(standby, game->node_id(), options_.lan);
+  }
+  network_.set_link_bidirectional(standby, pool_->node_id(), options_.lan);
+  if (options_.config.admission.enabled) {
+    pool_->wire(standby);  // re-point occupancy reports at the new MC
   }
 }
 

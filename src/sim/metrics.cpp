@@ -12,11 +12,13 @@ MetricsSampler::MetricsSampler(Deployment& deployment, SimTime interval)
   clients_.reserve(n);
   queues_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    std::ostringstream cname, qname;
+    std::ostringstream cname, qname, aname;
     cname << "server" << (i + 1) << "_clients";
     qname << "server" << (i + 1) << "_queue";
+    aname << "server" << (i + 1) << "_admission";
     clients_.emplace_back(cname.str());
     queues_.emplace_back(qname.str());
+    admission_.emplace_back(aname.str());
   }
   schedule();
 }
@@ -39,6 +41,10 @@ void MetricsSampler::sample() {
     queues_[i].record(
         t, active ? static_cast<double>(
                         deployment_.network().queue_length(games[i]->node_id()))
+                  : 0.0);
+    admission_[i].record(
+        t, active ? static_cast<double>(static_cast<std::uint8_t>(
+                        deployment_.matrix_servers()[i]->admission_state()))
                   : 0.0);
   }
   active_.record(t, static_cast<double>(deployment_.active_server_count()));
@@ -101,6 +107,32 @@ TrafficBreakdown collect_traffic(Deployment& deployment) {
   });
   breakdown.total = net.total_bytes();
   return breakdown;
+}
+
+AdmissionSummary collect_admission(const Deployment& deployment) {
+  AdmissionSummary summary;
+  for (const GameServer* game : deployment.game_servers()) {
+    summary.joins_denied += game->stats().joins_denied;
+    summary.joins_deferred += game->stats().joins_deferred;
+    summary.resumes_admitted += game->stats().resumes_admitted;
+  }
+  for (const BotClient* bot : deployment.bots()) {
+    summary.bots_denied += bot->metrics().joins_denied;
+  }
+  for (const MatrixServer* server : deployment.matrix_servers()) {
+    const AdmissionController& admission = server->admission();
+    summary.escalations += admission.stats().escalations;
+    summary.relaxations += admission.stats().relaxations;
+    // Lifetime tallies: transitions() is cleared when a pooled server is
+    // re-adopted, so count from the stats and use the reset-proof
+    // validity check rather than only the current timeline.
+    summary.transitions +=
+        admission.stats().escalations + admission.stats().relaxations;
+    if (!admission.lifetime_timeline_valid()) {
+      summary.timelines_valid = false;
+    }
+  }
+  return summary;
 }
 
 }  // namespace matrix

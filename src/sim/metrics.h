@@ -3,8 +3,8 @@
 // MetricsSampler polls the deployment on a fixed cadence and produces the
 // exact series the paper's Figure 2 plots: clients per server over time
 // (2a) and receive-queue length per server over time (2b), plus the active
-// server count, pool occupancy, and traffic-by-category totals used by the
-// other benches.
+// server count, pool occupancy, admission-state timelines (src/control/),
+// and traffic-by-category totals used by the other benches.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +35,11 @@ class MetricsSampler {
   [[nodiscard]] const TimeSeries& active_servers() const { return active_; }
   [[nodiscard]] const TimeSeries& total_clients() const { return total_; }
   [[nodiscard]] const TimeSeries& pool_idle() const { return pool_idle_; }
+  /// One admission-state series per server slot (0=NORMAL 1=SOFT 2=HARD;
+  /// inactive servers sample as 0).
+  [[nodiscard]] const std::vector<TimeSeries>& admission_per_server() const {
+    return admission_;
+  }
 
   /// Peak queue length seen on any server.
   [[nodiscard]] double max_queue() const;
@@ -50,6 +55,7 @@ class MetricsSampler {
   bool running_ = true;
   std::vector<TimeSeries> clients_;
   std::vector<TimeSeries> queues_;
+  std::vector<TimeSeries> admission_;
   TimeSeries active_{"active_servers"};
   TimeSeries total_{"total_clients"};
   TimeSeries pool_idle_{"pool_idle"};
@@ -77,5 +83,23 @@ struct TrafficBreakdown {
 };
 
 [[nodiscard]] TrafficBreakdown collect_traffic(Deployment& deployment);
+
+/// Deployment-wide admission tallies (src/control/), aggregated from the
+/// game servers (enforcement), bots (experience), and Matrix servers
+/// (control plane).
+struct AdmissionSummary {
+  std::uint64_t joins_denied = 0;     ///< JoinDeny sent by game servers
+  std::uint64_t joins_deferred = 0;   ///< JoinDefer sent by game servers
+  std::uint64_t resumes_admitted = 0; ///< live sessions passed a closed valve
+  std::uint64_t bots_denied = 0;      ///< bots that gave up after JoinDeny
+  std::uint64_t transitions = 0;      ///< state changes across all servers
+  std::uint64_t escalations = 0;
+  std::uint64_t relaxations = 0;
+  /// True when every Matrix server's recorded timeline satisfies the
+  /// dwell/recover hysteresis contract (admission_timeline_valid).
+  bool timelines_valid = true;
+};
+
+[[nodiscard]] AdmissionSummary collect_admission(const Deployment& deployment);
 
 }  // namespace matrix

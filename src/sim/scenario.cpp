@@ -82,4 +82,29 @@ void schedule_hotspot_scenario(Deployment& deployment,
   }
 }
 
+void schedule_overload_scenario(Deployment& deployment,
+                                const OverloadScenarioOptions& options) {
+  Scenario scenario(deployment);
+  scenario.add_background_bots(SimTime::from_ms(100), options.background_bots);
+
+  // The flash crowd arrives in waves, not one instant dump: real flash
+  // crowds ramp, and the ramp is what lets splits race the arrivals until
+  // the pool runs dry.
+  SimTime t = options.flash_at;
+  for (std::size_t joined = 0; joined < options.flash_bots;) {
+    // join_batch 0 would never advance; treat it as "everyone at once".
+    const std::size_t batch = std::min(
+        options.join_batch > 0 ? options.join_batch : options.flash_bots,
+        options.flash_bots - joined);
+    scenario.add_hotspot_bots(t, batch, options.center, options.spread);
+    joined += batch;
+    t += options.join_interval;
+  }
+}
+
+std::size_t deployment_capacity_clients(const Deployment& deployment) {
+  return deployment.game_servers().size() *
+         deployment.options().config.overload_clients;
+}
+
 }  // namespace matrix

@@ -62,4 +62,44 @@ struct HotspotScenarioOptions {
 void schedule_hotspot_scenario(Deployment& deployment,
                                const HotspotScenarioOptions& options);
 
+/// Beyond-capacity workload (admission subsystem, src/control/): a flash
+/// crowd keeps arriving in waves until the offered population exceeds what
+/// the whole deployment — every root plus every spare in the pool — can
+/// absorb.  The paper's evaluation stops at "the pool ran dry"; this
+/// scenario is about what happens *after* that point.  With admission off
+/// the stuck partition's latency collapses unboundedly; with it on, excess
+/// joins are deferred/denied at the valve and admitted sessions keep their
+/// delivery rate.
+struct OverloadScenarioOptions {
+  std::size_t background_bots = 50;
+
+  /// Flash-crowd arrival: `flash_bots` join in `join_batch`-sized waves
+  /// every `join_interval`, starting at `flash_at`, centred on `center`
+  /// with a town-square-sized footprint `spread`.
+  std::size_t flash_bots = 1200;
+  std::size_t join_batch = 150;
+  SimTime join_interval = SimTime::from_sec(2.0);
+  SimTime flash_at = SimTime::from_sec(5.0);
+  Vec2 center{500.0, 500.0};
+  double spread = 150.0;
+
+  SimTime duration = SimTime::from_sec(60.0);
+};
+
+/// Schedules the flash-crowd waves.  Call
+/// deployment.run_until(options.duration) afterwards.
+void schedule_overload_scenario(Deployment& deployment,
+                                const OverloadScenarioOptions& options);
+
+/// Offered clients at the crest of an OverloadScenario.
+[[nodiscard]] inline std::size_t overload_offered_clients(
+    const OverloadScenarioOptions& options) {
+  return options.background_bots + options.flash_bots;
+}
+
+/// Nominal deployment capacity: every server slot (roots + pool) at the
+/// overload threshold.  An OverloadScenario should offer more than this.
+[[nodiscard]] std::size_t deployment_capacity_clients(
+    const Deployment& deployment);
+
 }  // namespace matrix

@@ -376,6 +376,49 @@ TEST(ProtocolTest, MessageNameCoversAllAlternatives) {
   EXPECT_STREQ(message_name(Message{OverlapTableMsg{}}), "OverlapTableMsg");
 }
 
+TEST(ProtocolTest, AdmissionMessagesRoundTrip) {
+  JoinDeny deny;
+  deny.client = ClientId(9);
+  deny.retry_after = 10_sec;
+  const JoinDeny deny_out = round_trip(deny);
+  EXPECT_EQ(deny_out.client, deny.client);
+  EXPECT_EQ(deny_out.retry_after, deny.retry_after);
+
+  JoinDefer defer;
+  defer.client = ClientId(11);
+  defer.retry_after = 1500_ms;
+  const JoinDefer defer_out = round_trip(defer);
+  EXPECT_EQ(defer_out.client, defer.client);
+  EXPECT_EQ(defer_out.retry_after, defer.retry_after);
+
+  AdmissionUpdate update;
+  update.state = 2;
+  update.seq = 77;
+  const AdmissionUpdate update_out = round_trip(update);
+  EXPECT_EQ(update_out.state, 2);
+  EXPECT_EQ(update_out.seq, 77u);
+
+  PoolStatus status;
+  status.idle = 3;
+  status.total = 8;
+  const PoolStatus status_out = round_trip(status);
+  EXPECT_EQ(status_out.idle, 3u);
+  EXPECT_EQ(status_out.total, 8u);
+
+  PoolPressure pressure;
+  pressure.idle = 0;
+  pressure.total = 8;
+  const PoolPressure pressure_out = round_trip(pressure);
+  EXPECT_EQ(pressure_out.idle, 0u);
+  EXPECT_EQ(pressure_out.total, 8u);
+
+  EXPECT_STREQ(message_name(Message{JoinDeny{}}), "JoinDeny");
+  EXPECT_STREQ(message_name(Message{JoinDefer{}}), "JoinDefer");
+  EXPECT_STREQ(message_name(Message{AdmissionUpdate{}}), "AdmissionUpdate");
+  EXPECT_STREQ(message_name(Message{PoolStatus{}}), "PoolStatus");
+  EXPECT_STREQ(message_name(Message{PoolPressure{}}), "PoolPressure");
+}
+
 TEST(ProtocolTest, WireSizeTracksPayload) {
   TaggedPacket small, big;
   small.payload.assign(10, 0);
