@@ -1,4 +1,4 @@
-// A-lookup (DESIGN.md §4): the routing hot path, measured with
+// A-lookup: the routing hot path (bench index: README.md), measured with
 // google-benchmark.
 //
 // Compares three ways a Matrix server could resolve the consistency set of

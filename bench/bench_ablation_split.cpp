@@ -1,4 +1,4 @@
-// A-split (DESIGN.md §4): split-to-left vs load-aware splitting.
+// A-split: split-to-left vs load-aware splitting (bench index: README.md).
 //
 // The paper (§3.2.3) uses "a simple 'split-to-left' splitting technique
 // where each map is split into two equal pieces ... though simple, this

@@ -1,8 +1,8 @@
 // Shared helpers for the experiment harnesses (bench/).
 //
 // Each bench binary regenerates one table or figure from the paper's
-// evaluation (see DESIGN.md §4 for the index and EXPERIMENTS.md for the
-// recorded outcomes).  Output convention: a header naming the experiment,
+// evaluation (the top-level README.md lists them all with one-line
+// descriptions).  Output convention: a header naming the experiment,
 // then plain whitespace-aligned columns — easy to eyeball, easy to plot.
 #pragma once
 

@@ -5,7 +5,7 @@
 //  heavy load, requiring Matrix to add servers, game players did not
 //  perceive any significant Matrix-induced performance degradation."
 //
-// Substitute (DESIGN.md §2): bot players measure their own action→reaction
+// Substitute (docs/ARCHITECTURE.md, "Reproduction substitutions"): bot players measure their own action→reaction
 // latency continuously.  We window the distribution into three phases —
 // steady state, during the split storm, and after stabilization — and
 // compare each against the 150 ms interactivity budget the paper cites

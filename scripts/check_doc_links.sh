@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in the repo's documentation
+# resolves to an existing file or directory.  External (http/https/mailto)
+# links and pure #anchors are skipped.  Run from anywhere:
+#
+#   scripts/check_doc_links.sh
+#
+# Exits non-zero listing every broken link, so CI can gate on it.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+status=0
+
+# The documentation surface: top-level markdown, docs/, and in-tree READMEs.
+docs=$(find "$repo_root" -path "$repo_root/build*" -prune -o \
+       -name "*.md" -print | sort)
+
+for doc in $docs; do
+  dir="$(dirname "$doc")"
+  # Extract the target of every inline markdown link: [text](target)
+  targets=$(grep -o '\[[^][]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/')
+  for target in $targets; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    # Strip a trailing anchor, if any.
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN: $doc -> $target"
+      status=1
+    fi
+  done
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "all documentation links resolve"
+fi
+exit "$status"

@@ -1,0 +1,127 @@
+#include "control/surge_queue.h"
+
+#include <algorithm>
+
+namespace matrix {
+
+const char* priority_class_name(PriorityClass cls) {
+  switch (cls) {
+    case PriorityClass::kResume: return "RESUME";
+    case PriorityClass::kVip: return "VIP";
+    case PriorityClass::kNormal: return "NORMAL";
+  }
+  return "?";
+}
+
+PriorityClass priority_class_from_wire(std::uint8_t wire) {
+  // Unknown future wire values degrade to NORMAL, never up to RESUME.
+  return wire == 1 ? PriorityClass::kVip : PriorityClass::kNormal;
+}
+
+bool SurgeQueue::enqueue(SimTime now, ClientId client, NodeId client_node,
+                         Vec2 position, PriorityClass cls) {
+  if (entries_.size() >= config_.queue_capacity) {
+    ++stats_.overflow;
+    return false;
+  }
+  SurgeEntry entry;
+  entry.client = client;
+  entry.client_node = client_node;
+  entry.position = position;
+  entry.cls = cls;
+  entry.enqueued_at = now;
+  entry.seq = next_seq_++;
+  entries_.push_back(entry);
+  ++stats_.enqueued;
+  stats_.max_depth = std::max<std::uint64_t>(stats_.max_depth, entries_.size());
+  return true;
+}
+
+PriorityClass SurgeQueue::effective_class(const SurgeEntry& entry,
+                                          SimTime now) const {
+  auto cls = static_cast<std::uint8_t>(entry.cls);
+  if (config_.age_step.us() > 0 && cls > 0) {
+    const auto steps = static_cast<std::uint64_t>(
+        (now - entry.enqueued_at).us() / config_.age_step.us());
+    cls -= static_cast<std::uint8_t>(std::min<std::uint64_t>(steps, cls));
+  }
+  return static_cast<PriorityClass>(cls);
+}
+
+std::size_t SurgeQueue::best_index(SimTime now) const {
+  std::size_t best = entries_.size();
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (best == entries_.size()) {
+      best = i;
+      continue;
+    }
+    const auto ci = effective_class(entries_[i], now);
+    const auto cb = effective_class(entries_[best], now);
+    if (ci < cb || (ci == cb && entries_[i].seq < entries_[best].seq)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::optional<SurgeEntry> SurgeQueue::pop(SimTime now) {
+  const std::size_t i = best_index(now);
+  if (i >= entries_.size()) return std::nullopt;
+  SurgeEntry entry = entries_[i];
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+  ++stats_.admitted;
+  const auto cls = static_cast<std::size_t>(entry.cls);
+  ++stats_.admitted_by_class[cls];
+  stats_.wait_us_sum_by_class[cls] +=
+      static_cast<std::uint64_t>((now - entry.enqueued_at).us());
+  return entry;
+}
+
+bool SurgeQueue::remove(ClientId client) {
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [client](const SurgeEntry& e) { return e.client == client; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  ++stats_.removed;
+  return true;
+}
+
+std::vector<SurgeEntry> SurgeQueue::flush(SimTime now) {
+  std::vector<SurgeEntry> out;
+  out.reserve(entries_.size());
+  for (const SurgeEntry* entry : ordered(now)) out.push_back(*entry);
+  stats_.flushed += entries_.size();
+  entries_.clear();
+  return out;
+}
+
+bool SurgeQueue::contains(ClientId client) const {
+  return std::any_of(
+      entries_.begin(), entries_.end(),
+      [client](const SurgeEntry& e) { return e.client == client; });
+}
+
+std::vector<const SurgeEntry*> SurgeQueue::ordered(SimTime now) const {
+  std::vector<const SurgeEntry*> out;
+  out.reserve(entries_.size());
+  for (const SurgeEntry& entry : entries_) out.push_back(&entry);
+  std::sort(out.begin(), out.end(),
+            [this, now](const SurgeEntry* a, const SurgeEntry* b) {
+              const auto ca = effective_class(*a, now);
+              const auto cb = effective_class(*b, now);
+              if (ca != cb) return ca < cb;
+              return a->seq < b->seq;
+            });
+  return out;
+}
+
+std::uint32_t SurgeQueue::position_of(ClientId client, SimTime now) const {
+  const auto order = ordered(now);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i]->client == client) return static_cast<std::uint32_t>(i + 1);
+  }
+  return 0;
+}
+
+}  // namespace matrix

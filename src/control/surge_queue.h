@@ -1,0 +1,130 @@
+// Surge queue — the "waiting room" for joins gated by the admission valve.
+//
+// PR 1's valve answers a gated join with JoinDefer/JoinDeny and leaves the
+// control loop on the CLIENT: each deferred client sleeps a jittered hint
+// and retries blind, so a flash crowd thrashes on retries, tokens are won in
+// arrival-race order, and the deployment has no notion of who should get in
+// first.  The surge queue moves that loop to the SERVER: a gated join is
+// parked in a bounded priority queue and admitted the moment the token
+// budget (or a valve relaxation) allows — in an order the operator chose.
+//
+// Priority classes, highest first:
+//
+//   RESUME  a live session re-joining (redirect/migration).  These normally
+//           bypass the valve entirely ("sessions are sacred"); the class
+//           exists so that any resume that does get parked — and any NORMAL
+//           entry aged all the way up — outranks everything else.
+//   VIP     joins flagged by the game (subscribers, party members of an
+//           admitted player, ...); `ClientHello::priority` carries the flag.
+//   NORMAL  everyone else.
+//
+// Within a class the order is strict FIFO.  Aging prevents starvation:
+// after each `age_step` of waiting an entry is promoted one class, so a
+// NORMAL join cannot be overtaken forever by a stream of fresh VIPs.  The
+// queue is bounded (`queue_capacity`); an enqueue beyond the bound is
+// refused and the caller falls back to JoinDeny.
+//
+// The queue is a passive container driven by the game server (enqueue on
+// gated joins, drain on admission updates and periodic ticks — see
+// game/game_server.cpp); it does no scheduling of its own, which keeps it
+// trivially testable.  Knobs live in SurgePriorityConfig
+// (`Config::admission.priority`, core/config.h), default off.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/config.h"
+#include "geometry/vec2.h"
+#include "util/ids.h"
+#include "util/sim_time.h"
+
+namespace matrix {
+
+enum class PriorityClass : std::uint8_t {
+  kResume = 0,  ///< highest — a parked live session, or fully-aged entry
+  kVip = 1,
+  kNormal = 2,
+};
+
+[[nodiscard]] const char* priority_class_name(PriorityClass cls);
+
+/// Maps ClientHello::priority (wire byte) to a class for a FRESH join.
+/// Resumes never reach the queue through this path.
+[[nodiscard]] PriorityClass priority_class_from_wire(std::uint8_t wire);
+
+/// One parked join: everything the game server needs to admit the client
+/// later without a fresh ClientHello.
+struct SurgeEntry {
+  ClientId client;
+  NodeId client_node;  ///< where Welcome / QueueUpdate go
+  Vec2 position;       ///< requested spawn position
+  PriorityClass cls = PriorityClass::kNormal;
+  SimTime enqueued_at{};
+  std::uint64_t seq = 0;  ///< admission ticket: FIFO order within a class
+};
+
+class SurgeQueue {
+ public:
+  explicit SurgeQueue(const SurgePriorityConfig& config) : config_(config) {}
+
+  /// Parks a join.  Returns false when the queue is at capacity (the
+  /// caller must fall back to JoinDeny).  Precondition: the client is not
+  /// already queued — callers gate on contains() first, where a duplicate
+  /// means "refresh the waiter's view", not "deny".
+  bool enqueue(SimTime now, ClientId client, NodeId client_node,
+               Vec2 position, PriorityClass cls);
+
+  /// Removes and returns the entry next in line at `now` (best effective
+  /// class, FIFO within it); nullopt when empty.  Records the entry's wait
+  /// in the per-class admission stats.
+  std::optional<SurgeEntry> pop(SimTime now);
+
+  /// Drops `client` (left while waiting).  False if not queued.
+  bool remove(ClientId client);
+
+  /// Empties the queue, returning the dropped entries in drain order (the
+  /// game server flushes them back to client-side retry when it loses its
+  /// range mid-wait).
+  std::vector<SurgeEntry> flush(SimTime now);
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool contains(ClientId client) const;
+
+  /// Entries in current drain order (for the notification sweep).  The
+  /// pointers are invalidated by any mutation.
+  [[nodiscard]] std::vector<const SurgeEntry*> ordered(SimTime now) const;
+
+  /// 1-based rank of `client` in the current drain order; 0 if absent.
+  [[nodiscard]] std::uint32_t position_of(ClientId client, SimTime now) const;
+
+  struct Stats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t admitted = 0;  ///< popped for admission
+    std::uint64_t overflow = 0;  ///< refused: queue at capacity
+    std::uint64_t removed = 0;   ///< client left while waiting
+    std::uint64_t flushed = 0;   ///< dropped by flush()
+    std::uint64_t max_depth = 0;
+    /// Per-ORIGINAL-class admission tallies (index = PriorityClass).
+    std::uint64_t admitted_by_class[3] = {0, 0, 0};
+    std::uint64_t wait_us_sum_by_class[3] = {0, 0, 0};
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  /// Class after aging at `now`: promoted one level per elapsed age_step,
+  /// saturating at kResume.  With age_step == 0, aging is off.
+  [[nodiscard]] PriorityClass effective_class(const SurgeEntry& entry,
+                                              SimTime now) const;
+  /// Index of the entry next in line; entries_.size() when empty.
+  [[nodiscard]] std::size_t best_index(SimTime now) const;
+
+  SurgePriorityConfig config_;
+  std::vector<SurgeEntry> entries_;  ///< unordered; drain order is computed
+  std::uint64_t next_seq_ = 1;
+  Stats stats_;
+};
+
+}  // namespace matrix

@@ -3,7 +3,8 @@
 // Defaults follow the paper's evaluation where it gives numbers: overload at
 // 300 clients, underload below 150 clients (Fig. 2 caption).  The hysteresis
 // knobs implement the paper's "simple heuristics (not described) to prevent
-// oscillations" — our concrete choices are documented in DESIGN.md §5.
+// oscillations" — our concrete choices are documented in docs/ARCHITECTURE.md.
+// Every knob is tabulated with its default and effect in docs/CONFIG.md.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +24,31 @@ enum class SplitPolicy {
   /// Extension (paper future work via refs [14,15]): cut at the reported
   /// median client coordinate so each side inherits ~half the load.
   kLoadAware,
+};
+
+/// Knobs for the surge-queue "waiting room" (src/control/surge_queue.h):
+/// when the admission valve is SOFT/HARD, new joins are parked in a bounded
+/// priority queue (RESUME > VIP > NORMAL) instead of bounced back to the
+/// client, and drained as the token budget refills or the valve relaxes.
+/// Disabled by default: with `queue_enabled == false` the PR-1 behaviour
+/// (JoinDefer/JoinDeny with client-side retry) is bit-identical.
+struct SurgePriorityConfig {
+  bool queue_enabled = false;
+
+  /// Maximum parked joins per game server; an enqueue beyond this falls
+  /// back to JoinDeny (the waiting room itself must stay bounded).
+  std::uint32_t queue_capacity = 256;
+
+  /// Anti-starvation aging: after each `age_step` of waiting, an entry is
+  /// promoted one priority class (NORMAL → VIP → RESUME), so a NORMAL join
+  /// cannot be overtaken forever by a stream of fresh VIPs.  0 disables
+  /// aging (strict class order).
+  SimTime age_step = SimTime::from_sec(10.0);
+
+  /// Cadence of the drain/notify tick while the queue is non-empty: each
+  /// tick admits what the token budget allows and pushes a QueueUpdate
+  /// (position, depth, ETA) to every still-waiting client.
+  SimTime update_interval = SimTime::from_ms(500);
 };
 
 /// Knobs for the admission & overload-protection subsystem (src/control/).
@@ -67,6 +93,9 @@ struct AdmissionConfig {
   /// Retry hint carried by JoinDefer (SOFT) and JoinDeny (HARD).
   SimTime defer_retry = SimTime::from_sec(2.0);
   SimTime deny_retry = SimTime::from_sec(10.0);
+
+  // ---- surge queue ("waiting room") -----------------------------------------
+  SurgePriorityConfig priority;
 };
 
 struct Config {

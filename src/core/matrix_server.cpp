@@ -229,6 +229,9 @@ void MatrixServer::handle_point_owner(const PointOwner& owner) {
 void MatrixServer::handle_load_report(const LoadReport& report) {
   if (!active_) return;
   last_report_ = report;
+  stats_.surge_waiting = report.waiting_count;
+  stats_.surge_waiting_peak =
+      std::max(stats_.surge_waiting_peak, report.waiting_count);
 
   // Lost-message recovery: re-send a long-outstanding reclaim request.
   // Idempotent at the child (already-shedding children ignore duplicates;

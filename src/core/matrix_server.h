@@ -101,6 +101,10 @@ class MatrixServer : public ProtocolNode {
     std::uint64_t pool_backoff_us = 0;
     /// Admission state changes pushed to the game server.
     std::uint64_t admission_updates = 0;
+    /// Surge-queue depth ("waiting room", src/control/surge_queue.h) from
+    /// the game server's latest LoadReport, and the peak ever reported.
+    std::uint32_t surge_waiting = 0;
+    std::uint32_t surge_waiting_peak = 0;
     std::uint64_t reclaims_initiated = 0;
     std::uint64_t reclaims_completed = 0;
     std::uint64_t table_updates = 0;

@@ -28,7 +28,7 @@ std::vector<OverlapRegionWire> build_overlap_regions(
 
   // Inflating Pj by R gives the locus of points within Chebyshev distance R
   // of Pj; for the Euclidean metric the same box is the conservative AABB of
-  // the true rounded region (DESIGN.md §5).  Either way a point σ lies in
+  // the true rounded region (docs/ARCHITECTURE.md, "Reproduction substitutions").  Either way a point σ lies in
   // the inflated box iff server j belongs to C(σ) (conservatively for L2).
   (void)metric;  // both metrics use the AABB construction; see header docs
   std::vector<StampRect> stamps;

@@ -42,6 +42,7 @@ enum class MsgType : std::uint8_t {
   kAdmissionUpdate,
   kPoolStatus,
   kPoolPressure,
+  kQueueUpdate,
 };
 
 void put(ByteWriter& w, Vec2 v) {
@@ -115,6 +116,7 @@ void encode_body(ByteWriter& w, const ClientHello& m) {
   put(w, m.position);
   w.u8(m.resume ? 1 : 0);
   w.u32(m.redirect_seq);
+  w.u8(m.priority);
 }
 ClientHello decode_client_hello(ByteReader& r) {
   ClientHello m;
@@ -122,6 +124,7 @@ ClientHello decode_client_hello(ByteReader& r) {
   m.position = get_vec2(r);
   m.resume = r.u8() != 0;
   m.redirect_seq = r.u32();
+  m.priority = r.u8();
   return m;
 }
 
@@ -203,6 +206,7 @@ void encode_body(ByteWriter& w, const LoadReport& m) {
   w.u32(m.queue_length);
   w.f64(m.msgs_per_sec);
   put(w, m.median_position);
+  w.u32(m.waiting_count);
 }
 LoadReport decode_load_report(ByteReader& r) {
   LoadReport m;
@@ -210,6 +214,7 @@ LoadReport decode_load_report(ByteReader& r) {
   m.queue_length = r.u32();
   m.msgs_per_sec = r.f64();
   m.median_position = get_vec2(r);
+  m.waiting_count = r.u32();
   return m;
 }
 
@@ -574,6 +579,21 @@ PoolPressure decode_pool_pressure(ByteReader& r) {
   return m;
 }
 
+void encode_body(ByteWriter& w, const QueueUpdate& m) {
+  w.id(m.client);
+  w.u32(m.position);
+  w.u32(m.depth);
+  put(w, m.eta);
+}
+QueueUpdate decode_queue_update(ByteReader& r) {
+  QueueUpdate m;
+  m.client = r.id<ClientId>();
+  m.position = r.u32();
+  m.depth = r.u32();
+  m.eta = get_time(r);
+  return m;
+}
+
 template <typename T>
 constexpr MsgType type_tag() {
   if constexpr (std::is_same_v<T, TaggedPacket>) return MsgType::kTaggedPacket;
@@ -610,6 +630,7 @@ constexpr MsgType type_tag() {
   else if constexpr (std::is_same_v<T, AdmissionUpdate>) return MsgType::kAdmissionUpdate;
   else if constexpr (std::is_same_v<T, PoolStatus>) return MsgType::kPoolStatus;
   else if constexpr (std::is_same_v<T, PoolPressure>) return MsgType::kPoolPressure;
+  else if constexpr (std::is_same_v<T, QueueUpdate>) return MsgType::kQueueUpdate;
 }
 
 }  // namespace
@@ -666,6 +687,7 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> bytes) {
     case MsgType::kAdmissionUpdate: m = decode_admission_update(r); break;
     case MsgType::kPoolStatus: m = decode_pool_status(r); break;
     case MsgType::kPoolPressure: m = decode_pool_pressure(r); break;
+    case MsgType::kQueueUpdate: m = decode_queue_update(r); break;
     default: return std::nullopt;
   }
   if (!r.ok()) return std::nullopt;
@@ -710,6 +732,7 @@ const char* message_name(const Message& message) {
         else if constexpr (std::is_same_v<T, AdmissionUpdate>) return "AdmissionUpdate";
         else if constexpr (std::is_same_v<T, PoolStatus>) return "PoolStatus";
         else if constexpr (std::is_same_v<T, PoolPressure>) return "PoolPressure";
+        else if constexpr (std::is_same_v<T, QueueUpdate>) return "QueueUpdate";
         else return "Unknown";
       },
       message);

@@ -8,7 +8,8 @@
 // Component roles and the messages they exchange (paper §3.2):
 //
 //   client  → game    : ClientHello, ClientAction, ClientBye
-//   game    → client  : Welcome, ServerUpdate, Redirect, JoinDeny, JoinDefer
+//   game    → client  : Welcome, ServerUpdate, Redirect, JoinDeny, JoinDefer,
+//                       QueueUpdate
 //   game    → matrix  : TaggedPacket, LoadReport, ShedDone
 //   matrix  → game    : TaggedPacket (verified), MapRange, AdmissionUpdate
 //   matrix  ↔ matrix  : TaggedPacket (peer forward), Adopt, PeerLoad,
@@ -68,6 +69,10 @@ struct ClientHello {
   Vec2 position;
   bool resume = false;
   std::uint32_t redirect_seq = 0;  ///< pairs with Redirect for switch latency
+  /// Priority hint for the surge queue (src/control/surge_queue.h):
+  /// 0 = NORMAL, 1 = VIP.  Resumes outrank both and are flagged by `resume`,
+  /// not here.  Ignored entirely while the waiting room is disabled.
+  std::uint8_t priority = 0;
 };
 
 struct Welcome {
@@ -123,6 +128,9 @@ struct LoadReport {
   std::uint32_t queue_length = 0;
   double msgs_per_sec = 0.0;
   Vec2 median_position;
+  /// Joins parked in the surge queue (src/control/surge_queue.h); 0 while
+  /// the waiting room is disabled.  Surfaced in MatrixServer::Stats.
+  std::uint32_t waiting_count = 0;
 };
 
 /// Matrix server → game server: your authoritative range changed.  When
@@ -335,6 +343,20 @@ struct AdmissionUpdate {
   std::uint64_t seq = 0;
 };
 
+/// Game server → waiting client: you are parked in the surge queue
+/// (src/control/surge_queue.h).  Sent once on enqueue and then on every
+/// drain tick, so the client can show a live "waiting room" instead of
+/// blind defer-retries.  `position` is the client's 1-based rank in the
+/// current drain order (aging can move it), `depth` the whole queue, and
+/// `eta` a best-effort estimate of the remaining wait at the current token
+/// rate — a hint, not a promise.
+struct QueueUpdate {
+  ClientId client;
+  std::uint32_t position = 0;
+  std::uint32_t depth = 0;
+  SimTime eta{};
+};
+
 /// Resource pool → MC: occupancy changed (grant/release/seed).
 struct PoolStatus {
   std::uint32_t idle = 0;
@@ -376,7 +398,8 @@ using Message =
                  ClientStateTransfer, ServerRegister, ServerUnregister,
                  OverlapTableMsg, PointLookup, PointOwner, PoolAcquire,
                  PoolGrant, PoolDeny, PoolRelease, McAnnounce, JoinDeny,
-                 JoinDefer, AdmissionUpdate, PoolStatus, PoolPressure>;
+                 JoinDefer, AdmissionUpdate, PoolStatus, PoolPressure,
+                 QueueUpdate>;
 
 /// Serializes `message` (1 type byte + body).
 [[nodiscard]] std::vector<std::uint8_t> encode_message(const Message& message);

@@ -18,20 +18,27 @@ void BotClient::join(NodeId game_server, Vec2 position) {
   playing_ = true;
   connected_ = false;
   defer_pending_ = false;
+  queued_ = false;
   last_move_at_ = now();
   ++play_epoch_;
+  if (!ever_joined_) {
+    ever_joined_ = true;
+    first_join_at_ = now();
+  }
 
   ClientHello hello;
   hello.client = id_;
   hello.position = position_;
+  hello.priority = vip_ ? 1 : 0;
   send(server_node_, hello);
   schedule_next_action();
 }
 
 void BotClient::leave() {
-  if (!playing_ && !defer_pending_) return;
+  if (!playing_ && !defer_pending_ && !queued_) return;
   playing_ = false;
   defer_pending_ = false;  // cancels a scheduled JoinDefer retry
+  queued_ = false;         // ClientBye also removes us from the surge queue
   connected_ = false;
   ++play_epoch_;
   send(server_node_, ClientBye{id_});
@@ -39,8 +46,20 @@ void BotClient::leave() {
 
 void BotClient::on_message(const Message& message, const Envelope&) {
   if (const auto* welcome = std::get_if<Welcome>(&message)) {
+    if (!ever_connected_) {
+      metrics_.time_to_admit_ms = (now() - first_join_at_).ms();
+    }
     connected_ = true;
     ever_connected_ = true;
+    if (queued_) {
+      // The surge queue drained us into a session: resume acting (the
+      // action loop was parked along with the join).
+      queued_ = false;
+      playing_ = true;
+      last_move_at_ = now();
+      ++play_epoch_;
+      schedule_next_action();
+    }
     if (switch_pending_ && welcome->redirect_seq == switch_seq_) {
       switch_pending_ = false;
       metrics_.switch_latency_ms.add((now() - redirect_received_at_).ms());
@@ -62,6 +81,7 @@ void BotClient::on_message(const Message& message, const Envelope&) {
     hello.position = position_;
     hello.resume = true;
     hello.redirect_seq = redirect->redirect_seq;
+    hello.priority = vip_ ? 1 : 0;
     send(server_node_, hello);
     return;
   }
@@ -79,22 +99,41 @@ void BotClient::on_message(const Message& message, const Envelope&) {
     }
     return;
   }
+  if (const auto* queue = std::get_if<QueueUpdate>(&message)) {
+    if ((!playing_ && !queued_) || connected_ || queue->client != id_) return;
+    // Parked in the server's surge queue: stop acting and wait quietly —
+    // the server owns the retry loop now and will Welcome us when a slot
+    // opens.  No timer, no retry traffic.
+    ++metrics_.queue_updates;
+    metrics_.max_queue_position =
+        std::max(metrics_.max_queue_position, queue->position);
+    if (!queued_) {
+      queued_ = true;
+      playing_ = false;
+      defer_pending_ = false;
+      ++play_epoch_;  // parks the action loop
+    }
+    return;
+  }
   if (const auto* deny = std::get_if<JoinDeny>(&message)) {
-    if (!playing_ || connected_ || deny->client != id_) return;
-    // Refused at the valve (admission HARD): give up.  A real launcher
-    // would surface "servers full, retry later"; the scenario's measure is
-    // simply how many players were turned away.
+    if ((!playing_ && !queued_) || connected_ || deny->client != id_) return;
+    // Refused at the valve (admission HARD, or the waiting room overflowed):
+    // give up.  A real launcher would surface "servers full, retry later";
+    // the scenario's measure is simply how many players were turned away.
     ++metrics_.joins_denied;
     playing_ = false;
+    queued_ = false;
     ++play_epoch_;
     return;
   }
   if (const auto* defer = std::get_if<JoinDefer>(&message)) {
-    if (!playing_ || connected_ || defer->client != id_) return;
-    // Throttled (admission SOFT): stop acting and retry after the server's
+    if ((!playing_ && !queued_) || connected_ || defer->client != id_) return;
+    // Throttled (admission SOFT), or flushed out of a waiting room whose
+    // server lost its range: stop acting and retry after the server's
     // hint, jittered so a deferred cohort does not stampede back in phase.
     ++metrics_.joins_deferred;
     playing_ = false;
+    queued_ = false;
     defer_pending_ = true;
     const std::uint64_t epoch = ++play_epoch_;
     const double jitter = 1.0 + rng_.next_double() * 0.5;

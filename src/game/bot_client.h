@@ -9,7 +9,14 @@
 // Bots double as the measurement instruments of the user-study substitute:
 //   * self latency    — own action → ack from the home server;
 //   * observer latency — a remote event's origin timestamp → digest arrival;
-//   * switch latency  — Redirect received → Welcome from the new server.
+//   * switch latency  — Redirect received → Welcome from the new server;
+//   * time-to-admit   — first join attempt → first Welcome (the waiting-room
+//     metric: how long the valve + surge queue kept the player out).
+//
+// When the server runs the surge queue (src/control/surge_queue.h) a gated
+// bot receives QueueUpdate instead of JoinDefer: it parks quietly and waits
+// for the server to admit it — no retry traffic at all.  A bot can be
+// flagged VIP (set_vip) to ride the queue's priority classes.
 #pragma once
 
 #include <cstdint>
@@ -43,7 +50,21 @@ class BotClient : public ProtocolNode {
   [[nodiscard]] bool ever_connected() const { return ever_connected_; }
   /// True while a JoinDefer retry is scheduled.
   [[nodiscard]] bool defer_pending() const { return defer_pending_; }
+  /// True while parked in a server-side surge queue (QueueUpdate received,
+  /// Welcome still pending).
+  [[nodiscard]] bool queue_pending() const { return queued_; }
   [[nodiscard]] NodeId current_server() const { return server_node_; }
+
+  /// Marks this bot as VIP for the surge queue's priority classes.  Takes
+  /// effect on the next join().
+  void set_vip(bool vip) { vip_ = vip; }
+  [[nodiscard]] bool vip() const { return vip_; }
+
+  /// Time of the first join() attempt ever (valid once ever_joined()).
+  /// With time_to_admit_ms this lets a bench censor never-admitted bots at
+  /// run end instead of silently dropping them from wait statistics.
+  [[nodiscard]] bool ever_joined() const { return ever_joined_; }
+  [[nodiscard]] SimTime first_join_at() const { return first_join_at_; }
 
   /// Connects to `game_server` at `position` and starts the action loop.
   void join(NodeId game_server, Vec2 position);
@@ -73,6 +94,11 @@ class BotClient : public ProtocolNode {
     std::uint64_t switches = 0;
     std::uint64_t joins_denied = 0;    ///< JoinDeny received (gave up)
     std::uint64_t joins_deferred = 0;  ///< JoinDefer received (will retry)
+    std::uint64_t queue_updates = 0;   ///< QueueUpdate received (waiting room)
+    std::uint32_t max_queue_position = 0;  ///< worst rank seen while parked
+    /// First join attempt → first Welcome, in ms; negative while never
+    /// admitted.  The per-class drain metric of bench_surge_queue.
+    double time_to_admit_ms = -1.0;
   };
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   [[nodiscard]] Metrics& metrics() { return metrics_; }
@@ -96,6 +122,10 @@ class BotClient : public ProtocolNode {
   bool playing_ = false;
   bool ever_connected_ = false;
   bool defer_pending_ = false;
+  bool queued_ = false;  ///< parked in a server-side surge queue
+  bool vip_ = false;
+  bool ever_joined_ = false;
+  SimTime first_join_at_{};  ///< for the time-to-admit metric
   std::uint64_t play_epoch_ = 0;  ///< guards stale action timers
 
   Vec2 position_;

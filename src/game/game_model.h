@@ -4,8 +4,9 @@
 // Daimonin (RPG).  We cannot ship those engines, but Matrix never sees game
 // logic — only traffic: packet rates, payload sizes, movement speed, and the
 // visibility radius.  Each model therefore captures the *traffic signature*
-// of its genre; DESIGN.md §2 records why this preserves the evaluation's
-// behaviour.  The numbers are stated per model below.
+// of its genre; docs/ARCHITECTURE.md ("Reproduction substitutions") records
+// why this preserves the evaluation's behaviour.  The numbers are stated
+// per model below.
 #pragma once
 
 #include <cstdint>

@@ -41,6 +41,12 @@ void GameServer::handle_admission(const AdmissionUpdate& update) {
   if (update.seq <= admission_seq_seen_) return;  // reordered/stale update
   admission_seq_seen_ = update.seq;
   admission_state_ = static_cast<AdmissionState>(update.state);
+  // A relaxed valve is a drain opportunity: NORMAL empties the waiting room
+  // outright, SOFT lets it spend whatever the bucket has accrued.
+  if (!surge_queue_.empty()) {
+    drain_surge_queue();
+    if (!surge_queue_.empty()) schedule_queue_tick();
+  }
 }
 
 bool GameServer::admit_join(const ClientHello& hello, NodeId client_node) {
@@ -63,20 +69,147 @@ bool GameServer::admit_join(const ClientHello& hello, NodeId client_node) {
     send(client_node, JoinDefer{hello.client, config_.admission.defer_retry});
     return false;
   }
+  const bool waiting_room = config_.admission.priority.queue_enabled;
   switch (admission_state_) {
     case AdmissionState::kNormal:
       return true;
     case AdmissionState::kSoft:
-      if (join_bucket_.try_take(now())) return true;
+      // While anyone is parked, a fresh join may not race the waiting room
+      // to the bucket — the queue owns the drain order.
+      if ((!waiting_room || surge_queue_.empty()) &&
+          join_bucket_.try_take(now())) {
+        return true;
+      }
+      if (waiting_room) {
+        park_join(hello, client_node);
+        return false;
+      }
       ++stats_.joins_deferred;
       send(client_node, JoinDefer{hello.client, config_.admission.defer_retry});
       return false;
     case AdmissionState::kHard:
+      if (waiting_room) {
+        // The waiting room replaces the outright refusal: the client parks
+        // and is admitted when the valve reopens, instead of giving up.
+        park_join(hello, client_node);
+        return false;
+      }
       ++stats_.joins_denied;
       send(client_node, JoinDeny{hello.client, config_.admission.deny_retry});
       return false;
   }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Surge queue (src/control/surge_queue.h)
+// ---------------------------------------------------------------------------
+
+void GameServer::park_join(const ClientHello& hello, NodeId client_node) {
+  if (surge_queue_.contains(hello.client)) {
+    // Duplicate hello (an impatient client re-asking): refresh its view of
+    // the line rather than double-parking or bouncing it.
+    send_queue_update(hello.client, client_node,
+                      surge_queue_.position_of(hello.client, now()),
+                      static_cast<std::uint32_t>(surge_queue_.size()));
+    return;
+  }
+  const PriorityClass cls = hello.resume
+                                ? PriorityClass::kResume
+                                : priority_class_from_wire(hello.priority);
+  if (!surge_queue_.enqueue(now(), hello.client, client_node, hello.position,
+                            cls)) {
+    // The waiting room itself is bounded; past capacity we are back to the
+    // hard refusal (overflow is tallied in SurgeQueue::Stats).
+    ++stats_.joins_denied;
+    send(client_node, JoinDeny{hello.client, config_.admission.deny_retry});
+    return;
+  }
+  send_queue_update(hello.client, client_node,
+                    surge_queue_.position_of(hello.client, now()),
+                    static_cast<std::uint32_t>(surge_queue_.size()));
+  schedule_queue_tick();
+}
+
+void GameServer::admit_session(ClientId client, NodeId client_node,
+                               Vec2 position, std::uint32_t redirect_seq) {
+  Session session;
+  session.client_node = client_node;
+  session.avatar = avatar_entity_id(client);
+  session.position = position;
+  if (auto it = pending_avatars_.find(client); it != pending_avatars_.end()) {
+    // The avatar state beat the client here (normal handoff order).  The
+    // client's own position report wins — it is fresher.
+    pending_avatars_.erase(it);
+  }
+  sessions_[client] = session;
+
+  Welcome welcome;
+  welcome.client = client;
+  welcome.avatar = session.avatar;
+  welcome.authority = authority_;
+  welcome.redirect_seq = redirect_seq;
+  send(client_node, welcome);
+}
+
+void GameServer::drain_surge_queue() {
+  while (!surge_queue_.empty() && !authority_.empty()) {
+    if (admission_state_ == AdmissionState::kHard) break;
+    if (admission_state_ == AdmissionState::kSoft &&
+        !join_bucket_.try_take(now())) {
+      break;
+    }
+    const std::optional<SurgeEntry> entry = surge_queue_.pop(now());
+    if (!entry) break;
+    admit_session(entry->client, entry->client_node, entry->position,
+                  /*redirect_seq=*/0);
+  }
+}
+
+void GameServer::send_queue_update(ClientId client, NodeId client_node,
+                                   std::uint32_t position,
+                                   std::uint32_t depth) {
+  QueueUpdate update;
+  update.client = client;
+  update.position = position;
+  update.depth = depth;
+  // Best-effort ETA at the SOFT drain rate; a valve stuck in HARD drains
+  // nothing, so the hint is a floor, not a promise.
+  const double rate = config_.admission.token_rate_per_sec;
+  update.eta = rate > 0.0
+                   ? SimTime::from_sec(static_cast<double>(position) / rate)
+                   : config_.admission.defer_retry;
+  send(client_node, update);
+  ++stats_.queue_updates_sent;
+}
+
+void GameServer::schedule_queue_tick() {
+  if (queue_tick_scheduled_) return;
+  queue_tick_scheduled_ = true;
+  network()->events().schedule_after(
+      config_.admission.priority.update_interval, [this] {
+        queue_tick_scheduled_ = false;
+        drain_surge_queue();
+        if (surge_queue_.empty()) return;
+        const auto order = surge_queue_.ordered(now());
+        const auto depth = static_cast<std::uint32_t>(order.size());
+        for (std::size_t i = 0; i < order.size(); ++i) {
+          send_queue_update(order[i]->client, order[i]->client_node,
+                            static_cast<std::uint32_t>(i + 1), depth);
+        }
+        schedule_queue_tick();
+      });
+}
+
+void GameServer::flush_surge_queue() {
+  // Parked joins cannot be admitted by a server that owns no range; hand
+  // them back to the client-side retry loop (JoinDefer is transient — if
+  // this server is re-granted, the retry lands normally).
+  for (const SurgeEntry& entry : surge_queue_.flush(now())) {
+    ++stats_.joins_deferred;
+    send(entry.client_node,
+         JoinDefer{entry.client, config_.admission.defer_retry});
+  }
 }
 
 void GameServer::start() {
@@ -122,24 +255,8 @@ void GameServer::handle_hello(const ClientHello& hello,
                               const Envelope& envelope) {
   ++stats_.hellos;
   if (!admit_join(hello, envelope.src)) return;  // no session was created
-  Session session;
-  session.client_node = envelope.src;
-  session.avatar = avatar_entity_id(hello.client);
-  session.position = hello.position;
-  if (auto it = pending_avatars_.find(hello.client);
-      it != pending_avatars_.end()) {
-    // The avatar state beat the client here (normal handoff order).  The
-    // client's own position report wins — it is fresher.
-    pending_avatars_.erase(it);
-  }
-  sessions_[hello.client] = session;
-
-  Welcome welcome;
-  welcome.client = hello.client;
-  welcome.avatar = session.avatar;
-  welcome.authority = authority_;
-  welcome.redirect_seq = hello.redirect_seq;
-  send(envelope.src, welcome);
+  admit_session(hello.client, envelope.src, hello.position,
+                hello.redirect_seq);
 }
 
 void GameServer::handle_action(const ClientAction& action,
@@ -196,6 +313,7 @@ void GameServer::handle_action(const ClientAction& action,
 }
 
 void GameServer::handle_bye(const ClientBye& bye) {
+  surge_queue_.remove(bye.client);  // gave up while waiting
   sessions_.erase(bye.client);
   pending_avatars_.erase(bye.client);
 }
@@ -332,6 +450,7 @@ void GameServer::handle_map_range(const MapRange& range) {
     authority_ = Rect{};
     ghosts_.clear();
     pending_events_.clear();
+    flush_surge_queue();
   }
 
   ShedDone done;
@@ -389,6 +508,7 @@ LoadReport GameServer::build_load_report() {
       interval_sec > 0.0
           ? static_cast<double>(msgs_since_report_) / interval_sec
           : 0.0;
+  report.waiting_count = static_cast<std::uint32_t>(surge_queue_.size());
 
   if (!sessions_.empty()) {
     std::vector<double> xs, ys;

@@ -21,7 +21,13 @@
 //     NORMAL/SOFT/HARD via AdmissionUpdate, and NEW joins are denied (HARD)
 //     or token-budgeted (SOFT) with JoinDeny/JoinDefer.  Resumed joins —
 //     redirects and boundary migrations — always pass: protection sheds new
-//     load, never live sessions.
+//     load, never live sessions;
+//   * optionally runs the surge-queue "waiting room"
+//     (src/control/surge_queue.h): gated joins are parked in a bounded
+//     priority queue (RESUME > VIP > NORMAL, aged against starvation) and
+//     drained as the token budget refills or the valve relaxes, with
+//     QueueUpdate position/ETA notifications replacing client-side
+//     defer-retry loops.
 //
 // Game-genre specifics (rates, payload sizes, radius) come from the injected
 // GameModelSpec; the server logic itself is game-agnostic.
@@ -37,6 +43,7 @@
 
 #include "api/matrix_port.h"
 #include "control/admission.h"
+#include "control/surge_queue.h"
 #include "control/token_bucket.h"
 #include "core/config.h"
 #include "core/protocol_node.h"
@@ -78,6 +85,9 @@ class GameServer : public ProtocolNode {
   [[nodiscard]] AdmissionState admission_state() const {
     return admission_state_;
   }
+  /// The surge queue ("waiting room"); empty forever unless
+  /// Config::admission.priority.queue_enabled.
+  [[nodiscard]] const SurgeQueue& surge_queue() const { return surge_queue_; }
 
   struct Stats {
     std::uint64_t hellos = 0;
@@ -96,6 +106,9 @@ class GameServer : public ProtocolNode {
     std::uint64_t joins_deferred = 0;  ///< SOFT token budget exhausted
     /// Resumed joins (redirect/migration) that bypassed a non-NORMAL valve.
     std::uint64_t resumes_admitted = 0;
+    // Surge queue (src/control/surge_queue.h); parked/drained/overflow
+    // tallies live in SurgeQueue::Stats (see surge_queue()).
+    std::uint64_t queue_updates_sent = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -124,6 +137,23 @@ class GameServer : public ProtocolNode {
   void handle_admission(const AdmissionUpdate& update);
   /// The admission gate for a fresh (non-resume) join; true ⇒ admit.
   [[nodiscard]] bool admit_join(const ClientHello& hello, NodeId client_node);
+  /// Creates the session and sends Welcome (the post-gate half of a join).
+  void admit_session(ClientId client, NodeId client_node, Vec2 position,
+                     std::uint32_t redirect_seq);
+
+  // surge queue (src/control/surge_queue.h)
+  void park_join(const ClientHello& hello, NodeId client_node);
+  /// Admits from the queue while the valve and token budget allow.
+  void drain_surge_queue();
+  /// Position/ETA notification to one waiting client.  `position` is the
+  /// client's 1-based rank (callers already hold the drain order; passing
+  /// it in keeps the notification sweep O(n log n), not O(n² log n)).
+  void send_queue_update(ClientId client, NodeId client_node,
+                         std::uint32_t position, std::uint32_t depth);
+  void schedule_queue_tick();
+  /// Sends every parked join back to client-side retry (server lost its
+  /// range, or is shutting its waiting room).
+  void flush_surge_queue();
 
   void redirect_client(ClientId client, Session& session, NodeId to_game,
                        ServerId to_server);
@@ -178,6 +208,10 @@ class GameServer : public ProtocolNode {
   std::uint64_t admission_seq_seen_ = 0;
   TokenBucket join_bucket_{config_.admission.token_rate_per_sec,
                            config_.admission.token_burst};
+  // Surge queue (src/control/surge_queue.h): the server-owned waiting room
+  // replacing client-side defer-retry when enabled.
+  SurgeQueue surge_queue_{config_.admission.priority};
+  bool queue_tick_scheduled_ = false;
 
   Stats stats_;
 };

@@ -1,7 +1,7 @@
 // Simulated network.
 //
-// Stands in for the paper's LAN/WAN testbed (see DESIGN.md substitution
-// table).  Model:
+// Stands in for the paper's LAN/WAN testbed (docs/ARCHITECTURE.md, "Reproduction
+// substitutions").  Model:
 //
 //   * Links are contention-free pipes: delivery time = propagation latency +
 //     wire_size / bandwidth.  Per-pair overrides allow "WAN" client links and

@@ -183,11 +183,12 @@ GameServer* Deployment::server_for(Vec2 position) {
 }
 
 BotClient* Deployment::add_bot(Vec2 position, std::optional<Vec2> attraction,
-                               double attraction_spread) {
+                               double attraction_spread, bool vip) {
   auto bot = std::make_unique<BotClient>(client_ids_.next(), options_.spec,
                                          options_.config.world, rng_.fork());
   network_.attach(bot.get(), options_.client_node);
   bot->set_attraction(attraction, attraction_spread);
+  bot->set_vip(vip);
   bot->join(server_for(position)->node_id(), position);
   BotClient* raw = bot.get();
   bot_ptrs_.push_back(raw);

@@ -91,10 +91,11 @@ class Deployment {
 
   /// Creates a bot and connects it to the server owning `position`
   /// (resolved through the coordinator's map — the stand-in for the game's
-  /// login service).  Returns the bot for scripting.
+  /// login service).  `vip` rides the surge queue's priority classes
+  /// (src/control/surge_queue.h).  Returns the bot for scripting.
   BotClient* add_bot(Vec2 position,
                      std::optional<Vec2> attraction = std::nullopt,
-                     double attraction_spread = 15.0);
+                     double attraction_spread = 15.0, bool vip = false);
 
   /// Disconnects `count` bots, preferring those closest to `near` when
   /// given (hotspot dissipation removes hotspot bots, not random ones).

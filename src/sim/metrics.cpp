@@ -115,6 +115,17 @@ AdmissionSummary collect_admission(const Deployment& deployment) {
     summary.joins_denied += game->stats().joins_denied;
     summary.joins_deferred += game->stats().joins_deferred;
     summary.resumes_admitted += game->stats().resumes_admitted;
+    const SurgeQueue::Stats& queue = game->surge_queue().stats();
+    summary.joins_queued += queue.enqueued;
+    summary.queue_admitted += queue.admitted;
+    summary.queue_overflow += queue.overflow;
+    summary.queue_flushed += queue.flushed;
+    summary.max_queue_depth = std::max(summary.max_queue_depth,
+                                       queue.max_depth);
+    for (std::size_t cls = 0; cls < 3; ++cls) {
+      summary.queue_admitted_by_class[cls] += queue.admitted_by_class[cls];
+      summary.queue_wait_us_by_class[cls] += queue.wait_us_sum_by_class[cls];
+    }
   }
   for (const BotClient* bot : deployment.bots()) {
     summary.bots_denied += bot->metrics().joins_denied;

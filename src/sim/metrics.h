@@ -98,6 +98,25 @@ struct AdmissionSummary {
   /// True when every Matrix server's recorded timeline satisfies the
   /// dwell/recover hysteresis contract (admission_timeline_valid).
   bool timelines_valid = true;
+
+  // Surge queue ("waiting room", src/control/surge_queue.h), aggregated
+  // over every game server's queue:
+  std::uint64_t joins_queued = 0;     ///< parked instead of bounced
+  std::uint64_t queue_admitted = 0;   ///< drained into live sessions
+  std::uint64_t queue_overflow = 0;   ///< refused at queue capacity
+  std::uint64_t queue_flushed = 0;    ///< returned to client retry (reclaim)
+  std::uint64_t max_queue_depth = 0;  ///< deepest waiting room seen
+  /// Per-class admit counts and wait sums (index = PriorityClass:
+  /// 0 RESUME, 1 VIP, 2 NORMAL).
+  std::uint64_t queue_admitted_by_class[3] = {0, 0, 0};
+  std::uint64_t queue_wait_us_by_class[3] = {0, 0, 0};
+
+  /// Mean queue wait of admitted entries in `cls`, ms; 0 when none.
+  [[nodiscard]] double mean_queue_wait_ms(std::size_t cls) const {
+    if (cls >= 3 || queue_admitted_by_class[cls] == 0) return 0.0;
+    return static_cast<double>(queue_wait_us_by_class[cls]) / 1000.0 /
+           static_cast<double>(queue_admitted_by_class[cls]);
+  }
 };
 
 [[nodiscard]] AdmissionSummary collect_admission(const Deployment& deployment);

@@ -34,6 +34,23 @@ void Scenario::add_hotspot_bots(SimTime at, std::size_t count, Vec2 center,
       });
 }
 
+void Scenario::add_surge_bots(SimTime at, std::size_t count, Vec2 center,
+                              double spread, double vip_fraction) {
+  Deployment* deployment = &deployment_;
+  deployment->network().events().schedule_at(
+      at, [deployment, count, center, spread, vip_fraction] {
+        Rng& rng = deployment->rng();
+        const Rect& world = deployment->options().config.world;
+        for (std::size_t i = 0; i < count; ++i) {
+          const Vec2 pos =
+              world.clamp(center + Vec2{rng.next_normal() * spread,
+                                        rng.next_normal() * spread});
+          const bool vip = rng.next_double() < vip_fraction;
+          deployment->add_bot(pos, center, spread, vip);
+        }
+      });
+}
+
 void Scenario::remove_bots_at(SimTime at, std::size_t count,
                               std::optional<Vec2> near) {
   Deployment* deployment = &deployment_;
@@ -99,6 +116,37 @@ void schedule_overload_scenario(Deployment& deployment,
     scenario.add_hotspot_bots(t, batch, options.center, options.spread);
     joined += batch;
     t += options.join_interval;
+  }
+}
+
+void schedule_surge_scenario(Deployment& deployment,
+                             const SurgeScenarioOptions& options) {
+  Scenario scenario(deployment);
+  scenario.add_background_bots(SimTime::from_ms(100), options.background_bots);
+
+  // Waved arrivals, exactly like the overload scenario — but with a VIP
+  // share so the queue's priority classes have something to sort.
+  SimTime t = options.flash_at;
+  for (std::size_t joined = 0; joined < options.flash_bots;) {
+    const std::size_t batch = std::min(
+        options.join_batch > 0 ? options.join_batch : options.flash_bots,
+        options.flash_bots - joined);
+    scenario.add_surge_bots(t, batch, options.center, options.spread,
+                            options.vip_fraction);
+    joined += batch;
+    t += options.join_interval;
+  }
+
+  // Recovery: departures free capacity, letting the valve relax and the
+  // waiting room drain.
+  SimTime leave_t = options.leave_at;
+  for (std::size_t left = 0; left < options.leave_bots;) {
+    const std::size_t batch = std::min(
+        options.leave_batch > 0 ? options.leave_batch : options.leave_bots,
+        options.leave_bots - left);
+    scenario.remove_bots_at(leave_t, batch, options.center);
+    left += batch;
+    leave_t += options.leave_interval;
   }
 }
 

@@ -28,6 +28,11 @@ class Scenario {
   void add_hotspot_bots(SimTime at, std::size_t count, Vec2 center,
                         double spread = 20.0);
 
+  /// Like add_hotspot_bots, but each bot is VIP with probability
+  /// `vip_fraction` — the priority-mixed arrivals of a SurgeScenario.
+  void add_surge_bots(SimTime at, std::size_t count, Vec2 center,
+                      double spread, double vip_fraction);
+
   /// Removes `count` connected bots at time `at`, nearest to `near` first.
   void remove_bots_at(SimTime at, std::size_t count,
                       std::optional<Vec2> near = std::nullopt);
@@ -101,5 +106,47 @@ void schedule_overload_scenario(Deployment& deployment,
 /// overload threshold.  An OverloadScenario should offer more than this.
 [[nodiscard]] std::size_t deployment_capacity_clients(
     const Deployment& deployment);
+
+/// Surge workload (surge queue, src/control/surge_queue.h): the same
+/// beyond-capacity flash crowd as OverloadScenario, but with a VIP share
+/// among the arrivals and an optional recovery phase in which part of the
+/// crowd leaves again.  With the waiting room off this exercises PR 1's
+/// defer-retry control loop; with it on, gated joins park server-side and
+/// drain by priority class — bench_surge_queue compares the two.
+struct SurgeScenarioOptions {
+  std::size_t background_bots = 50;
+
+  /// Flash-crowd arrival, identical shape to OverloadScenarioOptions.
+  std::size_t flash_bots = 1200;
+  std::size_t join_batch = 150;
+  SimTime join_interval = SimTime::from_sec(2.0);
+  SimTime flash_at = SimTime::from_sec(5.0);
+  Vec2 center{500.0, 500.0};
+  double spread = 150.0;
+
+  /// Share of flash arrivals flagged VIP (uniform per bot).
+  double vip_fraction = 0.15;
+
+  /// Recovery: `leave_bots` connected players (nearest the hotspot) depart
+  /// in `leave_batch` groups every `leave_interval` starting at `leave_at`,
+  /// freeing capacity for the waiting room to drain into.  0 disables.
+  std::size_t leave_bots = 0;
+  std::size_t leave_batch = 100;
+  SimTime leave_at = SimTime::from_sec(45.0);
+  SimTime leave_interval = SimTime::from_sec(5.0);
+
+  SimTime duration = SimTime::from_sec(90.0);
+};
+
+/// Schedules the surge waves (and recovery departures).  Call
+/// deployment.run_until(options.duration) afterwards.
+void schedule_surge_scenario(Deployment& deployment,
+                             const SurgeScenarioOptions& options);
+
+/// Offered clients at the crest of a SurgeScenario.
+[[nodiscard]] inline std::size_t surge_offered_clients(
+    const SurgeScenarioOptions& options) {
+  return options.background_bots + options.flash_bots;
+}
 
 }  // namespace matrix

@@ -241,7 +241,7 @@ TEST_P(OverlapPropertyTest, EuclideanTableIsConservative) {
         for (ServerId s : region->peer_servers) table.insert(s.value());
       }
       // Conservative: table ⊇ truth (no consistency violations; possibly
-      // some wasted bandwidth — DESIGN.md §5).
+      // some wasted bandwidth — docs/ARCHITECTURE.md, "Reproduction substitutions").
       for (std::uint64_t s : truth) {
         EXPECT_TRUE(table.count(s))
             << "Euclidean table missed server " << s << " at " << p;

@@ -114,10 +114,12 @@ TEST(ProtocolTest, ClientHelloWelcome) {
   hello.position = {4, 5};
   hello.resume = true;
   hello.redirect_seq = 77;
+  hello.priority = 1;  // VIP (surge-queue class hint)
   const ClientHello h = round_trip(hello);
   EXPECT_EQ(h.client, ClientId(9));
   EXPECT_TRUE(h.resume);
   EXPECT_EQ(h.redirect_seq, 77u);
+  EXPECT_EQ(h.priority, 1);
 
   Welcome welcome;
   welcome.client = ClientId(9);
@@ -171,11 +173,26 @@ TEST(ProtocolTest, LoadReportRoundTrip) {
   in.queue_length = 87;
   in.msgs_per_sec = 5123.5;
   in.median_position = {440.0, 220.0};
+  in.waiting_count = 41;
   const LoadReport out = round_trip(in);
   EXPECT_EQ(out.client_count, 312u);
   EXPECT_EQ(out.queue_length, 87u);
   EXPECT_DOUBLE_EQ(out.msgs_per_sec, 5123.5);
   EXPECT_EQ(out.median_position, (Vec2{440.0, 220.0}));
+  EXPECT_EQ(out.waiting_count, 41u);
+}
+
+TEST(ProtocolTest, QueueUpdateRoundTrip) {
+  QueueUpdate in;
+  in.client = ClientId(77);
+  in.position = 12;
+  in.depth = 64;
+  in.eta = 2500_ms;
+  const QueueUpdate out = round_trip(in);
+  EXPECT_EQ(out.client, ClientId(77));
+  EXPECT_EQ(out.position, 12u);
+  EXPECT_EQ(out.depth, 64u);
+  EXPECT_EQ(out.eta, 2500_ms);
 }
 
 TEST(ProtocolTest, MapRangeAndShedDone) {

@@ -1,0 +1,311 @@
+// Surge queue ("waiting room", src/control/surge_queue.h) tests.
+//
+// Unit level: priority ordering (RESUME > VIP > NORMAL, FIFO within a
+// class), aging-based anti-starvation, the bounded-capacity contract, and
+// membership bookkeeping.  Integration level: a beyond-capacity surge with
+// the waiting room on parks gated joins server-side (QueueUpdate instead of
+// defer-retry), drains them by class without dropping anyone admitted, and
+// falls back to JoinDeny only when the room itself overflows.
+#include <gtest/gtest.h>
+
+#include "control/surge_queue.h"
+#include "sim/metrics.h"
+#include "sim/scenario.h"
+
+namespace matrix {
+namespace {
+
+using namespace time_literals;
+
+SurgePriorityConfig queue_config() {
+  SurgePriorityConfig config;
+  config.queue_enabled = true;
+  config.queue_capacity = 8;
+  config.age_step = 10_sec;
+  config.update_interval = 500_ms;
+  return config;
+}
+
+void enqueue(SurgeQueue& queue, SimTime now, std::uint64_t client,
+             PriorityClass cls) {
+  EXPECT_TRUE(queue.enqueue(now, ClientId(client), NodeId(client), {0, 0},
+                            cls));
+}
+
+// ---------------------------------------------------------------------------
+// Ordering
+// ---------------------------------------------------------------------------
+
+TEST(SurgeQueueTest, ClassOrderBeatsArrivalOrder) {
+  SurgeQueue queue(queue_config());
+  enqueue(queue, 1_sec, 1, PriorityClass::kNormal);
+  enqueue(queue, 2_sec, 2, PriorityClass::kVip);
+  enqueue(queue, 3_sec, 3, PriorityClass::kResume);
+
+  EXPECT_EQ(queue.pop(3_sec)->client, ClientId(3));  // RESUME first
+  EXPECT_EQ(queue.pop(3_sec)->client, ClientId(2));  // then VIP
+  EXPECT_EQ(queue.pop(3_sec)->client, ClientId(1));  // then NORMAL
+  EXPECT_FALSE(queue.pop(3_sec).has_value());
+}
+
+TEST(SurgeQueueTest, FifoWithinClass) {
+  SurgeQueue queue(queue_config());
+  enqueue(queue, 1_sec, 1, PriorityClass::kVip);
+  enqueue(queue, 2_sec, 2, PriorityClass::kVip);
+  enqueue(queue, 3_sec, 3, PriorityClass::kVip);
+
+  EXPECT_EQ(queue.pop(3_sec)->client, ClientId(1));
+  EXPECT_EQ(queue.pop(3_sec)->client, ClientId(2));
+  EXPECT_EQ(queue.pop(3_sec)->client, ClientId(3));
+}
+
+TEST(SurgeQueueTest, PositionReflectsDrainOrder) {
+  SurgeQueue queue(queue_config());
+  enqueue(queue, 1_sec, 1, PriorityClass::kNormal);
+  enqueue(queue, 2_sec, 2, PriorityClass::kVip);
+
+  EXPECT_EQ(queue.position_of(ClientId(2), 2_sec), 1u);
+  EXPECT_EQ(queue.position_of(ClientId(1), 2_sec), 2u);
+  EXPECT_EQ(queue.position_of(ClientId(9), 2_sec), 0u);  // not queued
+}
+
+// ---------------------------------------------------------------------------
+// Aging / anti-starvation
+// ---------------------------------------------------------------------------
+
+TEST(SurgeQueueTest, AgedNormalOvertakesFreshVip) {
+  SurgeQueue queue(queue_config());  // age_step = 10 s
+  enqueue(queue, 0_sec, 1, PriorityClass::kNormal);
+  enqueue(queue, 11_sec, 2, PriorityClass::kVip);
+
+  // At t=11s the NORMAL entry has aged one step: NORMAL → VIP.  Same
+  // effective class, and its older ticket wins — no starvation.
+  EXPECT_EQ(queue.pop(11_sec)->client, ClientId(1));
+  EXPECT_EQ(queue.pop(11_sec)->client, ClientId(2));
+}
+
+TEST(SurgeQueueTest, FullyAgedNormalOutranksFreshResume) {
+  SurgeQueue queue(queue_config());
+  enqueue(queue, 0_sec, 1, PriorityClass::kNormal);
+  enqueue(queue, 21_sec, 2, PriorityClass::kResume);
+
+  // Two steps promote NORMAL all the way to RESUME; the older ticket wins.
+  EXPECT_EQ(queue.pop(21_sec)->client, ClientId(1));
+}
+
+TEST(SurgeQueueTest, AgingDisabledKeepsStrictClassOrder) {
+  SurgePriorityConfig config = queue_config();
+  config.age_step = SimTime{};  // 0 disables aging
+  SurgeQueue queue(config);
+  enqueue(queue, 0_sec, 1, PriorityClass::kNormal);
+  enqueue(queue, 100_sec, 2, PriorityClass::kVip);
+
+  EXPECT_EQ(queue.pop(100_sec)->client, ClientId(2));
+}
+
+// ---------------------------------------------------------------------------
+// Bounded capacity / membership
+// ---------------------------------------------------------------------------
+
+TEST(SurgeQueueTest, EnqueueBeyondCapacityIsRefused) {
+  SurgePriorityConfig config = queue_config();
+  config.queue_capacity = 2;
+  SurgeQueue queue(config);
+  EXPECT_TRUE(queue.enqueue(0_sec, ClientId(1), NodeId(1), {0, 0},
+                            PriorityClass::kNormal));
+  EXPECT_TRUE(queue.enqueue(0_sec, ClientId(2), NodeId(2), {0, 0},
+                            PriorityClass::kNormal));
+  EXPECT_FALSE(queue.enqueue(0_sec, ClientId(3), NodeId(3), {0, 0},
+                             PriorityClass::kVip));  // full, even for VIP
+  EXPECT_EQ(queue.stats().overflow, 1u);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(SurgeQueueTest, ContainsGatesDuplicateParking) {
+  // enqueue() assumes the client is not already queued; the game server's
+  // park path gates on contains() and answers a duplicate hello with a
+  // fresh QueueUpdate instead of a second entry.
+  SurgeQueue queue(queue_config());
+  enqueue(queue, 0_sec, 1, PriorityClass::kNormal);
+  EXPECT_TRUE(queue.contains(ClientId(1)));
+  EXPECT_FALSE(queue.contains(ClientId(2)));
+}
+
+TEST(SurgeQueueTest, RemoveAndFlush) {
+  SurgeQueue queue(queue_config());
+  enqueue(queue, 0_sec, 1, PriorityClass::kNormal);
+  enqueue(queue, 0_sec, 2, PriorityClass::kVip);
+  enqueue(queue, 0_sec, 3, PriorityClass::kNormal);
+
+  EXPECT_TRUE(queue.remove(ClientId(1)));
+  EXPECT_FALSE(queue.remove(ClientId(1)));  // already gone
+  EXPECT_FALSE(queue.contains(ClientId(1)));
+
+  const auto flushed = queue.flush(1_sec);
+  ASSERT_EQ(flushed.size(), 2u);
+  EXPECT_EQ(flushed[0].client, ClientId(2));  // drain order preserved
+  EXPECT_EQ(flushed[1].client, ClientId(3));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.stats().removed, 1u);
+  EXPECT_EQ(queue.stats().flushed, 2u);
+}
+
+TEST(SurgeQueueTest, PerClassWaitAccounting) {
+  SurgeQueue queue(queue_config());
+  enqueue(queue, 0_sec, 1, PriorityClass::kVip);
+  enqueue(queue, 0_sec, 2, PriorityClass::kNormal);
+
+  ASSERT_TRUE(queue.pop(2_sec).has_value());  // VIP waited 2 s
+  ASSERT_TRUE(queue.pop(5_sec).has_value());  // NORMAL waited 5 s
+
+  const auto& stats = queue.stats();
+  EXPECT_EQ(stats.admitted_by_class[1], 1u);
+  EXPECT_EQ(stats.admitted_by_class[2], 1u);
+  EXPECT_EQ(stats.wait_us_sum_by_class[1], 2'000'000u);
+  EXPECT_EQ(stats.wait_us_sum_by_class[2], 5'000'000u);
+}
+
+// ---------------------------------------------------------------------------
+// Integration: the waiting room in a live deployment
+// ---------------------------------------------------------------------------
+
+/// Tiny deployment (1 root + 1 spare at 30 clients each) so a 120-client
+/// surge is far beyond capacity and the valve closes fast.
+DeploymentOptions surge_options(std::uint32_t queue_capacity) {
+  DeploymentOptions options;
+  options.config.world = Rect(0, 0, 400, 400);
+  options.config.visibility_radius = 40.0;
+  options.config.overload_clients = 30;
+  options.config.underload_clients = 15;
+  options.config.sustain_reports_to_split = 2;
+  options.config.topology_cooldown = 2_sec;
+  options.config.load_report_interval = 500_ms;
+  options.config.pool_backoff_initial = 1_sec;
+  options.config.pool_backoff_max = 8_sec;
+
+  options.config.admission.enabled = true;
+  options.config.admission.soft_denied_streak = 1;
+  options.config.admission.hard_denied_streak = 3;
+  options.config.admission.token_rate_per_sec = 4.0;
+  options.config.admission.token_burst = 8.0;
+  options.config.admission.dwell = 1_sec;
+  options.config.admission.recover_min = 3_sec;
+  options.config.admission.defer_retry = 2_sec;
+
+  options.config.admission.priority.queue_enabled = true;
+  options.config.admission.priority.queue_capacity = queue_capacity;
+  options.config.admission.priority.age_step = 10_sec;
+  options.config.admission.priority.update_interval = 500_ms;
+
+  options.spec = bzflag_like();
+  options.spec.visibility_radius = 40.0;
+  options.initial_servers = 1;
+  options.pool_size = 1;
+  options.map_objects = 20;
+  options.seed = 11;
+  return options;
+}
+
+SurgeScenarioOptions surge_scenario() {
+  SurgeScenarioOptions scenario;
+  scenario.background_bots = 10;
+  scenario.flash_bots = 110;  // offered 120 vs capacity 60
+  scenario.join_batch = 30;
+  scenario.join_interval = 1_sec;
+  scenario.flash_at = 2_sec;
+  scenario.center = {200.0, 200.0};
+  scenario.spread = 80.0;
+  scenario.vip_fraction = 0.2;
+  scenario.duration = 40_sec;
+  return scenario;
+}
+
+TEST(SurgeScenarioTest, WaitingRoomParksAndDrainsGatedJoins) {
+  Deployment deployment(surge_options(/*queue_capacity=*/256));
+  const SurgeScenarioOptions scenario = surge_scenario();
+  schedule_surge_scenario(deployment, scenario);
+  deployment.run_until(scenario.duration);
+
+  const AdmissionSummary summary = collect_admission(deployment);
+
+  // The valve closed and the room was used: joins were parked, QueueUpdates
+  // flowed, and at least some parked joins drained into live sessions.
+  EXPECT_GT(summary.escalations, 0u);
+  EXPECT_GT(summary.joins_queued, 0u);
+  EXPECT_GT(summary.queue_admitted, 0u);
+  EXPECT_GT(summary.max_queue_depth, 0u);
+  EXPECT_TRUE(summary.timelines_valid);
+
+  // With a roomy queue nothing overflowed, so nobody was hard-denied and
+  // no bot gave up.
+  EXPECT_EQ(summary.queue_overflow, 0u);
+  EXPECT_EQ(summary.bots_denied, 0u);
+
+  // Every bot that ever got in is still in (sessions are sacred), and every
+  // bot is in exactly one of the states: connected, parked, defer-retrying.
+  std::size_t connected = 0, parked = 0;
+  for (const BotClient* bot : deployment.bots()) {
+    if (bot->ever_connected()) {
+      EXPECT_TRUE(bot->connected());
+    }
+    if (bot->connected()) ++connected;
+    if (bot->queue_pending()) {
+      ++parked;
+      EXPECT_GT(bot->metrics().queue_updates, 0u);
+    }
+  }
+  EXPECT_GT(connected, 0u);
+
+  // The server-side count agrees with the bots' view of being parked.
+  std::size_t queued_on_servers = 0;
+  for (const GameServer* game : deployment.game_servers()) {
+    queued_on_servers += game->surge_queue().size();
+  }
+  EXPECT_EQ(queued_on_servers, parked);
+
+  // VIP admits from the queue waited no longer on average than NORMAL ones
+  // (that is what the classes are for).
+  if (summary.queue_admitted_by_class[1] > 0 &&
+      summary.queue_admitted_by_class[2] > 0) {
+    EXPECT_LE(summary.mean_queue_wait_ms(1), summary.mean_queue_wait_ms(2));
+  }
+}
+
+TEST(SurgeScenarioTest, OverflowFallsBackToJoinDeny) {
+  Deployment deployment(surge_options(/*queue_capacity=*/5));
+  const SurgeScenarioOptions scenario = surge_scenario();
+  schedule_surge_scenario(deployment, scenario);
+  deployment.run_until(scenario.duration);
+
+  const AdmissionSummary summary = collect_admission(deployment);
+  // A 5-slot room cannot hold a 120-client surge: the excess is refused
+  // with JoinDeny exactly like PR 1's HARD path, and the room never grows
+  // past its bound.
+  EXPECT_GT(summary.queue_overflow, 0u);
+  EXPECT_GT(summary.joins_denied, 0u);
+  EXPECT_GT(summary.bots_denied, 0u);
+  EXPECT_LE(summary.max_queue_depth, 5u);
+}
+
+TEST(SurgeScenarioTest, QueueDisabledMatchesDeferRetryPath) {
+  DeploymentOptions options = surge_options(/*queue_capacity=*/256);
+  options.config.admission.priority.queue_enabled = false;
+  Deployment deployment(options);
+  const SurgeScenarioOptions scenario = surge_scenario();
+  schedule_surge_scenario(deployment, scenario);
+  deployment.run_until(scenario.duration);
+
+  const AdmissionSummary summary = collect_admission(deployment);
+  // Waiting room off ⇒ PR 1 behaviour: defer/deny at the valve, nothing
+  // ever parked.
+  EXPECT_EQ(summary.joins_queued, 0u);
+  EXPECT_EQ(summary.queue_admitted, 0u);
+  EXPECT_EQ(summary.max_queue_depth, 0u);
+  EXPECT_GT(summary.joins_deferred + summary.joins_denied, 0u);
+  for (const BotClient* bot : deployment.bots()) {
+    EXPECT_EQ(bot->metrics().queue_updates, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace matrix
