@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "sim/deployment.h"
 #include "sim/metrics.h"
@@ -20,6 +22,71 @@ inline void header(const std::string& id, const std::string& title) {
   std::printf("\n============================================================\n");
   std::printf("%s — %s\n", id.c_str(), title.c_str());
   std::printf("============================================================\n");
+}
+
+/// Machine-readable bench results in the shape of Google Benchmark's
+/// `--benchmark_format=json` ({"context": ..., "benchmarks": [...]}), so CI
+/// can upload one `BENCH_*.json` artifact per smoke run and a perf
+/// trajectory can be diffed across commits without scraping stdout.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Records one scalar under `benchmarks[]` as
+  /// `<bench>/<run>/<metric>` — e.g. "surge_queue/defer/goodput".
+  void add(const std::string& run, const std::string& metric, double value,
+           const std::string& unit = "") {
+    entries_.push_back({bench_name_ + "/" + run + "/" + metric, value, unit});
+  }
+
+  /// Writes the report to `path`; returns false (with a note on stderr)
+  /// when the file cannot be opened.  No-op when `path` is null.
+  bool write(const char* path) const {
+    if (path == nullptr) return true;
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write JSON report to %s\n", path);
+      return false;
+    }
+    std::fprintf(f,
+                 "{\n  \"context\": {\n    \"executable\": \"%s\",\n"
+                 "    \"format\": \"matrix_bench_json\"\n  },\n"
+                 "  \"benchmarks\": [\n",
+                 bench_name_.c_str());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": "
+                   "\"%s\"}%s\n",
+                   e.name.c_str(), e.value, e.unit.c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("  [json report written to %s]\n", path);
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+  std::string bench_name_;
+  std::vector<Entry> entries_;
+};
+
+/// Parses `--json <path>` / `--json=<path>` from argv; nullptr when absent.
+inline const char* json_report_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      return argv[i + 1];
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return argv[i] + 7;
+  }
+  return nullptr;
 }
 
 /// The paper's evaluation parameters (Fig. 2 caption): overload at 300

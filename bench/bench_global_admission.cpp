@@ -1,0 +1,321 @@
+// Coordinator-led global admission vs PR-2 per-server admission: who should
+// steer the valves when SEVERAL partitions saturate at once?
+//
+// Under PR 2, every valve is local.  When flash crowds of different sizes
+// hit different partitions simultaneously and the pool runs dry, each
+// saturated server drains its waiting room at the same fixed SOFT token
+// rate — so the partition with the deepest line starves hardest: its
+// players wait several times longer per capita than a lightly-crowded
+// partition's, and cross-partition goodput diverges.  No local signal can
+// fix this; only the coordinator sees every LoadReport and the pool at
+// once.
+//
+// This PR's global admission layer (src/control/global_admission.h) has the
+// MC aggregate LoadDigests + PoolStatus into a deployment pressure score
+// and broadcast AdmissionDirectives: a floor state every server composes
+// with its local valve (strictest wins), plus per-server token-budget
+// shares weighted by waiting-room depth — the deepest line drains fastest.
+// (The companion cross-server queue handoff is armed here too, but with
+// these parameters the splits complete before the rooms deepen, so the
+// handoff counters usually print 0 — that path is exercised
+// deterministically by GlobalAdmissionDeploymentTest.SplitHandsOffParkedJoins
+// in tests/global_admission_test.cpp, not by this bench.)
+//
+// The bench drives a MultiPartitionSurgeScenario — three simultaneous
+// crowds of deliberately unequal size (280/140/80) into a 4-root, 2-spare
+// deployment at ~1.5× capacity, with half of each crowd churning out
+// through the run so the freed slots are continuously re-contested — and
+// compares:
+//
+//   local  : admission + waiting room on, global off  (PR-2 behaviour)
+//   global : the same, plus coordinator directives    (this PR)
+//
+// Claims under test (ISSUE 3 acceptance criteria):
+//   * cross-partition goodput SPREAD (max−min over surge centers) shrinks
+//     under global directives;
+//   * the worst center's censored time-to-admit improves, without
+//     sacrificing crowd-wide goodput;
+//   * admitted-client p99 stays in the same regime (clamping valves must
+//     not melt service);
+//   * hysteresis timelines stay valid — every per-server valve AND the
+//     coordinator's directive floor (same machine-checked contract).
+#include "bench_common.h"
+
+namespace matrix::bench {
+namespace {
+
+using namespace time_literals;
+
+constexpr std::size_t kRoots = 4;
+constexpr std::size_t kPoolSize = 2;
+constexpr std::uint32_t kOverload = 60;  // 6 slots × 60 = 360 capacity
+// A deliberately scarce SOFT budget: with the queue-depth admission signal
+// holding saturated servers in SOFT (no relax-and-dump), refill after the
+// recovery churn is token-bound — which is exactly where uniform
+// per-server budgets waste tokens at empty rooms while the deep room
+// starves, and where the directive's depth-weighted shares pay off.
+constexpr double kLocalTokenRate = 1.0;
+constexpr SimTime kDuration = 120_sec;
+
+MultiPartitionSurgeScenarioOptions surge_scenario() {
+  MultiPartitionSurgeScenarioOptions scenario;
+  scenario.background_bots = 60;
+  scenario.flash_bots = {280, 140, 80};  // unequal on purpose
+  scenario.centers = {{150.0, 150.0}, {850.0, 150.0}, {150.0, 850.0}};
+  scenario.join_batch = 70;
+  scenario.join_interval = 2_sec;
+  scenario.flash_at = 5_sec;
+  scenario.spread = 90.0;
+  scenario.vip_fraction = 0.15;
+  // Half of each crowd churns out through the run (proportional: the big
+  // crowd's partition frees the most slots), starting soon after the crest
+  // so the refill contest runs for most of the duration.  The refill of
+  // those freed slots is what the two admission regimes contest.
+  scenario.leave_fraction = 0.5;
+  scenario.leave_batch = 20;
+  scenario.leave_at = 25_sec;
+  scenario.leave_interval = 3_sec;
+  scenario.duration = kDuration;
+  return scenario;
+}
+
+DeploymentOptions deployment_options(bool global_admission) {
+  DeploymentOptions options;
+  options.config.world = Rect(0, 0, 1000, 1000);
+  options.config.overload_clients = kOverload;
+  options.config.underload_clients = kOverload / 2;
+  options.config.sustain_reports_to_split = 2;
+  options.config.topology_cooldown = 2_sec;
+  options.config.load_report_interval = 500_ms;
+  options.config.pool_backoff_initial = 1_sec;
+  options.config.pool_backoff_max = 8_sec;
+
+  // The PR-2 valve + waiting room, plus this PR's queue-depth admission
+  // signal (soft_waiting_count) in BOTH runs: a server whose room still
+  // holds 25+ parked joins stays SOFT and drains at the token rate rather
+  // than relaxing and dumping the whole line at once.  Identical local
+  // config in both modes — the comparison isolates the directive.
+  options.config.admission.enabled = true;
+  options.config.admission.soft_denied_streak = 1;
+  options.config.admission.hard_denied_streak = 3;
+  options.config.admission.soft_waiting_count = 25;
+  // Close the valve BELOW the service knee, not 15% past it: a
+  // depth-weighted drain will happily refill a partition right up to this
+  // ceiling, so the ceiling must be a population the server serves
+  // healthily.
+  options.config.admission.soft_load_fraction = 0.75;
+  options.config.admission.hard_load_fraction = 0.95;
+  options.config.admission.token_rate_per_sec = kLocalTokenRate;
+  options.config.admission.token_burst = 2.0;
+  options.config.admission.dwell = 1_sec;
+  options.config.admission.recover_min = 4_sec;
+  options.config.admission.defer_retry = 2_sec;
+  options.config.admission.priority.queue_enabled = true;
+  options.config.admission.priority.queue_capacity = 1024;
+  options.config.admission.priority.age_step = 20_sec;
+  options.config.admission.priority.update_interval = 500_ms;
+
+  // This PR: coordinator directives.  The deployment-wide budget equals
+  // what the local valves would spend in aggregate (one kLocalTokenRate
+  // per server slot), so the comparison isolates DISTRIBUTION, not size.
+  options.config.admission.global.enabled = global_admission;
+  options.config.admission.global.token_rate_total =
+      kLocalTokenRate * static_cast<double>(kRoots + kPoolSize);
+  options.config.admission.global.token_rate_floor = 0.25;
+  options.config.admission.global.dwell = 1_sec;
+  options.config.admission.global.recover_min = 4_sec;
+  options.config.admission.global.directive_interval = 1_sec;
+
+  options.spec = quake_like();
+  options.config.visibility_radius = options.spec.visibility_radius;
+  options.game_node.service_per_message = SimTime::from_us(350);
+  options.initial_servers = kRoots;
+  options.pool_size = kPoolSize;
+  options.map_objects = 120;
+  options.seed = 2005;
+  return options;
+}
+
+struct CenterStats {
+  std::size_t offered = 0;
+  std::size_t admitted = 0;
+  std::uint64_t acks = 0;
+  double censored_ms_sum = 0.0;  ///< admitted: tta; never admitted: full wait
+
+  [[nodiscard]] double goodput(double expected_per_client) const {
+    return offered > 0 ? static_cast<double>(acks) /
+                             (static_cast<double>(offered) * expected_per_client)
+                       : 0.0;
+  }
+  [[nodiscard]] double mean_censored_ms() const {
+    return offered > 0 ? censored_ms_sum / static_cast<double>(offered) : 0.0;
+  }
+};
+
+struct RunResult {
+  std::size_t offered = 0;
+  std::size_t admitted = 0;
+  double p99_ms = 0.0;
+  double goodput = 0.0;          ///< crowd-wide, all bots
+  double goodput_spread = 0.0;   ///< max−min over surge centers
+  double worst_censored_ms = 0.0;
+  std::vector<CenterStats> centers;
+  AdmissionSummary admission;
+};
+
+RunResult run_one(bool global_admission, const char* label) {
+  Deployment deployment(deployment_options(global_admission));
+  const MultiPartitionSurgeScenarioOptions scenario = surge_scenario();
+  schedule_multi_partition_surge_scenario(deployment, scenario);
+  deployment.run_until(scenario.duration);
+
+  const double expected_per_client =
+      kDuration.sec() / deployment.options().spec.action_interval.sec();
+
+  RunResult result;
+  result.centers.resize(scenario.centers.size());
+  Histogram self_ms;
+  std::uint64_t acks_total = 0;
+  for (const BotClient* bot : deployment.bots()) {
+    ++result.offered;
+    // Surge bots carry their center as the attraction point; background
+    // bots (no attraction) count toward crowd-wide figures only.
+    CenterStats* center = nullptr;
+    if (bot->attraction()) {
+      for (std::size_t c = 0; c < scenario.centers.size(); ++c) {
+        if (*bot->attraction() == scenario.centers[c]) {
+          center = &result.centers[c];
+          break;
+        }
+      }
+    }
+    if (center != nullptr) ++center->offered;
+    const std::uint64_t acks = bot->metrics().self_latency_ms.count();
+    acks_total += acks;
+    if (!bot->ever_connected()) {
+      const double censored = (kDuration - bot->first_join_at()).ms();
+      if (center != nullptr) center->censored_ms_sum += censored;
+      continue;
+    }
+    ++result.admitted;
+    self_ms.merge(bot->metrics().self_latency_ms);
+    if (center != nullptr) {
+      ++center->admitted;
+      center->acks += acks;
+      center->censored_ms_sum += bot->metrics().time_to_admit_ms;
+    }
+  }
+  result.p99_ms = self_ms.percentile(99.0);
+  result.goodput = static_cast<double>(acks_total) /
+                   (static_cast<double>(result.offered) * expected_per_client);
+
+  double best = 0.0, worst = 1.0;
+  for (const CenterStats& center : result.centers) {
+    const double goodput = center.goodput(expected_per_client);
+    best = std::max(best, goodput);
+    worst = std::min(worst, goodput);
+    result.worst_censored_ms =
+        std::max(result.worst_censored_ms, center.mean_censored_ms());
+  }
+  result.goodput_spread = best - worst;
+  result.admission = collect_admission(deployment);
+
+  std::printf(
+      "  %-6s offered=%4zu admitted=%4zu p99=%7.1fms goodput=%5.1f%% "
+      "spread=%5.1f%%\n",
+      label, result.offered, result.admitted, result.p99_ms,
+      result.goodput * 100.0, result.goodput_spread * 100.0);
+  for (std::size_t c = 0; c < result.centers.size(); ++c) {
+    const CenterStats& center = result.centers[c];
+    std::printf(
+        "         center%zu offered=%4zu admitted=%4zu goodput=%5.1f%% "
+        "censored-tta=%7.0fms\n",
+        c + 1, center.offered, center.admitted,
+        center.goodput(expected_per_client) * 100.0,
+        center.mean_censored_ms());
+  }
+  std::printf(
+      "         directives=%llu applied=%llu handoffs: out=%llu in=%llu "
+      "queue: parked=%llu drained=%llu\n",
+      static_cast<unsigned long long>(result.admission.directives_broadcast),
+      static_cast<unsigned long long>(result.admission.directives_applied),
+      static_cast<unsigned long long>(result.admission.queue_handed_off),
+      static_cast<unsigned long long>(result.admission.queue_adopted),
+      static_cast<unsigned long long>(result.admission.joins_queued),
+      static_cast<unsigned long long>(result.admission.queue_admitted));
+  return result;
+}
+
+void verdict(const char* what, bool pass) {
+  std::printf("  %-52s: %s\n", what, pass ? "PASS" : "FAIL");
+}
+
+int run(const char* json_path) {
+  header("GlobalAdmission",
+         "coordinator directives vs per-server valves under simultaneous "
+         "multi-partition surges");
+  std::printf(
+      "  capacity = %zu slots x %u clients = %zu; crowds = 280/140/80 + 60 "
+      "background (~1.5x); half churn out mid-run\n  global budget = local "
+      "aggregate (%g/s); shares weighted by waiting-room depth\n\n",
+      kRoots + kPoolSize, kOverload, (kRoots + kPoolSize) * kOverload,
+      kLocalTokenRate * static_cast<double>(kRoots + kPoolSize));
+
+  const RunResult local = run_one(false, "local");
+  const RunResult global = run_one(true, "global");
+
+  std::printf("\n[criteria]\n");
+  const bool spread_ok = global.goodput_spread < local.goodput_spread;
+  const bool worst_ok = global.worst_censored_ms < local.worst_censored_ms;
+  const bool goodput_ok = global.goodput >= 0.9 * local.goodput;
+  const bool p99_ok = global.p99_ms <= 2.0 * local.p99_ms;
+  const bool timelines_ok = local.admission.timelines_valid &&
+                            global.admission.timelines_valid &&
+                            global.admission.global_timeline_valid;
+  const bool directives_ok = global.admission.directives_broadcast > 0 &&
+                             local.admission.directives_broadcast == 0;
+  verdict("cross-partition goodput spread: global < local", spread_ok);
+  verdict("worst center censored time-to-admit: global < local", worst_ok);
+  verdict("crowd-wide goodput preserved (>= 0.9x local)", goodput_ok);
+  verdict("admitted p99 within 2x of local", p99_ok);
+  verdict("hysteresis timelines valid (servers + directive floor)",
+          timelines_ok);
+  verdict("directives broadcast iff global enabled", directives_ok);
+  std::printf("  goodput spread      : %5.1f%% -> %5.1f%%\n",
+              local.goodput_spread * 100.0, global.goodput_spread * 100.0);
+  std::printf("  worst censored tta  : %6.0f ms -> %6.0f ms\n",
+              local.worst_censored_ms, global.worst_censored_ms);
+  std::printf("  crowd-wide goodput  : %5.1f%% -> %5.1f%%\n",
+              local.goodput * 100.0, global.goodput * 100.0);
+
+  JsonReport report("global_admission");
+  const char* labels[2] = {"local", "global"};
+  const RunResult* runs[2] = {&local, &global};
+  for (int i = 0; i < 2; ++i) {
+    report.add(labels[i], "goodput", runs[i]->goodput, "fraction");
+    report.add(labels[i], "goodput_spread", runs[i]->goodput_spread,
+               "fraction");
+    report.add(labels[i], "worst_censored_tta", runs[i]->worst_censored_ms,
+               "ms");
+    report.add(labels[i], "p99", runs[i]->p99_ms, "ms");
+    report.add(labels[i], "admitted",
+               static_cast<double>(runs[i]->admitted), "clients");
+  }
+  report.add("global", "directives_broadcast",
+             static_cast<double>(global.admission.directives_broadcast), "");
+  report.add("global", "queue_handed_off",
+             static_cast<double>(global.admission.queue_handed_off), "");
+  report.write(json_path);
+
+  return spread_ok && worst_ok && goodput_ok && p99_ok && timelines_ok &&
+                 directives_ok
+             ? 0
+             : 1;
+}
+
+}  // namespace
+}  // namespace matrix::bench
+
+int main(int argc, char** argv) {
+  return matrix::bench::run(matrix::bench::json_report_path(argc, argv));
+}

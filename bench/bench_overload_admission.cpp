@@ -123,7 +123,7 @@ RunResult run_one(bool admission_on, std::size_t crowd, const char* label) {
   return result;
 }
 
-void run() {
+void run(const char* json_path) {
   header("OverloadAdmission",
          "beyond-capacity flash crowd: admission on vs off");
   std::printf("  capacity = %zu servers x %u clients = %zu; crowd = %zu\n\n",
@@ -150,12 +150,24 @@ void run() {
               on.admission.timelines_valid ? "PASS" : "FAIL");
   std::printf("  goodput ON vs OFF (delivered fraction)  : %.1f%% vs %.1f%%\n",
               on.delivery * 100.0, off.delivery * 100.0);
+
+  JsonReport report("overload_admission");
+  const char* labels[3] = {"baseline", "off", "on"};
+  const RunResult* runs[3] = {&baseline, &off, &on};
+  for (int i = 0; i < 3; ++i) {
+    report.add(labels[i], "p50", runs[i]->p50_ms, "ms");
+    report.add(labels[i], "p99", runs[i]->p99_ms, "ms");
+    report.add(labels[i], "delivery", runs[i]->delivery, "fraction");
+    report.add(labels[i], "admitted", static_cast<double>(runs[i]->admitted),
+               "clients");
+  }
+  report.write(json_path);
 }
 
 }  // namespace
 }  // namespace matrix::bench
 
-int main() {
-  matrix::bench::run();
+int main(int argc, char** argv) {
+  matrix::bench::run(matrix::bench::json_report_path(argc, argv));
   return 0;
 }

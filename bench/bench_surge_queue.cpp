@@ -215,7 +215,7 @@ void verdict(const char* what, bool pass) {
   std::printf("  %-44s: %s\n", what, pass ? "PASS" : "FAIL");
 }
 
-void run() {
+void run(const char* json_path) {
   header("SurgeQueue",
          "waiting-room drain vs PR-1 defer-retry under a 3x flash crowd");
   std::printf("  capacity = %zu servers x %u clients = %zu; crowd = %zu "
@@ -251,12 +251,27 @@ void run() {
               queue.normal.mean_censored_ms());
   std::printf("  goodput             : %5.1f%% -> %5.1f%%\n",
               defer.goodput * 100.0, queue.goodput * 100.0);
+
+  JsonReport report("surge_queue");
+  const char* labels[2] = {"defer", "queue"};
+  const RunResult* runs[2] = {&defer, &queue};
+  for (int i = 0; i < 2; ++i) {
+    report.add(labels[i], "goodput", runs[i]->goodput, "fraction");
+    report.add(labels[i], "p99", runs[i]->p99_ms, "ms");
+    report.add(labels[i], "admitted", static_cast<double>(runs[i]->admitted),
+               "clients");
+    report.add(labels[i], "censored_tta_vip", runs[i]->vip.mean_censored_ms(),
+               "ms");
+    report.add(labels[i], "censored_tta_normal",
+               runs[i]->normal.mean_censored_ms(), "ms");
+  }
+  report.write(json_path);
 }
 
 }  // namespace
 }  // namespace matrix::bench
 
-int main() {
-  matrix::bench::run();
+int main(int argc, char** argv) {
+  matrix::bench::run(matrix::bench::json_report_path(argc, argv));
   return 0;
 }

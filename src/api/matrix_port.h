@@ -66,6 +66,13 @@ class MatrixPort {
   /// Acknowledges that a MapRange-ordered shed has completed.
   std::size_t shed_done(const ShedDone& done) { return send(Message{done}); }
 
+  /// Surge-queue entries whose region moved to `handoff.to_game` in a
+  /// split/reclaim, relayed via Matrix so they re-park there with class
+  /// and accrued age preserved (coordinator-led global admission).
+  std::size_t transfer_queue(const QueueHandoff& handoff) {
+    return send(Message{handoff});
+  }
+
   /// Asks Matrix which game server owns `query.point` (client migration:
   /// "Matrix provides the identity of the appropriate game server").  The
   /// answer arrives on the on_owner_reply callback.
@@ -81,6 +88,8 @@ class MatrixPort {
   using ClientStateHandler = std::function<void(const ClientStateTransfer&)>;
   using OwnerReplyHandler = std::function<void(const OwnerReply&)>;
   using AdmissionHandler = std::function<void(const AdmissionUpdate&)>;
+  using DirectiveHandler = std::function<void(const AdmissionDirective&)>;
+  using QueueHandoffHandler = std::function<void(const QueueHandoff&)>;
 
   /// A remote event relevant to this server's partition (range-verified by
   /// the Matrix server before delivery).
@@ -101,6 +110,15 @@ class MatrixPort {
   /// should start/stop gating new joins accordingly.
   void on_admission(AdmissionHandler handler) {
     admission_ = std::move(handler);
+  }
+  /// A coordinator-led admission directive arrived (relayed by the Matrix
+  /// server): floor state and this server's token-budget share.
+  void on_directive(DirectiveHandler handler) {
+    directive_ = std::move(handler);
+  }
+  /// Parked joins handed off from another server's surge queue.
+  void on_queue_handoff(QueueHandoffHandler handler) {
+    queue_handoff_ = std::move(handler);
   }
 
   /// Routes a decoded message to the registered callback.  Returns true if
@@ -131,6 +149,14 @@ class MatrixPort {
       if (admission_) admission_(*update);
       return true;
     }
+    if (const auto* directive = std::get_if<AdmissionDirective>(&message)) {
+      if (directive_) directive_(*directive);
+      return true;
+    }
+    if (const auto* handoff = std::get_if<QueueHandoff>(&message)) {
+      if (queue_handoff_) queue_handoff_(*handoff);
+      return true;
+    }
     return false;
   }
 
@@ -150,6 +176,8 @@ class MatrixPort {
   ClientStateHandler client_state_;
   OwnerReplyHandler owner_reply_;
   AdmissionHandler admission_;
+  DirectiveHandler directive_;
+  QueueHandoffHandler queue_handoff_;
 };
 
 }  // namespace matrix

@@ -32,7 +32,9 @@ AdmissionState AdmissionController::target_for(
   if (signals.client_count >= load_at(config_.hard_load_fraction) ||
       signals.queue_length >= config_.hard_queue_length ||
       (config_.hard_denied_streak > 0 &&
-       signals.split_denied_streak >= config_.hard_denied_streak)) {
+       signals.split_denied_streak >= config_.hard_denied_streak) ||
+      (config_.hard_waiting_count > 0 &&
+       signals.waiting_count >= config_.hard_waiting_count)) {
     return AdmissionState::kHard;
   }
 
@@ -44,6 +46,8 @@ AdmissionState AdmissionController::target_for(
       signals.queue_length >= config_.soft_queue_length ||
       (config_.soft_denied_streak > 0 &&
        signals.split_denied_streak >= config_.soft_denied_streak) ||
+      (config_.soft_waiting_count > 0 &&
+       signals.waiting_count >= config_.soft_waiting_count) ||
       pool_pressure) {
     return AdmissionState::kSoft;
   }

@@ -47,6 +47,28 @@ enum class AdmissionState : std::uint8_t {
 
 [[nodiscard]] const char* admission_state_name(AdmissionState state);
 
+/// Maps a wire byte (AdmissionUpdate.state, AdmissionDirective.floor) back
+/// to a state.  Out-of-range values clamp to kHard — a corrupt or
+/// future-version frame must fail the valve CLOSED, never open (an
+/// unmatched enum in a gate switch would otherwise fall through to
+/// "admit").
+[[nodiscard]] constexpr AdmissionState admission_state_from_wire(
+    std::uint8_t wire) {
+  return wire <= static_cast<std::uint8_t>(AdmissionState::kHard)
+             ? static_cast<AdmissionState>(wire)
+             : AdmissionState::kHard;
+}
+
+/// Composition rule for coordinator-led global admission
+/// (control/global_admission.h): a server's effective valve state is its
+/// local decision composed with the coordinator's directive floor —
+/// strictest wins.  The local controller's hysteresis timeline is untouched
+/// by composition (the floor is an external clamp, not a local transition).
+[[nodiscard]] constexpr AdmissionState compose_admission(
+    AdmissionState local, AdmissionState floor) {
+  return local > floor ? local : floor;
+}
+
 /// One load observation, assembled by the Matrix server from its game
 /// server's LoadReport, direct queue observation, its own split-denied
 /// streak, and the coordinator's pool-pressure broadcasts.
@@ -57,6 +79,9 @@ struct AdmissionSignals {
   std::uint32_t split_denied_streak = 0;
   /// Idle fraction of the deployment's spare pool; negative ⇒ unknown.
   double pool_idle_fraction = -1.0;
+  /// Surge-queue depth (parked joins); only consulted when the
+  /// soft/hard_waiting_count thresholds are non-zero.
+  std::uint32_t waiting_count = 0;
 };
 
 /// One recorded state change, for metrics and invariant checking.

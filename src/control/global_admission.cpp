@@ -1,0 +1,169 @@
+#include "control/global_admission.h"
+
+#include <algorithm>
+
+namespace matrix {
+
+GlobalAdmission::GlobalAdmission(const GlobalAdmissionConfig& config,
+                                 std::uint32_t overload_clients)
+    : config_(config), overload_clients_(overload_clients) {}
+
+bool GlobalAdmission::observe_server(SimTime now, ServerId server,
+                                     const ServerDigest& digest) {
+  if (!config_.enabled) return false;
+  auto it = std::find_if(digests_.begin(), digests_.end(),
+                         [&](const Tracked& t) { return t.server == server; });
+  if (it == digests_.end()) {
+    digests_.push_back({server, digest});
+  } else {
+    it->digest = digest;
+  }
+  ++stats_.observations;
+  return evaluate(now);
+}
+
+bool GlobalAdmission::observe_pool(SimTime now, std::uint32_t idle,
+                                   std::uint32_t total) {
+  if (!config_.enabled) return false;
+  pool_idle_ = idle;
+  pool_total_ = total;
+  ++stats_.observations;
+  return evaluate(now);
+}
+
+bool GlobalAdmission::forget_server(SimTime now, ServerId server) {
+  const auto it = std::remove_if(
+      digests_.begin(), digests_.end(),
+      [&](const Tracked& t) { return t.server == server; });
+  if (it == digests_.end()) return false;
+  digests_.erase(it, digests_.end());
+  return config_.enabled && evaluate(now);
+}
+
+std::uint32_t GlobalAdmission::waiting_total() const {
+  std::uint32_t total = 0;
+  for (const Tracked& t : digests_) total += t.digest.waiting_count;
+  return total;
+}
+
+double GlobalAdmission::compute_pressure() const {
+  if (digests_.empty()) return 0.0;
+  const auto n = static_cast<double>(digests_.size());
+  const auto overload = static_cast<double>(std::max(1u, overload_clients_));
+
+  // Pool: 1.0 when the spare pool is dry (a split can no longer save a
+  // saturated partition), 0 when fully idle or never heard from.
+  const double pool_term =
+      pool_total_ > 0 ? 1.0 - static_cast<double>(pool_idle_) /
+                                  static_cast<double>(pool_total_)
+                      : 0.0;
+
+  // Mean load fraction vs the overload threshold, saturating at 1.
+  double load_sum = 0.0;
+  double elevated_sum = 0.0;
+  double waiting_sum = 0.0;
+  for (const Tracked& t : digests_) {
+    load_sum += std::min(
+        1.0, static_cast<double>(t.digest.client_count) / overload);
+    switch (t.digest.state) {
+      case AdmissionState::kNormal: break;
+      case AdmissionState::kSoft: elevated_sum += 0.5; break;
+      case AdmissionState::kHard: elevated_sum += 1.0; break;
+    }
+    waiting_sum += static_cast<double>(t.digest.waiting_count);
+  }
+  const double load_term = load_sum / n;
+  const double elevated_term = elevated_sum / n;
+  // Waiting rooms holding half an overload-threshold's worth of joins per
+  // server saturate this term.
+  const double waiting_term =
+      std::min(1.0, waiting_sum / (n * overload * 0.5));
+
+  return 0.40 * pool_term + 0.30 * load_term + 0.20 * elevated_term +
+         0.10 * waiting_term;
+}
+
+AdmissionState GlobalAdmission::target() const {
+  if (pressure_ >= config_.hard_pressure) return AdmissionState::kHard;
+  if (pressure_ >= config_.soft_pressure) return AdmissionState::kSoft;
+  return AdmissionState::kNormal;
+}
+
+void GlobalAdmission::transition(SimTime now, AdmissionState to) {
+  transitions_.push_back({now, floor_, to});
+  if (to > floor_) {
+    ++stats_.escalations;
+  } else {
+    ++stats_.relaxations;
+  }
+  floor_ = to;
+  last_transition_ = now;
+  ever_transitioned_ = true;
+  calm_ = false;
+}
+
+bool GlobalAdmission::evaluate(SimTime now) {
+  pressure_ = compute_pressure();
+  const AdmissionState want = target();
+
+  if (want > floor_) {
+    // Same contract as the local valve: escalation is immediate — a
+    // deployment past its pressure threshold must clamp every server now.
+    transition(now, want);
+    return true;
+  }
+  if (want == floor_) {
+    calm_ = false;
+    return false;
+  }
+  if (!calm_) {
+    calm_ = true;
+    calm_since_ = now;
+  }
+  const bool dwell_ok =
+      !ever_transitioned_ || now - last_transition_ >= config_.dwell;
+  if (dwell_ok && now - calm_since_ >= config_.recover_min) {
+    transition(now, static_cast<AdmissionState>(
+                        static_cast<std::uint8_t>(floor_) - 1));
+    return true;
+  }
+  return false;
+}
+
+double GlobalAdmission::share_for(ServerId server) const {
+  // Weight each server by 1 + waiting-room depth: a starved partition's
+  // deep line earns it proportionally more of the deployment-wide budget.
+  // Every server is paid its token_rate_floor FIRST and only the remainder
+  // is divided by weight, so the granted shares sum to exactly
+  // token_rate_total (clamping up after a plain division would overspend
+  // the budget by up to N×floor).
+  double weight_sum = 0.0;
+  double weight = 0.0;
+  for (const Tracked& t : digests_) {
+    const double w = 1.0 + static_cast<double>(t.digest.waiting_count);
+    weight_sum += w;
+    if (t.server == server) weight = w;
+  }
+  if (weight_sum <= 0.0 || weight <= 0.0) return config_.token_rate_floor;
+  const double distributable = std::max(
+      0.0, config_.token_rate_total -
+               config_.token_rate_floor * static_cast<double>(digests_.size()));
+  return config_.token_rate_floor + distributable * weight / weight_sum;
+}
+
+bool GlobalAdmission::broadcast_due(SimTime now) const {
+  if (!active()) return false;
+  if (!ever_broadcast_) return true;
+  return now - last_broadcast_ >= config_.directive_interval;
+}
+
+bool GlobalAdmission::timeline_valid() const {
+  // The floor obeys the exact per-server hysteresis contract; reuse its
+  // checker with a config carrying this machine's dwell/recover windows.
+  AdmissionConfig contract;
+  contract.dwell = config_.dwell;
+  contract.recover_min = config_.recover_min;
+  return admission_timeline_valid(transitions_, contract);
+}
+
+}  // namespace matrix

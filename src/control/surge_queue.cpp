@@ -18,6 +18,15 @@ PriorityClass priority_class_from_wire(std::uint8_t wire) {
   return wire == 1 ? PriorityClass::kVip : PriorityClass::kNormal;
 }
 
+PriorityClass priority_class_from_handoff_wire(std::uint8_t wire) {
+  // 0/1/2 round-trip; anything else (corrupt frame, future class) degrades
+  // to NORMAL — an invalid enum would index the per-class stats arrays out
+  // of bounds at drain time.
+  return wire <= static_cast<std::uint8_t>(PriorityClass::kNormal)
+             ? static_cast<PriorityClass>(wire)
+             : PriorityClass::kNormal;
+}
+
 bool SurgeQueue::enqueue(SimTime now, ClientId client, NodeId client_node,
                          Vec2 position, PriorityClass cls) {
   if (entries_.size() >= config_.queue_capacity) {
@@ -37,6 +46,36 @@ bool SurgeQueue::enqueue(SimTime now, ClientId client, NodeId client_node,
   return true;
 }
 
+bool SurgeQueue::adopt(const SurgeEntry& entry) {
+  if (entries_.size() >= config_.queue_capacity) {
+    ++stats_.overflow;
+    return false;
+  }
+  SurgeEntry adopted = entry;
+  // Fresh local ticket; drain rank is preserved by the enqueue-time key in
+  // drains_before(), not the seq.
+  adopted.seq = next_seq_++;
+  entries_.push_back(adopted);
+  ++stats_.adopted;
+  stats_.max_depth = std::max<std::uint64_t>(stats_.max_depth, entries_.size());
+  return true;
+}
+
+std::vector<SurgeEntry> SurgeQueue::extract_range(const Rect& range,
+                                                  SimTime now) {
+  std::vector<SurgeEntry> out;
+  for (const SurgeEntry* entry : ordered(now)) {
+    if (range.contains(entry->position)) out.push_back(*entry);
+  }
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const SurgeEntry& e) {
+                                  return range.contains(e.position);
+                                }),
+                 entries_.end());
+  stats_.handed_off += out.size();
+  return out;
+}
+
 PriorityClass SurgeQueue::effective_class(const SurgeEntry& entry,
                                           SimTime now) const {
   auto cls = static_cast<std::uint8_t>(entry.cls);
@@ -48,25 +87,30 @@ PriorityClass SurgeQueue::effective_class(const SurgeEntry& entry,
   return static_cast<PriorityClass>(cls);
 }
 
-std::size_t SurgeQueue::best_index(SimTime now) const {
+bool SurgeQueue::drains_before(const SurgeEntry& a, const SurgeEntry& b,
+                               SimTime now) const {
+  const auto ca = effective_class(a, now);
+  const auto cb = effective_class(b, now);
+  if (ca != cb) return ca < cb;
+  if (a.enqueued_at != b.enqueued_at) return a.enqueued_at < b.enqueued_at;
+  return a.seq < b.seq;
+}
+
+std::size_t SurgeQueue::best_index(SimTime now, bool skip_vip) const {
   std::size_t best = entries_.size();
   for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (best == entries_.size()) {
-      best = i;
+    if (skip_vip && effective_class(entries_[i], now) == PriorityClass::kVip) {
       continue;
     }
-    const auto ci = effective_class(entries_[i], now);
-    const auto cb = effective_class(entries_[best], now);
-    if (ci < cb || (ci == cb && entries_[i].seq < entries_[best].seq)) {
+    if (best == entries_.size() ||
+        drains_before(entries_[i], entries_[best], now)) {
       best = i;
     }
   }
   return best;
 }
 
-std::optional<SurgeEntry> SurgeQueue::pop(SimTime now) {
-  const std::size_t i = best_index(now);
-  if (i >= entries_.size()) return std::nullopt;
+SurgeEntry SurgeQueue::take(std::size_t i, SimTime now) {
   SurgeEntry entry = entries_[i];
   entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
   ++stats_.admitted;
@@ -75,6 +119,17 @@ std::optional<SurgeEntry> SurgeQueue::pop(SimTime now) {
   stats_.wait_us_sum_by_class[cls] +=
       static_cast<std::uint64_t>((now - entry.enqueued_at).us());
   return entry;
+}
+
+std::optional<SurgeEntry> SurgeQueue::pop(SimTime now, bool skip_vip) {
+  const std::size_t i = best_index(now, skip_vip);
+  if (i >= entries_.size()) return std::nullopt;
+  if (skip_vip) {
+    // The cap actually bound only if a VIP would otherwise have drained.
+    const std::size_t unfiltered = best_index(now, /*skip_vip=*/false);
+    if (unfiltered != i) ++stats_.vip_capped;
+  }
+  return take(i, now);
 }
 
 bool SurgeQueue::remove(ClientId client) {
@@ -87,13 +142,22 @@ bool SurgeQueue::remove(ClientId client) {
   return true;
 }
 
-std::vector<SurgeEntry> SurgeQueue::flush(SimTime now) {
+std::vector<SurgeEntry> SurgeQueue::take_everything(SimTime now,
+                                                    std::uint64_t& counter) {
   std::vector<SurgeEntry> out;
   out.reserve(entries_.size());
   for (const SurgeEntry* entry : ordered(now)) out.push_back(*entry);
-  stats_.flushed += entries_.size();
+  counter += entries_.size();
   entries_.clear();
   return out;
+}
+
+std::vector<SurgeEntry> SurgeQueue::extract_all(SimTime now) {
+  return take_everything(now, stats_.handed_off);
+}
+
+std::vector<SurgeEntry> SurgeQueue::flush(SimTime now) {
+  return take_everything(now, stats_.flushed);
 }
 
 bool SurgeQueue::contains(ClientId client) const {
@@ -108,10 +172,7 @@ std::vector<const SurgeEntry*> SurgeQueue::ordered(SimTime now) const {
   for (const SurgeEntry& entry : entries_) out.push_back(&entry);
   std::sort(out.begin(), out.end(),
             [this, now](const SurgeEntry* a, const SurgeEntry* b) {
-              const auto ca = effective_class(*a, now);
-              const auto cb = effective_class(*b, now);
-              if (ca != cb) return ca < cb;
-              return a->seq < b->seq;
+              return drains_before(*a, *b, now);
             });
   return out;
 }

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "geometry/rect.h"
 #include "geometry/vec2.h"
 #include "util/ids.h"
 #include "util/sim_time.h"
@@ -53,6 +54,12 @@ enum class PriorityClass : std::uint8_t {
 /// Maps ClientHello::priority (wire byte) to a class for a FRESH join.
 /// Resumes never reach the queue through this path.
 [[nodiscard]] PriorityClass priority_class_from_wire(std::uint8_t wire);
+
+/// Maps QueueHandoffEntry::cls (wire byte) back to a class.  Unlike the
+/// hello path this must round-trip all three classes (a parked RESUME can
+/// be handed off); unknown future values degrade to NORMAL, never up.
+[[nodiscard]] PriorityClass priority_class_from_handoff_wire(
+    std::uint8_t wire);
 
 /// One parked join: everything the game server needs to admit the client
 /// later without a fresh ClientHello.
@@ -76,10 +83,39 @@ class SurgeQueue {
   bool enqueue(SimTime now, ClientId client, NodeId client_node,
                Vec2 position, PriorityClass cls);
 
+  /// Re-parks an entry handed off from another server (split/merge): the
+  /// original class and enqueue time are preserved, so accrued age — and
+  /// therefore aging promotions and drain rank — survive the handoff.
+  /// False when at capacity (the caller falls back to JoinDefer).
+  bool adopt(const SurgeEntry& entry);
+
+  /// Removes and returns every entry whose requested position lies in
+  /// `range`, in drain order — the handoff set when that range is shed to
+  /// another server.  Counted in stats as handed_off.
+  std::vector<SurgeEntry> extract_range(const Rect& range, SimTime now);
+
+  /// Removes and returns everything, in drain order, counted as
+  /// handed_off — the reclaim-side handoff (flush() is the give-up
+  /// variant: same emptying, counted as flushed).
+  std::vector<SurgeEntry> extract_all(SimTime now);
+
   /// Removes and returns the entry next in line at `now` (best effective
   /// class, FIFO within it); nullopt when empty.  Records the entry's wait
-  /// in the per-class admission stats.
-  std::optional<SurgeEntry> pop(SimTime now);
+  /// in the per-class admission stats.  With `skip_vip`, the best entry
+  /// whose EFFECTIVE class is not VIP is taken instead (nullopt when only
+  /// VIP-effective entries remain) — the paid-priority fairness cap's
+  /// escape hatch.  The filter acts on the effective class: RESUME (and
+  /// anything aged to RESUME) is never skipped, while a NORMAL aged up to
+  /// VIP is capped like a paid VIP until its next promotion lifts it
+  /// clear.
+  std::optional<SurgeEntry> pop(SimTime now, bool skip_vip = false);
+
+  /// Effective (aged) class of `entry` at `now` — public so the drain loop
+  /// can account its fairness burst by what actually outranked whom.
+  [[nodiscard]] PriorityClass effective_class_at(const SurgeEntry& entry,
+                                                 SimTime now) const {
+    return effective_class(entry, now);
+  }
 
   /// Drops `client` (left while waiting).  False if not queued.
   bool remove(ClientId client);
@@ -106,6 +142,9 @@ class SurgeQueue {
     std::uint64_t overflow = 0;  ///< refused: queue at capacity
     std::uint64_t removed = 0;   ///< client left while waiting
     std::uint64_t flushed = 0;   ///< dropped by flush()
+    std::uint64_t handed_off = 0;  ///< extracted for cross-server handoff
+    std::uint64_t adopted = 0;     ///< re-parked here from another server
+    std::uint64_t vip_capped = 0;  ///< drains where the fairness cap bound
     std::uint64_t max_depth = 0;
     /// Per-ORIGINAL-class admission tallies (index = PriorityClass).
     std::uint64_t admitted_by_class[3] = {0, 0, 0};
@@ -118,8 +157,21 @@ class SurgeQueue {
   /// saturating at kResume.  With age_step == 0, aging is off.
   [[nodiscard]] PriorityClass effective_class(const SurgeEntry& entry,
                                               SimTime now) const;
-  /// Index of the entry next in line; entries_.size() when empty.
-  [[nodiscard]] std::size_t best_index(SimTime now) const;
+  /// True when `a` drains before `b` at `now`: best effective class first,
+  /// then oldest enqueue time, then lowest seq.  (For purely local entries
+  /// enqueue time and seq order coincide; the time key exists so an entry
+  /// adopted from another server ranks by its true age, not its re-park
+  /// instant.)
+  [[nodiscard]] bool drains_before(const SurgeEntry& a, const SurgeEntry& b,
+                                   SimTime now) const;
+  /// Index of the entry next in line (optionally skipping VIP-effective
+  /// entries); entries_.size() when none qualifies.
+  [[nodiscard]] std::size_t best_index(SimTime now, bool skip_vip) const;
+  /// Empties the queue in drain order, charging `counter` (the flushed /
+  /// handed_off stat of the public variants).
+  std::vector<SurgeEntry> take_everything(SimTime now, std::uint64_t& counter);
+  /// Removes entries_[i] and records its admission in the per-class stats.
+  SurgeEntry take(std::size_t i, SimTime now);
 
   SurgePriorityConfig config_;
   std::vector<SurgeEntry> entries_;  ///< unordered; drain order is computed

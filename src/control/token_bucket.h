@@ -43,6 +43,16 @@ class TokenBucket {
     last_refill_ = now;
   }
 
+  /// Changes the refill rate from `now` on (coordinator-led directives swap
+  /// a server's budget share in and out).  Accrual up to `now` happens at
+  /// the OLD rate; banked tokens and the burst cap are untouched.
+  void set_rate(SimTime now, double rate_per_sec) {
+    refill(now);
+    rate_ = rate_per_sec;
+  }
+
+  [[nodiscard]] double rate() const { return rate_; }
+
  private:
   void refill(SimTime now) {
     if (now <= last_refill_) return;

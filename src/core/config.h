@@ -49,6 +49,61 @@ struct SurgePriorityConfig {
   /// tick admits what the token budget allows and pushes a QueueUpdate
   /// (position, depth, ETA) to every still-waiting client.
   SimTime update_interval = SimTime::from_ms(500);
+
+  /// Paid-priority fairness cap: while the room stays occupied, at most
+  /// this fraction of drained entries may go out at VIP effective class
+  /// (tallies reset when the room empties).  The cap acts on the EFFECTIVE
+  /// class: RESUME — including anything aged up to RESUME — is never
+  /// capped, while a NORMAL aged to VIP is capped like a paid VIP until
+  /// its next promotion.  When the cap binds and a NORMAL entry is
+  /// waiting, the NORMAL entry is admitted instead — so a paid lane can
+  /// never monopolise the door.  1.0 disables the cap (PR-2 behaviour).
+  double vip_drain_cap = 1.0;
+};
+
+/// Knobs for coordinator-led global admission (src/control/
+/// global_admission.h): the Matrix Coordinator aggregates per-server load
+/// digests and pool occupancy into a deployment-wide pressure score and
+/// broadcasts AdmissionDirective messages — a floor state every server must
+/// hold plus per-server token-budget shares weighted by waiting-room depth.
+/// Disabled by default: no digests, no directives, PR-2 per-server
+/// behaviour bit-for-bit.
+struct GlobalAdmissionConfig {
+  bool enabled = false;
+
+  // ---- pressure thresholds --------------------------------------------------
+  /// Directive floor goes SOFT at this pressure score (see
+  /// GlobalAdmission::pressure() for the score's composition)...
+  double soft_pressure = 0.65;
+  /// ...and HARD at this one.
+  double hard_pressure = 0.85;
+
+  // ---- deployment-wide token budget ----------------------------------------
+  /// Total SOFT-mode admits per second across the whole deployment while a
+  /// directive is in force, divided among servers in proportion to their
+  /// waiting-room depth (starved partitions drain first).
+  double token_rate_total = 32.0;
+  /// Minimum per-server share, so a server with an empty waiting room is
+  /// never starved of its trickle of fresh joins.
+  double token_rate_floor = 1.0;
+
+  // ---- hysteresis (same contract as the local valve) ------------------------
+  /// Floor escalation is immediate; relaxation steps down one level at a
+  /// time after `recover_min` of continuous calm and `dwell` since the last
+  /// floor change — machine-checked by admission_timeline_valid.
+  SimTime dwell = SimTime::from_sec(2.0);
+  SimTime recover_min = SimTime::from_sec(5.0);
+
+  /// Minimum gap between share-refresh broadcasts while the floor is
+  /// unchanged (floor changes broadcast immediately).  Bounds directive
+  /// traffic to ~N_servers messages per interval.
+  SimTime directive_interval = SimTime::from_sec(1.0);
+
+  /// Cross-server queue handoff: while a directive is active, parked joins
+  /// displaced by a split/reclaim re-park on the server that now owns their
+  /// region (class and accrued age preserved) instead of being flushed back
+  /// to client-side retry.
+  bool queue_handoff = true;
 };
 
 /// Knobs for the admission & overload-protection subsystem (src/control/).
@@ -69,6 +124,11 @@ struct AdmissionConfig {
   /// trigger SOFT / HARD — the "pool is exhausted and I am still hot" case.
   std::uint32_t soft_denied_streak = 1;
   std::uint32_t hard_denied_streak = 3;
+  /// Surge-queue depths (parked joins) triggering SOFT / HARD: a waiting
+  /// room that keeps deepening means the token budget is losing the race
+  /// and the valve should say so.  0 disables (default — PR-2 behaviour).
+  std::uint32_t soft_waiting_count = 0;
+  std::uint32_t hard_waiting_count = 0;
   /// Pool-pressure pre-escalation: when the deployment-wide idle fraction
   /// is at or below soft_pool_idle_fraction AND this server already carries
   /// pool_pressure_load_fraction × overload_clients, go SOFT before the
@@ -96,6 +156,9 @@ struct AdmissionConfig {
 
   // ---- surge queue ("waiting room") -----------------------------------------
   SurgePriorityConfig priority;
+
+  // ---- coordinator-led global admission -------------------------------------
+  GlobalAdmissionConfig global;
 };
 
 struct Config {

@@ -27,7 +27,47 @@ void Coordinator::on_message(const Message& message, const Envelope& envelope) {
                          status->total != pool_status_.total;
     pool_status_ = *status;
     if (changed) broadcast_pool_pressure();
+    const bool floor_changed =
+        global_admission_.observe_pool(now(), status->idle, status->total);
+    maybe_broadcast_directives(floor_changed);
+  } else if (const auto* digest = std::get_if<LoadDigest>(&message)) {
+    GlobalAdmission::ServerDigest d;
+    d.client_count = digest->client_count;
+    d.queue_length = digest->queue_length;
+    d.waiting_count = digest->waiting_count;
+    d.state = admission_state_from_wire(digest->admission_state);
+    const bool floor_changed =
+        global_admission_.observe_server(now(), digest->server, d);
+    maybe_broadcast_directives(floor_changed);
   }
+}
+
+void Coordinator::send_directive(ServerId server, NodeId matrix_node) {
+  AdmissionDirective directive;
+  directive.seq = ++directive_seq_;
+  directive.floor =
+      static_cast<std::uint8_t>(global_admission_.floor());
+  directive.active = global_admission_.active();
+  directive.token_rate =
+      directive.active ? global_admission_.share_for(server) : 0.0;
+  directive.pressure = global_admission_.pressure();
+  directive.waiting_total = global_admission_.waiting_total();
+  send(matrix_node, directive);
+  ++directives_broadcast_;
+}
+
+void Coordinator::maybe_broadcast_directives(bool force) {
+  if (!config_.admission.global.enabled) return;
+  const bool active = global_admission_.active();
+  // A relax to NORMAL still needs one rescinding round so servers drop the
+  // stale floor and restore their local token rates.
+  const bool rescind = !active && directive_in_force_;
+  if (!force && !rescind && !global_admission_.broadcast_due(now())) return;
+  for (const auto& entry : map_.entries()) {
+    send_directive(entry.server, entry.matrix_node);
+  }
+  global_admission_.mark_broadcast(now());
+  directive_in_force_ = active;
 }
 
 void Coordinator::broadcast_pool_pressure() {
@@ -57,12 +97,19 @@ void Coordinator::register_server(const ServerRegister& reg) {
     send(reg.matrix_node, PoolPressure{pool_status_.idle, pool_status_.total});
     ++pool_pressure_broadcasts_;
   }
+  // ...and the directive in force, so a mid-surge child is clamped from
+  // its first join rather than after the next broadcast round.
+  if (config_.admission.global.enabled && global_admission_.active()) {
+    send_directive(reg.server, reg.matrix_node);
+  }
 }
 
 void Coordinator::unregister_server(ServerId server) {
   map_.remove(server);
   MATRIX_DEBUG("mc", "unregister " << server);
   recompute_and_push();
+  const bool floor_changed = global_admission_.forget_server(now(), server);
+  maybe_broadcast_directives(floor_changed);
 }
 
 std::vector<OverlapTableMsg> Coordinator::compute_all_tables() const {

@@ -12,11 +12,20 @@
 // as PoolPressure to every registered Matrix server (and pushed to servers
 // as they register), giving the per-server admission controllers the
 // deployment-wide "can a split still be granted?" signal.
+//
+// With Config::admission.global.enabled the MC also runs coordinator-led
+// global admission (src/control/global_admission.h): every LoadDigest and
+// PoolStatus feeds a deployment-wide pressure score, and the resulting
+// floor state + per-server token-budget shares are broadcast to every
+// registered Matrix server as personalized AdmissionDirective messages —
+// immediately on a floor change, on the directive_interval cadence for
+// share drift, and to each server as it (re-)registers.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "control/global_admission.h"
 #include "core/config.h"
 #include "core/overlap.h"
 #include "core/partition.h"
@@ -26,7 +35,10 @@ namespace matrix {
 
 class Coordinator : public ProtocolNode {
  public:
-  explicit Coordinator(Config config) : config_(std::move(config)) {}
+  explicit Coordinator(Config config)
+      : config_(std::move(config)),
+        global_admission_(config_.admission.global,
+                          config_.overload_clients) {}
 
   [[nodiscard]] std::string name() const override { return "mc"; }
 
@@ -44,6 +56,14 @@ class Coordinator : public ProtocolNode {
   [[nodiscard]] std::uint64_t pool_pressure_broadcasts() const {
     return pool_pressure_broadcasts_;
   }
+  /// The global admission aggregate (src/control/global_admission.h);
+  /// inert unless Config::admission.global.enabled.
+  [[nodiscard]] const GlobalAdmission& global_admission() const {
+    return global_admission_;
+  }
+  [[nodiscard]] std::uint64_t directives_broadcast() const {
+    return directives_broadcast_;
+  }
 
   /// Builds (but does not send) all tables — exposed for the coordinator
   /// microbenchmark, which measures pure recompute cost vs. server count.
@@ -57,6 +77,10 @@ class Coordinator : public ProtocolNode {
   void unregister_server(ServerId server);
   void recompute_and_push();
   void broadcast_pool_pressure();
+  /// Broadcasts a personalized AdmissionDirective to every registered
+  /// server when one is due (`force` after a floor change / rescind).
+  void maybe_broadcast_directives(bool force);
+  void send_directive(ServerId server, NodeId matrix_node);
 
   Config config_;
   PartitionMap map_;
@@ -69,6 +93,14 @@ class Coordinator : public ProtocolNode {
   /// Latest pool occupancy heard from the resource pool; total 0 ⇒ unknown.
   PoolStatus pool_status_;
   std::uint64_t pool_pressure_broadcasts_ = 0;
+
+  // Coordinator-led global admission (src/control/global_admission.h).
+  GlobalAdmission global_admission_;
+  std::uint64_t directive_seq_ = 0;
+  std::uint64_t directives_broadcast_ = 0;
+  /// True while the last broadcast round carried an active directive —
+  /// lets a relax-to-NORMAL send one final rescinding round.
+  bool directive_in_force_ = false;
 };
 
 }  // namespace matrix

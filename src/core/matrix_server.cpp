@@ -24,6 +24,7 @@ void MatrixServer::activate_root(const Rect& range,
   topology_epoch_ = 0;
   clear_pool_denial_episode();
   admission_.reset(now());
+  reset_directive();
   register_with_mc();
   push_range_to_game(Rect{}, NodeId{}, ServerId{}, /*reclaim=*/false);
 }
@@ -63,7 +64,8 @@ void MatrixServer::on_message(const Message& message, const Envelope& env) {
     cooldown_until_ = now() + backoff;
     // A denied split is also an admission signal: the pool is exhausted
     // and this server is still hot.
-    observe_admission(last_report_.client_count, last_report_.queue_length);
+    observe_admission(last_report_.client_count, last_report_.queue_length,
+                      last_report_.waiting_count);
   } else if (const auto* pressure = std::get_if<PoolPressure>(&message)) {
     pool_idle_fraction_ =
         pressure->total > 0 ? static_cast<double>(pressure->idle) /
@@ -77,8 +79,11 @@ void MatrixServer::on_message(const Message& message, const Envelope& env) {
       clear_pool_denial_episode();
     }
     if (active_) {
-      observe_admission(last_report_.client_count, last_report_.queue_length);
+      observe_admission(last_report_.client_count, last_report_.queue_length,
+                        last_report_.waiting_count);
     }
+  } else if (const auto* directive = std::get_if<AdmissionDirective>(&message)) {
+    handle_admission_directive(*directive);
   } else if (const auto* adopt = std::get_if<Adopt>(&message)) {
     handle_adopt(*adopt);
   } else if (const auto* table = std::get_if<OverlapTableMsg>(&message)) {
@@ -108,6 +113,10 @@ void MatrixServer::on_message(const Message& message, const Envelope& env) {
     send(st->to_game, *st);
   } else if (const auto* cst = std::get_if<ClientStateTransfer>(&message)) {
     send(cst->to_game, *cst);
+  } else if (const auto* handoff = std::get_if<QueueHandoff>(&message)) {
+    // Relay leg of the game→Matrix→game surge-queue handoff (split/merge):
+    // parked joins re-park at the server that now owns their region.
+    send(handoff->to_game, *handoff);
   } else if (const auto* announce = std::get_if<McAnnounce>(&message)) {
     // Coordinator fail-over: adopt the new MC and re-register so it can
     // rebuild the partition map from our (authoritative) local range.
@@ -116,6 +125,16 @@ void MatrixServer::on_message(const Message& message, const Envelope& env) {
     wiring_.mc_node = announce->mc_node;
     pending_lookups_.clear();         // in-flight lookups died with the MC
     pending_owner_queries_.clear();
+    // The old MC's directive died with it: drop the floor (the standby
+    // re-clamps within a digest round if pressure persists) and restart
+    // the seq space its successor will number from 1.
+    const AdmissionState before = effective_admission_state();
+    reset_directive();
+    directive_seq_seen_ = 0;
+    if (active_ && config_.admission.enabled &&
+        effective_admission_state() != before) {
+      push_admission_to_game();
+    }
     if (active_) register_with_mc();
   }
 }
@@ -233,6 +252,20 @@ void MatrixServer::handle_load_report(const LoadReport& report) {
   stats_.surge_waiting_peak =
       std::max(stats_.surge_waiting_peak, report.waiting_count);
 
+  // Global admission (src/control/global_admission.h): mirror the report
+  // to the MC as a LoadDigest — carrying the LOCAL valve state, so the
+  // coordinator's floor never feeds back into its own pressure score.
+  if (config_.admission.global.enabled) {
+    LoadDigest digest;
+    digest.server = id_;
+    digest.client_count = report.client_count;
+    digest.queue_length = report.queue_length;
+    digest.waiting_count = report.waiting_count;
+    digest.admission_state = static_cast<std::uint8_t>(admission_.state());
+    send(wiring_.mc_node, digest);
+    ++stats_.digests_sent;
+  }
+
   // Lost-message recovery: re-send a long-outstanding reclaim request.
   // Idempotent at the child (already-shedding children ignore duplicates;
   // re-granted children see a stale token and decline).
@@ -257,7 +290,7 @@ void MatrixServer::handle_load_report(const LoadReport& report) {
   // block reclaim forever.
   if (!overloaded) clear_pool_denial_episode();
 
-  observe_admission(report.client_count, queue_len);
+  observe_admission(report.client_count, queue_len, report.waiting_count);
 
   if (overloaded) {
     ++consecutive_overload_;
@@ -273,7 +306,8 @@ void MatrixServer::handle_load_report(const LoadReport& report) {
 // ---------------------------------------------------------------------------
 
 void MatrixServer::observe_admission(std::uint32_t clients,
-                                     std::uint32_t queue_len) {
+                                     std::uint32_t queue_len,
+                                     std::uint32_t waiting_count) {
   if (!config_.admission.enabled) return;
   AdmissionSignals signals;
   signals.client_count = clients;
@@ -285,7 +319,44 @@ void MatrixServer::observe_admission(std::uint32_t clients,
                      network()->queue_length(wiring_.game_node)));
   signals.split_denied_streak = stats_.split_denied_streak;
   signals.pool_idle_fraction = pool_idle_fraction_;
+  signals.waiting_count = waiting_count;
   if (admission_.observe(now(), signals)) push_admission_to_game();
+}
+
+void MatrixServer::handle_admission_directive(
+    const AdmissionDirective& directive) {
+  if (!config_.admission.enabled || !config_.admission.global.enabled) return;
+  if (directive.seq <= directive_seq_seen_) return;  // reordered/stale
+  directive_seq_seen_ = directive.seq;
+  const AdmissionState before = effective_admission_state();
+  directive_active_ = directive.active;
+  directive_floor_ = directive.active
+                         ? admission_state_from_wire(directive.floor)
+                         : AdmissionState::kNormal;
+  ++stats_.directives_received;
+  if (!active_) return;  // parked in the pool: remember seq, enforce nothing
+  // The game server needs the directive itself (token-budget share,
+  // active flag for queue handoff), not just the composed state.  Relayed
+  // under OUR monotonic seq: the MC's numbering restarts on fail-over,
+  // the pair's must not.
+  AdmissionDirective relayed = directive;
+  relayed.seq = ++game_directive_seq_;
+  send(wiring_.game_node, relayed);
+  if (effective_admission_state() != before) push_admission_to_game();
+}
+
+void MatrixServer::reset_directive() {
+  const bool was_active = directive_active_;
+  directive_floor_ = AdmissionState::kNormal;
+  directive_active_ = false;
+  // The game server of this pair latched the old directive; rescind it so
+  // a fresh life (re-adoption, MC fail-over) starts unclamped.
+  if (was_active && config_.admission.global.enabled) {
+    AdmissionDirective rescind;
+    rescind.seq = ++game_directive_seq_;
+    rescind.active = false;
+    send(wiring_.game_node, rescind);
+  }
 }
 
 void MatrixServer::clear_pool_denial_episode() {
@@ -303,13 +374,16 @@ void MatrixServer::clear_pool_denial_episode() {
 }
 
 void MatrixServer::push_admission_to_game() {
+  // The game server enforces the COMPOSED state: local valve and the
+  // coordinator's directive floor, strictest wins.
+  const AdmissionState effective = effective_admission_state();
   AdmissionUpdate update;
-  update.state = static_cast<std::uint8_t>(admission_.state());
+  update.state = static_cast<std::uint8_t>(effective);
   update.seq = ++admission_seq_;
   send(wiring_.game_node, update);
   ++stats_.admission_updates;
   MATRIX_INFO("matrix", name() << " admission -> "
-                               << admission_state_name(admission_.state()));
+                               << admission_state_name(effective));
 }
 
 bool MatrixServer::can_change_topology() const {
@@ -414,7 +488,9 @@ void MatrixServer::handle_adopt(const Adopt& adopt) {
   ++activation_epoch_;
   // A re-granted pool server starts a fresh admission life (and tells its
   // game server so: the pair may have parted in SOFT/HARD last time).
+  // The MC re-sends any directive in force on the registration below.
   clear_pool_denial_episode();
+  reset_directive();
   if (config_.admission.enabled) {
     admission_.reset(now());
     push_admission_to_game();
@@ -460,10 +536,11 @@ void MatrixServer::maybe_reclaim() {
   if (!config_.allow_reclaim || !can_change_topology()) return;
   if (children_.empty()) return;
   // Admission gate: reclaiming hands this server the child's entire
-  // population.  Under SOFT/HARD the valve is closed to *new* load — do not
+  // population.  Under SOFT/HARD — local valve or the coordinator's
+  // directive floor — the valve is closed to *new* load; do not
   // voluntarily accept a bulk handoff either.
   if (config_.admission.enabled &&
-      admission_.state() != AdmissionState::kNormal) {
+      effective_admission_state() != AdmissionState::kNormal) {
     return;
   }
   // Only the most recent child can be reclaimed: its range is the complement
@@ -570,6 +647,7 @@ void MatrixServer::deactivate() {
   last_report_ = LoadReport{};
   clear_pool_denial_episode();
   admission_.reset(now());
+  reset_directive();
   ++activation_epoch_;
 }
 

@@ -21,7 +21,13 @@
 //     broadcasts) feeds the NORMAL/SOFT/HARD valve, state changes are
 //     pushed to the game server as AdmissionUpdate, and an elevated state
 //     blocks reclaim — a parent under admission pressure must not accept
-//     the handoff of its child's whole population.
+//     the handoff of its child's whole population;
+//   * under coordinator-led global admission (src/control/
+//     global_admission.h) it additionally reports a LoadDigest to the MC
+//     with each LoadReport, composes the MC's AdmissionDirective floor
+//     with its local valve (strictest wins), and relays the directive to
+//     its game server so the deployment-wide token-budget share takes
+//     effect at the join gate.
 //
 // Lifecycle: a server is either *active* (owns a partition) or *idle*
 // (parked in the resource pool awaiting an Adopt).  Roots are activated
@@ -101,6 +107,10 @@ class MatrixServer : public ProtocolNode {
     std::uint64_t pool_backoff_us = 0;
     /// Admission state changes pushed to the game server.
     std::uint64_t admission_updates = 0;
+    /// Coordinator directives accepted (stale seqs excluded).
+    std::uint64_t directives_received = 0;
+    /// Load digests sent to the MC (global admission enabled only).
+    std::uint64_t digests_sent = 0;
     /// Surge-queue depth ("waiting room", src/control/surge_queue.h) from
     /// the game server's latest LoadReport, and the peak ever reported.
     std::uint32_t surge_waiting = 0;
@@ -124,6 +134,17 @@ class MatrixServer : public ProtocolNode {
   [[nodiscard]] AdmissionState admission_state() const {
     return admission_.state();
   }
+  /// Local valve composed with the coordinator's directive floor —
+  /// strictest wins.  This is the state enforced at the game server and
+  /// the one that gates reclaim.
+  [[nodiscard]] AdmissionState effective_admission_state() const {
+    return compose_admission(admission_.state(), directive_floor_);
+  }
+  /// The coordinator's directive, as last accepted (global admission).
+  [[nodiscard]] AdmissionState directive_floor() const {
+    return directive_floor_;
+  }
+  [[nodiscard]] bool directive_active() const { return directive_active_; }
 
   /// Consistency-set lookup for `point` in radius class `rc` — exposed for
   /// tests and the lookup ablation.  nullptr ⇒ empty set (interior point).
@@ -161,9 +182,12 @@ class MatrixServer : public ProtocolNode {
   void handle_point_owner(const PointOwner& owner);
 
   // admission control (src/control/)
-  void observe_admission(std::uint32_t clients, std::uint32_t queue_len);
+  void observe_admission(std::uint32_t clients, std::uint32_t queue_len,
+                         std::uint32_t waiting_count);
   void push_admission_to_game();
   void clear_pool_denial_episode();
+  void handle_admission_directive(const AdmissionDirective& directive);
+  void reset_directive();
 
   // split / reclaim machinery
   void maybe_split();
@@ -202,6 +226,14 @@ class MatrixServer : public ProtocolNode {
   /// PoolPressure; negative ⇒ never heard.
   double pool_idle_fraction_ = -1.0;
   std::uint64_t admission_seq_ = 0;
+  // Coordinator-led global admission (src/control/global_admission.h):
+  // the directive floor composes with the local valve, strictest wins.
+  AdmissionState directive_floor_ = AdmissionState::kNormal;
+  bool directive_active_ = false;
+  std::uint64_t directive_seq_seen_ = 0;
+  /// Seq space of directives relayed to OUR game server (survives MC
+  /// fail-over, unlike the MC's own numbering).
+  std::uint64_t game_directive_seq_ = 0;
   SimTime split_started_at_{};
   SimTime reclaim_started_at_{};
   /// While reclaim_pending_: when to re-send the request (lost-message

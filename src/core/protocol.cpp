@@ -43,6 +43,9 @@ enum class MsgType : std::uint8_t {
   kPoolStatus,
   kPoolPressure,
   kQueueUpdate,
+  kLoadDigest,
+  kAdmissionDirective,
+  kQueueHandoff,
 };
 
 void put(ByteWriter& w, Vec2 v) {
@@ -594,6 +597,71 @@ QueueUpdate decode_queue_update(ByteReader& r) {
   return m;
 }
 
+void encode_body(ByteWriter& w, const LoadDigest& m) {
+  w.id(m.server);
+  w.u32(m.client_count);
+  w.u32(m.queue_length);
+  w.u32(m.waiting_count);
+  w.u8(m.admission_state);
+}
+LoadDigest decode_load_digest(ByteReader& r) {
+  LoadDigest m;
+  m.server = r.id<ServerId>();
+  m.client_count = r.u32();
+  m.queue_length = r.u32();
+  m.waiting_count = r.u32();
+  m.admission_state = r.u8();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const AdmissionDirective& m) {
+  w.u64(m.seq);
+  w.u8(m.floor);
+  w.u8(m.active ? 1 : 0);
+  w.f64(m.token_rate);
+  w.f64(m.pressure);
+  w.u32(m.waiting_total);
+}
+AdmissionDirective decode_admission_directive(ByteReader& r) {
+  AdmissionDirective m;
+  m.seq = r.u64();
+  m.floor = r.u8();
+  m.active = r.u8() != 0;
+  m.token_rate = r.f64();
+  m.pressure = r.f64();
+  m.waiting_total = r.u32();
+  return m;
+}
+
+void encode_body(ByteWriter& w, const QueueHandoff& m) {
+  w.id(m.from_server);
+  w.id(m.to_game);
+  w.varint(m.entries.size());
+  for (const QueueHandoffEntry& entry : m.entries) {
+    w.id(entry.client);
+    w.id(entry.client_node);
+    put(w, entry.position);
+    w.u8(entry.cls);
+    put(w, entry.enqueued_at);
+  }
+}
+QueueHandoff decode_queue_handoff(ByteReader& r) {
+  QueueHandoff m;
+  m.from_server = r.id<ServerId>();
+  m.to_game = r.id<NodeId>();
+  const std::uint64_t n = r.varint();
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    QueueHandoffEntry entry;
+    entry.client = r.id<ClientId>();
+    entry.client_node = r.id<NodeId>();
+    entry.position = get_vec2(r);
+    entry.cls = r.u8();
+    entry.enqueued_at = get_time(r);
+    m.entries.push_back(entry);
+  }
+  return m;
+}
+
 template <typename T>
 constexpr MsgType type_tag() {
   if constexpr (std::is_same_v<T, TaggedPacket>) return MsgType::kTaggedPacket;
@@ -631,6 +699,9 @@ constexpr MsgType type_tag() {
   else if constexpr (std::is_same_v<T, PoolStatus>) return MsgType::kPoolStatus;
   else if constexpr (std::is_same_v<T, PoolPressure>) return MsgType::kPoolPressure;
   else if constexpr (std::is_same_v<T, QueueUpdate>) return MsgType::kQueueUpdate;
+  else if constexpr (std::is_same_v<T, LoadDigest>) return MsgType::kLoadDigest;
+  else if constexpr (std::is_same_v<T, AdmissionDirective>) return MsgType::kAdmissionDirective;
+  else if constexpr (std::is_same_v<T, QueueHandoff>) return MsgType::kQueueHandoff;
 }
 
 }  // namespace
@@ -688,6 +759,9 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> bytes) {
     case MsgType::kPoolStatus: m = decode_pool_status(r); break;
     case MsgType::kPoolPressure: m = decode_pool_pressure(r); break;
     case MsgType::kQueueUpdate: m = decode_queue_update(r); break;
+    case MsgType::kLoadDigest: m = decode_load_digest(r); break;
+    case MsgType::kAdmissionDirective: m = decode_admission_directive(r); break;
+    case MsgType::kQueueHandoff: m = decode_queue_handoff(r); break;
     default: return std::nullopt;
   }
   if (!r.ok()) return std::nullopt;
@@ -733,6 +807,9 @@ const char* message_name(const Message& message) {
         else if constexpr (std::is_same_v<T, PoolStatus>) return "PoolStatus";
         else if constexpr (std::is_same_v<T, PoolPressure>) return "PoolPressure";
         else if constexpr (std::is_same_v<T, QueueUpdate>) return "QueueUpdate";
+        else if constexpr (std::is_same_v<T, LoadDigest>) return "LoadDigest";
+        else if constexpr (std::is_same_v<T, AdmissionDirective>) return "AdmissionDirective";
+        else if constexpr (std::is_same_v<T, QueueHandoff>) return "QueueHandoff";
         else return "Unknown";
       },
       message);

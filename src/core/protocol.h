@@ -11,14 +11,16 @@
 //   game    → client  : Welcome, ServerUpdate, Redirect, JoinDeny, JoinDefer,
 //                       QueueUpdate
 //   game    → matrix  : TaggedPacket, LoadReport, ShedDone
-//   matrix  → game    : TaggedPacket (verified), MapRange, AdmissionUpdate
+//   matrix  → game    : TaggedPacket (verified), MapRange, AdmissionUpdate,
+//                       AdmissionDirective (relay)
 //   matrix  ↔ matrix  : TaggedPacket (peer forward), Adopt, PeerLoad,
 //                       ReclaimRequest, ReclaimDone, StateTransfer (relay),
-//                       ClientStateTransfer (relay)
+//                       ClientStateTransfer (relay), QueueHandoff (relay)
 //   matrix  ↔ MC      : ServerRegister, ServerUnregister, OverlapTableMsg,
-//                       PointLookup, PointOwner
+//                       PointLookup, PointOwner, LoadDigest
 //   matrix  ↔ pool    : PoolAcquire, PoolGrant, PoolDeny, PoolRelease
-//   pool    → MC      : PoolStatus;  MC → matrix : PoolPressure
+//   pool    → MC      : PoolStatus;  MC → matrix : PoolPressure,
+//                       AdmissionDirective
 #pragma once
 
 #include <cstdint>
@@ -363,6 +365,56 @@ struct PoolStatus {
   std::uint32_t total = 0;
 };
 
+/// Matrix server → MC: per-server load digest feeding coordinator-led
+/// global admission (src/control/global_admission.h).  Sent alongside each
+/// LoadReport while `Config::admission.global.enabled`; `admission_state`
+/// is the server's LOCAL valve state (the MC composes its own floor on
+/// top, so echoing the composed state back would latch the loop).
+struct LoadDigest {
+  ServerId server;
+  std::uint32_t client_count = 0;
+  std::uint32_t queue_length = 0;
+  std::uint32_t waiting_count = 0;  ///< surge-queue depth
+  std::uint8_t admission_state = 0; ///< local AdmissionState
+};
+
+/// MC → Matrix server (relayed matrix → game): coordinator-led global
+/// admission directive.  `floor` is the minimum AdmissionState every server
+/// must hold (each server composes it with its local valve — strictest
+/// wins); `token_rate` is THIS server's share of the deployment-wide SOFT
+/// budget, weighted by waiting-room depth so starved partitions drain
+/// first (0 ⇒ use the local config rate).  `active == false` rescinds the
+/// directive (global pressure relaxed to NORMAL).  `seq` is monotonic so a
+/// reordered directive can never roll the floor back.
+struct AdmissionDirective {
+  std::uint64_t seq = 0;
+  std::uint8_t floor = 0;           ///< numeric AdmissionState
+  bool active = false;
+  double token_rate = 0.0;          ///< joins/s granted to this server
+  double pressure = 0.0;            ///< deployment pressure score (observability)
+  std::uint32_t waiting_total = 0;  ///< deployment-wide parked joins
+};
+
+/// One parked join handed across servers (split/merge): enough to re-park
+/// at the destination preserving priority class and accrued age.
+struct QueueHandoffEntry {
+  ClientId client;
+  NodeId client_node;
+  Vec2 position;
+  std::uint8_t cls = 0;   ///< original PriorityClass
+  SimTime enqueued_at{};  ///< original park time (age keeps accruing)
+};
+
+/// Game server → Matrix (relay) → game server: surge-queue entries whose
+/// region moved to `to_game` in a split/reclaim.  The destination re-parks
+/// them (class + age preserved) instead of the source flushing them to
+/// client-side retry; entries it cannot take fall back to JoinDefer.
+struct QueueHandoff {
+  ServerId from_server;
+  NodeId to_game;
+  std::vector<QueueHandoffEntry> entries;
+};
+
 /// MC → every Matrix server: deployment-wide pool pressure, rebroadcast
 /// from PoolStatus.  Feeds the pre-escalation signal: a server nearing
 /// overload with an exhausted pool cannot count on a split being granted.
@@ -399,7 +451,7 @@ using Message =
                  OverlapTableMsg, PointLookup, PointOwner, PoolAcquire,
                  PoolGrant, PoolDeny, PoolRelease, McAnnounce, JoinDeny,
                  JoinDefer, AdmissionUpdate, PoolStatus, PoolPressure,
-                 QueueUpdate>;
+                 QueueUpdate, LoadDigest, AdmissionDirective, QueueHandoff>;
 
 /// Serializes `message` (1 type byte + body).
 [[nodiscard]] std::vector<std::uint8_t> encode_message(const Message& message);

@@ -44,11 +44,14 @@ void BotClient::leave() {
   send(server_node_, ClientBye{id_});
 }
 
-void BotClient::on_message(const Message& message, const Envelope&) {
+void BotClient::on_message(const Message& message, const Envelope& envelope) {
   if (const auto* welcome = std::get_if<Welcome>(&message)) {
     if (!ever_connected_) {
       metrics_.time_to_admit_ms = (now() - first_join_at_).ms();
     }
+    // The admitting server may differ from the one we helloed (the surge
+    // queue hands parked joins across servers on split/merge); follow it.
+    server_node_ = envelope.src;
     connected_ = true;
     ever_connected_ = true;
     if (queued_) {
@@ -103,7 +106,10 @@ void BotClient::on_message(const Message& message, const Envelope&) {
     if ((!playing_ && !queued_) || connected_ || queue->client != id_) return;
     // Parked in the server's surge queue: stop acting and wait quietly —
     // the server owns the retry loop now and will Welcome us when a slot
-    // opens.  No timer, no retry traffic.
+    // opens.  No timer, no retry traffic.  The queue itself can move
+    // between servers (handoff on split/merge); track whoever holds us so
+    // a leave() reaches the right waiting room.
+    server_node_ = envelope.src;
     ++metrics_.queue_updates;
     metrics_.max_queue_position =
         std::max(metrics_.max_queue_position, queue->position);
@@ -131,6 +137,9 @@ void BotClient::on_message(const Message& message, const Envelope&) {
     // Throttled (admission SOFT), or flushed out of a waiting room whose
     // server lost its range: stop acting and retry after the server's
     // hint, jittered so a deferred cohort does not stampede back in phase.
+    // A handoff the destination could not adopt defers from the NEW owner;
+    // retry wherever the defer came from.
+    server_node_ = envelope.src;
     ++metrics_.joins_deferred;
     playing_ = false;
     queued_ = false;

@@ -82,6 +82,11 @@ class BotClient : public ProtocolNode {
     attraction_ = point;
     attraction_spread_ = spread;
   }
+  /// The hotspot this bot is pinned to, if any — lets a bench attribute
+  /// bots to their surge center without re-deriving it from positions.
+  [[nodiscard]] const std::optional<Vec2>& attraction() const {
+    return attraction_;
+  }
 
   // ---- measurement ----------------------------------------------------------
 

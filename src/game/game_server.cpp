@@ -1,6 +1,7 @@
 #include "game/game_server.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <unordered_map>
 
@@ -35,14 +36,39 @@ void GameServer::wire(NodeId matrix_node) {
   port_->on_owner_reply([this](const OwnerReply& r) { handle_owner_reply(r); });
   port_->on_admission(
       [this](const AdmissionUpdate& u) { handle_admission(u); });
+  port_->on_directive(
+      [this](const AdmissionDirective& d) { handle_directive(d); });
+  port_->on_queue_handoff(
+      [this](const QueueHandoff& h) { handle_queue_handoff(h); });
 }
 
 void GameServer::handle_admission(const AdmissionUpdate& update) {
   if (update.seq <= admission_seq_seen_) return;  // reordered/stale update
   admission_seq_seen_ = update.seq;
-  admission_state_ = static_cast<AdmissionState>(update.state);
+  admission_state_ = admission_state_from_wire(update.state);
   // A relaxed valve is a drain opportunity: NORMAL empties the waiting room
   // outright, SOFT lets it spend whatever the bucket has accrued.
+  if (!surge_queue_.empty()) {
+    drain_surge_queue();
+    if (!surge_queue_.empty()) schedule_queue_tick();
+  }
+}
+
+void GameServer::handle_directive(const AdmissionDirective& directive) {
+  if (directive.seq <= directive_seq_seen_) return;  // reordered/stale
+  directive_seq_seen_ = directive.seq;
+  directive_active_ = directive.active;
+  directive_floor_ = directive.active
+                         ? admission_state_from_wire(directive.floor)
+                         : AdmissionState::kNormal;
+  // Swap the deployment-wide budget share into the join bucket; a rescind
+  // (or a shareless directive) restores the local config rate.
+  const double rate = directive.active && directive.token_rate > 0.0
+                          ? directive.token_rate
+                          : config_.admission.token_rate_per_sec;
+  join_bucket_.set_rate(now(), rate);
+  ++stats_.directives_applied;
+  // A lowered floor or a fatter share may make the waiting room drainable.
   if (!surge_queue_.empty()) {
     drain_surge_queue();
     if (!surge_queue_.empty()) schedule_queue_tick();
@@ -55,7 +81,9 @@ bool GameServer::admit_join(const ClientHello& hello, NodeId client_node) {
     // Redirects and boundary migrations carry a live session; the valve
     // only sheds NEW load — a resume always passes, even to a server that
     // currently owns no range (seed behaviour).
-    if (admission_state_ != AdmissionState::kNormal) ++stats_.resumes_admitted;
+    if (effective_admission_state() != AdmissionState::kNormal) {
+      ++stats_.resumes_admitted;
+    }
     return true;
   }
   if (authority_.empty()) {
@@ -70,7 +98,7 @@ bool GameServer::admit_join(const ClientHello& hello, NodeId client_node) {
     return false;
   }
   const bool waiting_room = config_.admission.priority.queue_enabled;
-  switch (admission_state_) {
+  switch (effective_admission_state()) {
     case AdmissionState::kNormal:
       return true;
     case AdmissionState::kSoft:
@@ -153,17 +181,51 @@ void GameServer::admit_session(ClientId client, NodeId client_node,
 }
 
 void GameServer::drain_surge_queue() {
+  // Paid-priority fairness: bound the VIP-effective share of the drain
+  // while the room stays occupied.  The tallies persist ACROSS drain
+  // calls (a token-bound drain may admit one entry per tick — per-call
+  // counters would then skip VIPs on every tick for any cap < 1, turning
+  // the bound into "VIPs always last") and reset when the room empties.
+  // The ceil() allowance admits the first VIP of an episode for any
+  // cap > 0.  The cap acts on EFFECTIVE class: RESUME (and anything aged
+  // to RESUME) always passes, a NORMAL aged to VIP is capped like a paid
+  // VIP; when the cap binds and a NORMAL entry waits, the NORMAL entry
+  // takes the slot instead.
+  const double vip_cap = config_.admission.priority.vip_drain_cap;
   while (!surge_queue_.empty() && !authority_.empty()) {
-    if (admission_state_ == AdmissionState::kHard) break;
-    if (admission_state_ == AdmissionState::kSoft &&
-        !join_bucket_.try_take(now())) {
+    const AdmissionState state = effective_admission_state();
+    if (state == AdmissionState::kHard) break;
+    if (state == AdmissionState::kSoft && !join_bucket_.try_take(now())) {
       break;
     }
-    const std::optional<SurgeEntry> entry = surge_queue_.pop(now());
+    bool skip_vip = false;
+    if (vip_cap < 1.0) {
+      const double allowed = std::ceil(
+          vip_cap * static_cast<double>(drain_total_ + 1) - 1e-9);
+      skip_vip = static_cast<double>(drain_vip_ + 1) > allowed;
+    }
+    std::optional<SurgeEntry> entry = surge_queue_.pop(now(), skip_vip);
+    if (!entry) {
+      // Only VIP-effective entries remain; admitting one beats wasting the
+      // token (the cap throttles VIPs relative to waiting NORMALs, it is
+      // not a quota against an empty lane).
+      entry = surge_queue_.pop(now());
+    }
     if (!entry) break;
+    ++drain_total_;
+    if (surge_queue_.effective_class_at(*entry, now()) == PriorityClass::kVip) {
+      ++drain_vip_;
+    }
     admit_session(entry->client, entry->client_node, entry->position,
                   /*redirect_seq=*/0);
   }
+  reset_drain_fairness_if_empty();
+}
+
+void GameServer::reset_drain_fairness_if_empty() {
+  if (!surge_queue_.empty()) return;
+  drain_vip_ = 0;
+  drain_total_ = 0;
 }
 
 void GameServer::send_queue_update(ClientId client, NodeId client_node,
@@ -173,9 +235,11 @@ void GameServer::send_queue_update(ClientId client, NodeId client_node,
   update.client = client;
   update.position = position;
   update.depth = depth;
-  // Best-effort ETA at the SOFT drain rate; a valve stuck in HARD drains
-  // nothing, so the hint is a floor, not a promise.
-  const double rate = config_.admission.token_rate_per_sec;
+  // Best-effort ETA at the SOFT drain rate — the bucket's CURRENT rate,
+  // which is the directive's token-budget share while one is in force.  A
+  // valve stuck in HARD drains nothing, so the hint is a floor, not a
+  // promise.
+  const double rate = join_bucket_.rate();
   update.eta = rate > 0.0
                    ? SimTime::from_sec(static_cast<double>(position) / rate)
                    : config_.admission.defer_retry;
@@ -209,6 +273,70 @@ void GameServer::flush_surge_queue() {
     ++stats_.joins_deferred;
     send(entry.client_node,
          JoinDefer{entry.client, config_.admission.defer_retry});
+  }
+  reset_drain_fairness_if_empty();
+}
+
+bool GameServer::queue_handoff_active() const {
+  return config_.admission.priority.queue_enabled &&
+         config_.admission.global.enabled &&
+         config_.admission.global.queue_handoff && directive_active_;
+}
+
+void GameServer::send_queue_handoff(std::vector<SurgeEntry> entries,
+                                    NodeId to_game) {
+  if (entries.empty()) return;
+  QueueHandoff handoff;
+  handoff.from_server = id_;
+  handoff.to_game = to_game;
+  handoff.entries.reserve(entries.size());
+  for (const SurgeEntry& entry : entries) {
+    QueueHandoffEntry wire;
+    wire.client = entry.client;
+    wire.client_node = entry.client_node;
+    wire.position = entry.position;
+    wire.cls = static_cast<std::uint8_t>(entry.cls);
+    wire.enqueued_at = entry.enqueued_at;
+    handoff.entries.push_back(wire);
+  }
+  port_->transfer_queue(handoff);
+  ++stats_.queue_handoffs_sent;
+}
+
+void GameServer::handle_queue_handoff(const QueueHandoff& handoff) {
+  bool adopted_any = false;
+  for (const QueueHandoffEntry& wire : handoff.entries) {
+    // A client can race its own handoff (gave up and re-helloed here, or
+    // was already admitted): never double-park, never demote a session.
+    if (sessions_.count(wire.client) != 0 ||
+        surge_queue_.contains(wire.client)) {
+      continue;
+    }
+    SurgeEntry entry;
+    entry.client = wire.client;
+    entry.client_node = wire.client_node;
+    entry.position = wire.position;
+    entry.cls = priority_class_from_handoff_wire(wire.cls);
+    entry.enqueued_at = wire.enqueued_at;
+    const bool can_adopt = config_.admission.priority.queue_enabled &&
+                           !authority_.empty() && surge_queue_.adopt(entry);
+    if (!can_adopt) {
+      // No waiting room to re-park in (capacity, no range, queue off):
+      // fall back to client-side retry, exactly like a flush would have.
+      ++stats_.queue_handoff_rejected;
+      ++stats_.joins_deferred;
+      send(wire.client_node,
+           JoinDefer{wire.client, config_.admission.defer_retry});
+      continue;
+    }
+    adopted_any = true;
+    send_queue_update(wire.client, wire.client_node,
+                      surge_queue_.position_of(wire.client, now()),
+                      static_cast<std::uint32_t>(surge_queue_.size()));
+  }
+  if (adopted_any) {
+    drain_surge_queue();
+    if (!surge_queue_.empty()) schedule_queue_tick();
   }
 }
 
@@ -314,6 +442,7 @@ void GameServer::handle_action(const ClientAction& action,
 
 void GameServer::handle_bye(const ClientBye& bye) {
   surge_queue_.remove(bye.client);  // gave up while waiting
+  reset_drain_fairness_if_empty();
   sessions_.erase(bye.client);
   pending_avatars_.erase(bye.client);
 }
@@ -446,11 +575,29 @@ void GameServer::handle_map_range(const MapRange& range) {
     }
   }
 
+  // 3. Parked joins whose region moved: while a global-admission directive
+  // is active they re-park on the new owner (class + age preserved);
+  // otherwise they stay here (split) or are flushed to retry (reclaim),
+  // the PR-2 behaviour.
+  if (!range.reclaim && queue_handoff_active() && !surge_queue_.empty()) {
+    send_queue_handoff(surge_queue_.extract_range(range.shed_range, now()),
+                       range.shed_to_game);
+    reset_drain_fairness_if_empty();
+  }
+
   if (range.reclaim) {
     authority_ = Rect{};
     ghosts_.clear();
     pending_events_.clear();
-    flush_surge_queue();
+    if (queue_handoff_active() && !surge_queue_.empty()) {
+      // The whole room follows the range back to the parent instead of
+      // being dumped into client-side retry.
+      send_queue_handoff(surge_queue_.extract_all(now()),
+                         range.shed_to_game);
+      reset_drain_fairness_if_empty();
+    } else {
+      flush_surge_queue();
+    }
   }
 
   ShedDone done;

@@ -27,7 +27,15 @@
 //     priority queue (RESUME > VIP > NORMAL, aged against starvation) and
 //     drained as the token budget refills or the valve relaxes, with
 //     QueueUpdate position/ETA notifications replacing client-side
-//     defer-retry loops.
+//     defer-retry loops;
+//   * under coordinator-led global admission (src/control/
+//     global_admission.h) it composes the relayed AdmissionDirective floor
+//     with the locally pushed valve state (strictest wins), swaps the
+//     directive's token-budget share into its join bucket, bounds the VIP
+//     share of each drain burst (`priority.vip_drain_cap`), and — while a
+//     directive is active — hands parked joins displaced by a split or
+//     reclaim to the server that now owns their region (class and accrued
+//     age preserved) instead of flushing them to client-side retry.
 //
 // Game-genre specifics (rates, payload sizes, radius) come from the injected
 // GameModelSpec; the server logic itself is game-agnostic.
@@ -85,6 +93,13 @@ class GameServer : public ProtocolNode {
   [[nodiscard]] AdmissionState admission_state() const {
     return admission_state_;
   }
+  /// The state the join gate actually enforces: the pushed valve state
+  /// composed with the coordinator's directive floor, strictest wins.
+  [[nodiscard]] AdmissionState effective_admission_state() const {
+    return compose_admission(admission_state_, directive_floor_);
+  }
+  /// True while a coordinator directive is in force here.
+  [[nodiscard]] bool directive_active() const { return directive_active_; }
   /// The surge queue ("waiting room"); empty forever unless
   /// Config::admission.priority.queue_enabled.
   [[nodiscard]] const SurgeQueue& surge_queue() const { return surge_queue_; }
@@ -109,6 +124,13 @@ class GameServer : public ProtocolNode {
     // Surge queue (src/control/surge_queue.h); parked/drained/overflow
     // tallies live in SurgeQueue::Stats (see surge_queue()).
     std::uint64_t queue_updates_sent = 0;
+    /// Coordinator directives applied (global admission).
+    std::uint64_t directives_applied = 0;
+    /// Cross-server queue handoffs: messages sent on split/reclaim, and
+    /// entries from received handoffs this server could not adopt
+    /// (fell back to JoinDefer).
+    std::uint64_t queue_handoffs_sent = 0;
+    std::uint64_t queue_handoff_rejected = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -135,6 +157,8 @@ class GameServer : public ProtocolNode {
   void handle_client_state(const ClientStateTransfer& transfer);
   void handle_owner_reply(const OwnerReply& reply);
   void handle_admission(const AdmissionUpdate& update);
+  void handle_directive(const AdmissionDirective& directive);
+  void handle_queue_handoff(const QueueHandoff& handoff);
   /// The admission gate for a fresh (non-resume) join; true ⇒ admit.
   [[nodiscard]] bool admit_join(const ClientHello& hello, NodeId client_node);
   /// Creates the session and sends Welcome (the post-gate half of a join).
@@ -151,9 +175,18 @@ class GameServer : public ProtocolNode {
   void send_queue_update(ClientId client, NodeId client_node,
                          std::uint32_t position, std::uint32_t depth);
   void schedule_queue_tick();
+  /// Zeroes the vip_drain_cap tallies once the room is empty — called on
+  /// EVERY path that can empty it (drain, flush, handoff, ClientBye), so
+  /// each occupancy episode starts with a fresh fairness window.
+  void reset_drain_fairness_if_empty();
   /// Sends every parked join back to client-side retry (server lost its
   /// range, or is shutting its waiting room).
   void flush_surge_queue();
+  /// True while displaced parked joins should be handed to the new owner
+  /// instead of flushed (global admission directive active).
+  [[nodiscard]] bool queue_handoff_active() const;
+  /// Hands `entries` to `to_game` via Matrix (no-op on empty).
+  void send_queue_handoff(std::vector<SurgeEntry> entries, NodeId to_game);
 
   void redirect_client(ClientId client, Session& session, NodeId to_game,
                        ServerId to_server);
@@ -208,10 +241,21 @@ class GameServer : public ProtocolNode {
   std::uint64_t admission_seq_seen_ = 0;
   TokenBucket join_bucket_{config_.admission.token_rate_per_sec,
                            config_.admission.token_burst};
+  // Coordinator-led global admission (src/control/global_admission.h):
+  // floor composed into the gate, token share swapped into join_bucket_.
+  AdmissionState directive_floor_ = AdmissionState::kNormal;
+  bool directive_active_ = false;
+  std::uint64_t directive_seq_seen_ = 0;
   // Surge queue (src/control/surge_queue.h): the server-owned waiting room
   // replacing client-side defer-retry when enabled.
   SurgeQueue surge_queue_{config_.admission.priority};
   bool queue_tick_scheduled_ = false;
+  /// Fairness tallies for `priority.vip_drain_cap`: admissions (and VIP
+  /// admissions) since the room last became non-empty.  Persist across
+  /// drain calls so a token-bound one-admit-per-tick drain still converges
+  /// to the capped share; reset when the room empties.
+  std::uint64_t drain_vip_ = 0;
+  std::uint64_t drain_total_ = 0;
 
   Stats stats_;
 };

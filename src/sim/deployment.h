@@ -71,6 +71,7 @@ class Deployment {
   [[nodiscard]] Network& network() { return network_; }
   [[nodiscard]] const DeploymentOptions& options() const { return options_; }
   [[nodiscard]] Coordinator& coordinator() { return *coordinator_; }
+  [[nodiscard]] const Coordinator& coordinator() const { return *coordinator_; }
   [[nodiscard]] ResourcePool& pool() { return *pool_; }
 
   /// All server pairs, active and pooled, in ServerId order.

@@ -42,9 +42,13 @@ void MetricsSampler::sample() {
         t, active ? static_cast<double>(
                         deployment_.network().queue_length(games[i]->node_id()))
                   : 0.0);
+    // The COMPOSED state (local valve + directive floor) — what the join
+    // gate actually enforces; identical to the local state unless
+    // coordinator-led global admission is active.
     admission_[i].record(
         t, active ? static_cast<double>(static_cast<std::uint8_t>(
-                        deployment_.matrix_servers()[i]->admission_state()))
+                        deployment_.matrix_servers()[i]
+                            ->effective_admission_state()))
                   : 0.0);
   }
   active_.record(t, static_cast<double>(deployment_.active_server_count()));
@@ -120,6 +124,10 @@ AdmissionSummary collect_admission(const Deployment& deployment) {
     summary.queue_admitted += queue.admitted;
     summary.queue_overflow += queue.overflow;
     summary.queue_flushed += queue.flushed;
+    summary.queue_handed_off += queue.handed_off;
+    summary.queue_adopted += queue.adopted;
+    summary.queue_vip_capped += queue.vip_capped;
+    summary.directives_applied += game->stats().directives_applied;
     summary.max_queue_depth = std::max(summary.max_queue_depth,
                                        queue.max_depth);
     for (std::size_t cls = 0; cls < 3; ++cls) {
@@ -143,6 +151,11 @@ AdmissionSummary collect_admission(const Deployment& deployment) {
       summary.timelines_valid = false;
     }
   }
+  const Coordinator& mc = deployment.coordinator();
+  summary.directives_broadcast = mc.directives_broadcast();
+  summary.global_escalations = mc.global_admission().stats().escalations;
+  summary.global_relaxations = mc.global_admission().stats().relaxations;
+  summary.global_timeline_valid = mc.global_admission().timeline_valid();
   return summary;
 }
 

@@ -36,7 +36,8 @@ class MetricsSampler {
   [[nodiscard]] const TimeSeries& total_clients() const { return total_; }
   [[nodiscard]] const TimeSeries& pool_idle() const { return pool_idle_; }
   /// One admission-state series per server slot (0=NORMAL 1=SOFT 2=HARD;
-  /// inactive servers sample as 0).
+  /// inactive servers sample as 0).  Samples the COMPOSED state — local
+  /// valve + global directive floor, strictest wins.
   [[nodiscard]] const std::vector<TimeSeries>& admission_per_server() const {
     return admission_;
   }
@@ -105,7 +106,19 @@ struct AdmissionSummary {
   std::uint64_t queue_admitted = 0;   ///< drained into live sessions
   std::uint64_t queue_overflow = 0;   ///< refused at queue capacity
   std::uint64_t queue_flushed = 0;    ///< returned to client retry (reclaim)
+  std::uint64_t queue_handed_off = 0; ///< extracted for cross-server handoff
+  std::uint64_t queue_adopted = 0;    ///< re-parked here from another server
+  std::uint64_t queue_vip_capped = 0; ///< drains where the fairness cap bound
   std::uint64_t max_queue_depth = 0;  ///< deepest waiting room seen
+
+  // Coordinator-led global admission (src/control/global_admission.h):
+  std::uint64_t directives_broadcast = 0;  ///< sent by the MC
+  std::uint64_t directives_applied = 0;    ///< applied at game servers
+  std::uint64_t global_escalations = 0;    ///< directive floor escalations
+  std::uint64_t global_relaxations = 0;
+  /// True when the MC's directive-floor timeline satisfies the same
+  /// dwell/recover hysteresis contract as the per-server valves.
+  bool global_timeline_valid = true;
   /// Per-class admit counts and wait sums (index = PriorityClass:
   /// 0 RESUME, 1 VIP, 2 NORMAL).
   std::uint64_t queue_admitted_by_class[3] = {0, 0, 0};

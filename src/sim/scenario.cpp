@@ -150,6 +150,45 @@ void schedule_surge_scenario(Deployment& deployment,
   }
 }
 
+void schedule_multi_partition_surge_scenario(
+    Deployment& deployment,
+    const MultiPartitionSurgeScenarioOptions& options) {
+  Scenario scenario(deployment);
+  scenario.add_background_bots(SimTime::from_ms(100), options.background_bots);
+
+  // All surges ramp in lock-step waves, one wave per center per interval —
+  // simultaneous saturation is the point of this scenario.
+  const std::size_t surges =
+      std::min(options.centers.size(), options.flash_bots.size());
+  for (std::size_t s = 0; s < surges; ++s) {
+    SimTime t = options.flash_at;
+    for (std::size_t joined = 0; joined < options.flash_bots[s];) {
+      const std::size_t batch = std::min(
+          options.join_batch > 0 ? options.join_batch : options.flash_bots[s],
+          options.flash_bots[s] - joined);
+      scenario.add_surge_bots(t, batch, options.centers[s], options.spread,
+                              options.vip_fraction);
+      joined += batch;
+      t += options.join_interval;
+    }
+  }
+
+  // Recovery departures near every center, proportional to its crowd.
+  for (std::size_t s = 0; s < surges; ++s) {
+    const auto leave_total = static_cast<std::size_t>(
+        options.leave_fraction * static_cast<double>(options.flash_bots[s]));
+    SimTime leave_t = options.leave_at;
+    for (std::size_t left = 0; left < leave_total;) {
+      const std::size_t batch = std::min(
+          options.leave_batch > 0 ? options.leave_batch : leave_total,
+          leave_total - left);
+      scenario.remove_bots_at(leave_t, batch, options.centers[s]);
+      left += batch;
+      leave_t += options.leave_interval;
+    }
+  }
+}
+
 std::size_t deployment_capacity_clients(const Deployment& deployment) {
   return deployment.game_servers().size() *
          deployment.options().config.overload_clients;

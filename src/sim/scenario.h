@@ -7,6 +7,7 @@
 // departures, second hotspot elsewhere at t=170 s).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -147,6 +148,61 @@ void schedule_surge_scenario(Deployment& deployment,
 [[nodiscard]] inline std::size_t surge_offered_clients(
     const SurgeScenarioOptions& options) {
   return options.background_bots + options.flash_bots;
+}
+
+/// Multi-partition surge (coordinator-led global admission,
+/// src/control/global_admission.h): SEVERAL flash crowds saturate
+/// different partitions of a multi-root deployment at once — the regime
+/// where purely per-server valves admit unevenly, because no single
+/// server sees that the whole deployment is past capacity.  Crowd sizes
+/// are deliberately unequal (`flash_bots` per surge), so the deepest
+/// waiting room starves hardest without a coordinator weighting the drain
+/// budget toward it.  Mid-surge, the crowds themselves force splits onto
+/// whatever pool spares remain — exercising the cross-server queue handoff
+/// (parked clients re-park on the child that now owns their region).
+struct MultiPartitionSurgeScenarioOptions {
+  std::size_t background_bots = 60;
+
+  /// One simultaneous surge per entry: crowd size at `centers[i]`.  Only
+  /// the first min(centers, flash_bots) pairs are scheduled — keep the
+  /// vectors the same length; `multi_partition_offered_clients` counts the
+  /// same pairing, so the two can never disagree about the offered crowd.
+  std::vector<std::size_t> flash_bots{420, 260, 140};
+  std::vector<Vec2> centers{{150.0, 150.0}, {850.0, 150.0}, {150.0, 850.0}};
+
+  std::size_t join_batch = 70;
+  SimTime join_interval = SimTime::from_sec(2.0);
+  SimTime flash_at = SimTime::from_sec(5.0);
+  double spread = 90.0;
+  double vip_fraction = 0.15;
+
+  /// Recovery: this fraction of each surge's crowd departs (nearest the
+  /// center first), freeing capacity the waiting rooms drain into.  The
+  /// per-center departure volume scales with the crowd, so the big crowd's
+  /// partition frees the most slots — and whoever refills them fastest
+  /// wins the recovery.  0 disables.
+  double leave_fraction = 0.0;
+  std::size_t leave_batch = 60;
+  SimTime leave_at = SimTime::from_sec(50.0);
+  SimTime leave_interval = SimTime::from_sec(5.0);
+
+  SimTime duration = SimTime::from_sec(90.0);
+};
+
+/// Schedules the simultaneous surges (and recovery).  Call
+/// deployment.run_until(options.duration) afterwards.
+void schedule_multi_partition_surge_scenario(
+    Deployment& deployment, const MultiPartitionSurgeScenarioOptions& options);
+
+/// Offered clients at the crest of a MultiPartitionSurgeScenario — sums
+/// exactly the surges the scheduler pairs up (min of the two vectors).
+[[nodiscard]] inline std::size_t multi_partition_offered_clients(
+    const MultiPartitionSurgeScenarioOptions& options) {
+  std::size_t total = options.background_bots;
+  const std::size_t surges =
+      std::min(options.centers.size(), options.flash_bots.size());
+  for (std::size_t s = 0; s < surges; ++s) total += options.flash_bots[s];
+  return total;
 }
 
 }  // namespace matrix

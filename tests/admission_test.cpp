@@ -65,6 +65,30 @@ TEST(AdmissionTarget, QueueThresholds) {
   EXPECT_EQ(c.target_for(s), AdmissionState::kHard);
 }
 
+TEST(AdmissionTarget, WaitingCountThresholds) {
+  // Queue-depth as an admission signal: a deepening waiting room means the
+  // token budget is losing the race.
+  AdmissionConfig config = unit_config();
+  config.soft_waiting_count = 50;
+  config.hard_waiting_count = 200;
+  AdmissionController c(config, kOverload);
+  AdmissionSignals s;
+  s.waiting_count = 49;
+  EXPECT_EQ(c.target_for(s), AdmissionState::kNormal);
+  s.waiting_count = 50;
+  EXPECT_EQ(c.target_for(s), AdmissionState::kSoft);
+  s.waiting_count = 200;
+  EXPECT_EQ(c.target_for(s), AdmissionState::kHard);
+}
+
+TEST(AdmissionTarget, WaitingCountDisabledByDefault) {
+  // Thresholds default to 0 = off: PR-2 behaviour is bit-identical.
+  AdmissionController c(unit_config(), kOverload);
+  AdmissionSignals s;
+  s.waiting_count = 100000;
+  EXPECT_EQ(c.target_for(s), AdmissionState::kNormal);
+}
+
 TEST(AdmissionTarget, DeniedStreakEscalates) {
   AdmissionController c(unit_config(), kOverload);
   AdmissionSignals s;

@@ -195,6 +195,83 @@ TEST(ProtocolTest, QueueUpdateRoundTrip) {
   EXPECT_EQ(out.eta, 2500_ms);
 }
 
+TEST(ProtocolTest, LoadDigestRoundTrip) {
+  LoadDigest in;
+  in.server = ServerId(6);
+  in.client_count = 287;
+  in.queue_length = 1212;
+  in.waiting_count = 93;
+  in.admission_state = 2;
+  const LoadDigest out = round_trip(in);
+  EXPECT_EQ(out.server, ServerId(6));
+  EXPECT_EQ(out.client_count, 287u);
+  EXPECT_EQ(out.queue_length, 1212u);
+  EXPECT_EQ(out.waiting_count, 93u);
+  EXPECT_EQ(out.admission_state, 2u);
+}
+
+TEST(ProtocolTest, AdmissionDirectiveRoundTrip) {
+  AdmissionDirective in;
+  in.seq = 0xDEADBEEF01ULL;
+  in.floor = 1;
+  in.active = true;
+  in.token_rate = 13.75;
+  in.pressure = 0.8125;
+  in.waiting_total = 412;
+  const AdmissionDirective out = round_trip(in);
+  EXPECT_EQ(out.seq, 0xDEADBEEF01ULL);
+  EXPECT_EQ(out.floor, 1u);
+  EXPECT_TRUE(out.active);
+  EXPECT_DOUBLE_EQ(out.token_rate, 13.75);
+  EXPECT_DOUBLE_EQ(out.pressure, 0.8125);
+  EXPECT_EQ(out.waiting_total, 412u);
+
+  AdmissionDirective rescind;
+  rescind.seq = 7;
+  rescind.active = false;
+  const AdmissionDirective out2 = round_trip(rescind);
+  EXPECT_FALSE(out2.active);
+  EXPECT_EQ(out2.floor, 0u);
+}
+
+TEST(ProtocolTest, QueueHandoffRoundTrip) {
+  QueueHandoff in;
+  in.from_server = ServerId(4);
+  in.to_game = NodeId(22);
+  QueueHandoffEntry a;
+  a.client = ClientId(1001);
+  a.client_node = NodeId(31);
+  a.position = {120.0, 640.0};
+  a.cls = 1;  // VIP
+  a.enqueued_at = 12500_ms;
+  QueueHandoffEntry b;
+  b.client = ClientId(1002);
+  b.client_node = NodeId(32);
+  b.position = {121.5, 639.0};
+  b.cls = 2;  // NORMAL
+  b.enqueued_at = 13750_ms;
+  in.entries = {a, b};
+  const QueueHandoff out = round_trip(in);
+  EXPECT_EQ(out.from_server, ServerId(4));
+  EXPECT_EQ(out.to_game, NodeId(22));
+  ASSERT_EQ(out.entries.size(), 2u);
+  EXPECT_EQ(out.entries[0].client, ClientId(1001));
+  EXPECT_EQ(out.entries[0].client_node, NodeId(31));
+  EXPECT_EQ(out.entries[0].position, (Vec2{120.0, 640.0}));
+  EXPECT_EQ(out.entries[0].cls, 1u);
+  EXPECT_EQ(out.entries[0].enqueued_at, 12500_ms);
+  EXPECT_EQ(out.entries[1].client, ClientId(1002));
+  EXPECT_EQ(out.entries[1].cls, 2u);
+  EXPECT_EQ(out.entries[1].enqueued_at, 13750_ms);
+
+  // Empty handoff is legal on the wire (a shed range with no parked joins).
+  QueueHandoff empty;
+  empty.from_server = ServerId(9);
+  empty.to_game = NodeId(5);
+  const QueueHandoff out_empty = round_trip(empty);
+  EXPECT_TRUE(out_empty.entries.empty());
+}
+
 TEST(ProtocolTest, MapRangeAndShedDone) {
   MapRange in;
   in.new_range = Rect(0, 0, 500, 1000);

@@ -150,6 +150,128 @@ TEST(SurgeQueueTest, RemoveAndFlush) {
   EXPECT_EQ(queue.stats().flushed, 2u);
 }
 
+// ---------------------------------------------------------------------------
+// Cross-server handoff (extract + adopt): class and accrued age survive
+// ---------------------------------------------------------------------------
+
+TEST(SurgeQueueTest, ExtractRangeTakesOnlyEntriesInRange) {
+  SurgeQueue queue(queue_config());
+  EXPECT_TRUE(queue.enqueue(1_sec, ClientId(1), NodeId(1), {100, 100},
+                            PriorityClass::kNormal));
+  EXPECT_TRUE(queue.enqueue(2_sec, ClientId(2), NodeId(2), {600, 100},
+                            PriorityClass::kVip));
+  EXPECT_TRUE(queue.enqueue(3_sec, ClientId(3), NodeId(3), {150, 300},
+                            PriorityClass::kNormal));
+
+  const auto moved = queue.extract_range(Rect(0, 0, 400, 400), 3_sec);
+  ASSERT_EQ(moved.size(), 2u);
+  // Drain order within the extracted set: both NORMAL → FIFO.
+  EXPECT_EQ(moved[0].client, ClientId(1));
+  EXPECT_EQ(moved[1].client, ClientId(3));
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_TRUE(queue.contains(ClientId(2)));
+  EXPECT_EQ(queue.stats().handed_off, 2u);
+}
+
+TEST(SurgeQueueTest, AdoptPreservesClassAndAccruedAge) {
+  SurgeQueue source(queue_config());
+  EXPECT_TRUE(source.enqueue(1_sec, ClientId(1), NodeId(1), {50, 50},
+                             PriorityClass::kVip));
+  const auto moved = source.extract_range(Rect(0, 0, 100, 100), 5_sec);
+  ASSERT_EQ(moved.size(), 1u);
+
+  SurgeQueue dest(queue_config());
+  ASSERT_TRUE(dest.adopt(moved[0]));
+  EXPECT_EQ(dest.stats().adopted, 1u);
+  EXPECT_TRUE(dest.contains(ClientId(1)));
+
+  // Class preserved: VIP, not NORMAL.  Age preserved: enqueued at 1 s, so
+  // by 12 s the 10 s age_step has promoted it to RESUME — the promotion
+  // clock did NOT restart at adoption (5 s).
+  const auto popped = dest.pop(12_sec);
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->cls, PriorityClass::kVip);
+  EXPECT_EQ(popped->enqueued_at, 1_sec);
+  EXPECT_EQ(dest.stats().admitted_by_class[1], 1u);  // tallied as VIP
+  // The recorded wait spans the WHOLE life, both servers: 11 s.
+  EXPECT_EQ(dest.stats().wait_us_sum_by_class[1],
+            static_cast<std::uint64_t>((11_sec).us()));
+}
+
+TEST(SurgeQueueTest, AdoptedEntryRanksByTrueAgeNotReparkTime) {
+  SurgeQueue dest(queue_config());
+  // A local NORMAL parked at t=3 s...
+  EXPECT_TRUE(dest.enqueue(3_sec, ClientId(10), NodeId(10), {0, 0},
+                           PriorityClass::kNormal));
+  // ...then an older NORMAL (parked at t=1 s elsewhere) is adopted at 5 s.
+  SurgeEntry older;
+  older.client = ClientId(11);
+  older.client_node = NodeId(11);
+  older.position = {0, 0};
+  older.cls = PriorityClass::kNormal;
+  older.enqueued_at = 1_sec;
+  ASSERT_TRUE(dest.adopt(older));
+
+  // Same class → the truly older entry drains first despite arriving here
+  // later.
+  EXPECT_EQ(dest.pop(5_sec)->client, ClientId(11));
+  EXPECT_EQ(dest.pop(5_sec)->client, ClientId(10));
+}
+
+TEST(SurgeQueueTest, AdoptRespectsCapacity) {
+  SurgePriorityConfig config = queue_config();
+  config.queue_capacity = 1;
+  SurgeQueue queue(config);
+  EXPECT_TRUE(queue.enqueue(1_sec, ClientId(1), NodeId(1), {0, 0},
+                            PriorityClass::kNormal));
+  SurgeEntry entry;
+  entry.client = ClientId(2);
+  entry.cls = PriorityClass::kVip;
+  entry.enqueued_at = 1_sec;
+  EXPECT_FALSE(queue.adopt(entry));  // full room refuses, caller defers
+  EXPECT_EQ(queue.stats().overflow, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Paid-priority fairness: pop(skip_vip)
+// ---------------------------------------------------------------------------
+
+TEST(SurgeQueueTest, PopSkipVipTakesBestNonVip) {
+  SurgeQueue queue(queue_config());
+  enqueue(queue, 1_sec, 1, PriorityClass::kVip);
+  enqueue(queue, 2_sec, 2, PriorityClass::kVip);
+  enqueue(queue, 3_sec, 3, PriorityClass::kNormal);
+
+  // The unfiltered best is VIP 1; with the cap binding, NORMAL 3 drains.
+  const auto capped = queue.pop(3_sec, /*skip_vip=*/true);
+  ASSERT_TRUE(capped.has_value());
+  EXPECT_EQ(capped->client, ClientId(3));
+  EXPECT_EQ(queue.stats().vip_capped, 1u);
+
+  // Only VIPs left: the filtered pop declines (caller falls back).
+  EXPECT_FALSE(queue.pop(3_sec, /*skip_vip=*/true).has_value());
+  EXPECT_EQ(queue.pop(3_sec)->client, ClientId(1));
+}
+
+TEST(SurgeQueueTest, PopSkipVipNeverSkipsResumeButSkipsAgedUpNormals) {
+  SurgeQueue queue(queue_config());
+  enqueue(queue, 1_sec, 1, PriorityClass::kResume);
+  enqueue(queue, 2_sec, 2, PriorityClass::kVip);
+
+  // RESUME outranks and is not VIP-effective: the filter leaves it alone.
+  EXPECT_EQ(queue.pop(3_sec, /*skip_vip=*/true)->client, ClientId(1));
+  EXPECT_EQ(queue.stats().vip_capped, 0u);  // no VIP was displaced
+  EXPECT_EQ(queue.pop(3_sec)->client, ClientId(2));  // drain the VIP out
+
+  // A NORMAL aged up to VIP is VIP-effective and gets skipped like a paid
+  // VIP: at t=21 s client 3 (parked 10 s) has aged one step while client 4
+  // is fresh NORMAL — the filtered pop takes the fresh NORMAL.
+  enqueue(queue, 10_sec, 3, PriorityClass::kNormal);
+  enqueue(queue, 20500_ms, 4, PriorityClass::kNormal);
+  EXPECT_EQ(queue.pop(21_sec, /*skip_vip=*/true)->client, ClientId(4));
+  EXPECT_EQ(queue.stats().vip_capped, 1u);
+}
+
 TEST(SurgeQueueTest, PerClassWaitAccounting) {
   SurgeQueue queue(queue_config());
   enqueue(queue, 0_sec, 1, PriorityClass::kVip);
