@@ -29,25 +29,25 @@ AdmissionState AdmissionController::target_for(
         fraction * static_cast<double>(overload_clients_)));
   };
 
-  if (signals.client_count >= load_at(config_.hard_load_fraction) ||
-      signals.queue_length >= config_.hard_queue_length ||
+  if (signals.load.client_count >= load_at(config_.hard_load_fraction) ||
+      signals.load.queue_length >= config_.hard_queue_length ||
       (config_.hard_denied_streak > 0 &&
        signals.split_denied_streak >= config_.hard_denied_streak) ||
       (config_.hard_waiting_count > 0 &&
-       signals.waiting_count >= config_.hard_waiting_count)) {
+       signals.load.waiting_count >= config_.hard_waiting_count)) {
     return AdmissionState::kHard;
   }
 
   const bool pool_pressure =
       signals.pool_idle_fraction >= 0.0 &&
       signals.pool_idle_fraction <= config_.soft_pool_idle_fraction &&
-      signals.client_count >= load_at(config_.pool_pressure_load_fraction);
-  if (signals.client_count >= load_at(config_.soft_load_fraction) ||
-      signals.queue_length >= config_.soft_queue_length ||
+      signals.load.client_count >= load_at(config_.pool_pressure_load_fraction);
+  if (signals.load.client_count >= load_at(config_.soft_load_fraction) ||
+      signals.load.queue_length >= config_.soft_queue_length ||
       (config_.soft_denied_streak > 0 &&
        signals.split_denied_streak >= config_.soft_denied_streak) ||
       (config_.soft_waiting_count > 0 &&
-       signals.waiting_count >= config_.soft_waiting_count) ||
+       signals.load.waiting_count >= config_.soft_waiting_count) ||
       pool_pressure) {
     return AdmissionState::kSoft;
   }

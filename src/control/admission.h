@@ -35,6 +35,7 @@
 
 #include "control/token_bucket.h"
 #include "core/config.h"
+#include "policy/load_view.h"
 #include "util/sim_time.h"
 
 namespace matrix {
@@ -71,17 +72,19 @@ enum class AdmissionState : std::uint8_t {
 
 /// One load observation, assembled by the Matrix server from its game
 /// server's LoadReport, direct queue observation, its own split-denied
-/// streak, and the coordinator's pool-pressure broadcasts.
+/// streak, and the coordinator's pool-pressure broadcasts.  The load triple
+/// is the shared LoadSignals vocabulary (policy/load_view.h) — the same
+/// snapshot the load-policy layer and the coordinator's global-admission
+/// aggregate consume.
 struct AdmissionSignals {
-  std::uint32_t client_count = 0;
-  std::uint32_t queue_length = 0;
+  /// Client count, receive-queue depth, and surge-queue ("waiting room")
+  /// depth; waiting_count is only consulted when the
+  /// soft/hard_waiting_count thresholds are non-zero.
+  LoadSignals load;
   /// Consecutive PoolDeny answers since the last successful grant.
   std::uint32_t split_denied_streak = 0;
   /// Idle fraction of the deployment's spare pool; negative ⇒ unknown.
   double pool_idle_fraction = -1.0;
-  /// Surge-queue depth (parked joins); only consulted when the
-  /// soft/hard_waiting_count thresholds are non-zero.
-  std::uint32_t waiting_count = 0;
 };
 
 /// One recorded state change, for metrics and invariant checking.

@@ -42,18 +42,19 @@ bool GlobalAdmission::forget_server(SimTime now, ServerId server) {
 
 std::uint32_t GlobalAdmission::waiting_total() const {
   std::uint32_t total = 0;
-  for (const Tracked& t : digests_) total += t.digest.waiting_count;
+  for (const Tracked& t : digests_) total += t.digest.load.waiting_count;
   return total;
 }
 
-double GlobalAdmission::compute_pressure() const {
-  if (digests_.empty()) return 0.0;
+PressureBreakdown GlobalAdmission::compute_pressure() const {
+  if (digests_.empty()) return {};
   const auto n = static_cast<double>(digests_.size());
   const auto overload = static_cast<double>(std::max(1u, overload_clients_));
 
+  PressureBreakdown breakdown;
   // Pool: 1.0 when the spare pool is dry (a split can no longer save a
   // saturated partition), 0 when fully idle or never heard from.
-  const double pool_term =
+  breakdown.pool_term =
       pool_total_ > 0 ? 1.0 - static_cast<double>(pool_idle_) /
                                   static_cast<double>(pool_total_)
                       : 0.0;
@@ -64,28 +65,26 @@ double GlobalAdmission::compute_pressure() const {
   double waiting_sum = 0.0;
   for (const Tracked& t : digests_) {
     load_sum += std::min(
-        1.0, static_cast<double>(t.digest.client_count) / overload);
+        1.0, static_cast<double>(t.digest.load.client_count) / overload);
     switch (t.digest.state) {
       case AdmissionState::kNormal: break;
       case AdmissionState::kSoft: elevated_sum += 0.5; break;
       case AdmissionState::kHard: elevated_sum += 1.0; break;
     }
-    waiting_sum += static_cast<double>(t.digest.waiting_count);
+    waiting_sum += static_cast<double>(t.digest.load.waiting_count);
   }
-  const double load_term = load_sum / n;
-  const double elevated_term = elevated_sum / n;
+  breakdown.load_term = load_sum / n;
+  breakdown.elevated_term = elevated_sum / n;
   // Waiting rooms holding half an overload-threshold's worth of joins per
   // server saturate this term.
-  const double waiting_term =
-      std::min(1.0, waiting_sum / (n * overload * 0.5));
-
-  return 0.40 * pool_term + 0.30 * load_term + 0.20 * elevated_term +
-         0.10 * waiting_term;
+  breakdown.waiting_term = std::min(1.0, waiting_sum / (n * overload * 0.5));
+  return breakdown;
 }
 
 AdmissionState GlobalAdmission::target() const {
-  if (pressure_ >= config_.hard_pressure) return AdmissionState::kHard;
-  if (pressure_ >= config_.soft_pressure) return AdmissionState::kSoft;
+  const double pressure = breakdown_.total();
+  if (pressure >= config_.hard_pressure) return AdmissionState::kHard;
+  if (pressure >= config_.soft_pressure) return AdmissionState::kSoft;
   return AdmissionState::kNormal;
 }
 
@@ -103,7 +102,7 @@ void GlobalAdmission::transition(SimTime now, AdmissionState to) {
 }
 
 bool GlobalAdmission::evaluate(SimTime now) {
-  pressure_ = compute_pressure();
+  breakdown_ = compute_pressure();
   const AdmissionState want = target();
 
   if (want > floor_) {
@@ -140,7 +139,7 @@ double GlobalAdmission::share_for(ServerId server) const {
   double weight_sum = 0.0;
   double weight = 0.0;
   for (const Tracked& t : digests_) {
-    const double w = 1.0 + static_cast<double>(t.digest.waiting_count);
+    const double w = 1.0 + static_cast<double>(t.digest.load.waiting_count);
     weight_sum += w;
     if (t.server == server) weight = w;
   }

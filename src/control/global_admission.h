@@ -33,6 +33,7 @@
 
 #include "control/admission.h"
 #include "core/config.h"
+#include "policy/load_view.h"
 #include "util/ids.h"
 #include "util/sim_time.h"
 
@@ -43,11 +44,11 @@ class GlobalAdmission {
   GlobalAdmission(const GlobalAdmissionConfig& config,
                   std::uint32_t overload_clients);
 
-  /// One server's digest, as carried by the LoadDigest wire message.
+  /// One server's digest, as carried by the LoadDigest wire message: the
+  /// shared LoadSignals triple (policy/load_view.h) plus the server's LOCAL
+  /// valve state.
   struct ServerDigest {
-    std::uint32_t client_count = 0;
-    std::uint32_t queue_length = 0;
-    std::uint32_t waiting_count = 0;
+    LoadSignals load;
     AdmissionState state = AdmissionState::kNormal;
   };
 
@@ -72,7 +73,12 @@ class GlobalAdmission {
     return floor_ != AdmissionState::kNormal;
   }
   /// Deployment pressure score in [0, 1] at the last evaluation.
-  [[nodiscard]] double pressure() const { return pressure_; }
+  [[nodiscard]] double pressure() const { return breakdown_.total(); }
+  /// The score split into its weighted terms (policy/load_view.h) — the
+  /// "why" behind the floor, consumable by policies, benches, and tests.
+  [[nodiscard]] const PressureBreakdown& breakdown() const {
+    return breakdown_;
+  }
   /// Aggregate surge-queue depth across all digests.
   [[nodiscard]] std::uint32_t waiting_total() const;
   /// `server`'s share of the deployment-wide SOFT token budget: its
@@ -121,7 +127,7 @@ class GlobalAdmission {
   /// Re-evaluates pressure and applies the floor transition rules; true on
   /// a floor change.
   bool evaluate(SimTime now);
-  [[nodiscard]] double compute_pressure() const;
+  [[nodiscard]] PressureBreakdown compute_pressure() const;
   void transition(SimTime now, AdmissionState to);
 
   GlobalAdmissionConfig config_;
@@ -132,7 +138,7 @@ class GlobalAdmission {
   std::uint32_t pool_total_ = 0;  ///< 0 ⇒ pool occupancy unknown
 
   AdmissionState floor_ = AdmissionState::kNormal;
-  double pressure_ = 0.0;
+  PressureBreakdown breakdown_;
   SimTime last_transition_{};
   SimTime calm_since_{};
   bool calm_ = false;

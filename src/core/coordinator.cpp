@@ -32,9 +32,9 @@ void Coordinator::on_message(const Message& message, const Envelope& envelope) {
     maybe_broadcast_directives(floor_changed);
   } else if (const auto* digest = std::get_if<LoadDigest>(&message)) {
     GlobalAdmission::ServerDigest d;
-    d.client_count = digest->client_count;
-    d.queue_length = digest->queue_length;
-    d.waiting_count = digest->waiting_count;
+    d.load.client_count = digest->client_count;
+    d.load.queue_length = digest->queue_length;
+    d.load.waiting_count = digest->waiting_count;
     d.state = admission_state_from_wire(digest->admission_state);
     const bool floor_changed =
         global_admission_.observe_server(now(), digest->server, d);

@@ -45,23 +45,13 @@ void MatrixServer::on_message(const Message& message, const Envelope& env) {
     handle_pool_grant(*grant);
   } else if (std::holds_alternative<PoolDeny>(message)) {
     ++stats_.split_denied_no_server;
-    ++stats_.split_denied_streak;
     split_pending_ = false;
-    // Exponential backoff before asking the pool again: doubling per
-    // consecutive denial (capped) keeps an exhausted pool from being
-    // hammered at the load-report rate, while recovering quickly once a
-    // release frees a server.
-    SimTime backoff = config_.pool_backoff_initial.us() > 0
-                          ? config_.pool_backoff_initial
-                          : config_.topology_cooldown;
-    for (std::uint32_t i = 1;
-         i < stats_.split_denied_streak && backoff < config_.pool_backoff_max;
-         ++i) {
-      backoff = backoff * 2;
-    }
-    backoff = std::min(backoff, config_.pool_backoff_max);
-    stats_.pool_backoff_us = static_cast<std::uint64_t>(backoff.us());
-    cooldown_until_ = now() + backoff;
+    // Exponential backoff before asking the pool again (doubling per
+    // consecutive denial, capped): the episode semantics live in the policy
+    // layer (policy/denial_episode.h), this server just applies the wait.
+    cooldown_until_ = now() + denial_episode_.on_denied();
+    stats_.split_denied_streak = denial_episode_.streak();
+    stats_.pool_backoff_us = denial_episode_.backoff_us();
     // A denied split is also an admission signal: the pool is exhausted
     // and this server is still hot.
     observe_admission(last_report_.client_count, last_report_.queue_length,
@@ -71,12 +61,16 @@ void MatrixServer::on_message(const Message& message, const Envelope& env) {
         pressure->total > 0 ? static_cast<double>(pressure->idle) /
                                   static_cast<double>(pressure->total)
                             : -1.0;
-    // A spare has been freed: the denial streak (and its doubled backoff)
-    // describes a pool that no longer exists, so end the episode — the
-    // next overload report may re-ask immediately instead of sitting out
-    // up to pool_backoff_max while a server idles in the pool.
-    if (pressure->idle > 0 && stats_.split_denied_streak > 0) {
-      clear_pool_denial_episode();
+    // A spare is idle again: the doubled wait describes a pool that no
+    // longer exists, so allow a prompt retry — but keep the streak.  The
+    // pool broadcasts occupancy on every change (including grants to other
+    // servers that leave idle > 0); if the freed spare is snatched before
+    // our retry lands, the next denial must keep doubling from where the
+    // episode left off.  Only a calm report or a grant ends the episode
+    // (policy/denial_episode.h; regression-pinned in policy_test.cpp).
+    if (pressure->idle > 0 && denial_episode_.idle_allows_prompt_retry()) {
+      cooldown_until_ =
+          std::min(cooldown_until_, now() + config_.topology_cooldown);
     }
     if (active_) {
       observe_admission(last_report_.client_count, last_report_.queue_length,
@@ -294,11 +288,15 @@ void MatrixServer::handle_load_report(const LoadReport& report) {
 
   if (overloaded) {
     ++consecutive_overload_;
-    maybe_split();
   } else {
     consecutive_overload_ = 0;
-    if (config_.underloaded(report.client_count)) maybe_reclaim();
   }
+  // The policy layer decides: maybe_split consults it on EVERY report (a
+  // DirectivePolicy may split proactively below the overload threshold;
+  // ClassicPolicy only fires on sustained overload), reclaim only on calm
+  // reports, exactly as before.
+  maybe_split();
+  if (!overloaded) maybe_reclaim();
 }
 
 // ---------------------------------------------------------------------------
@@ -310,16 +308,16 @@ void MatrixServer::observe_admission(std::uint32_t clients,
                                      std::uint32_t waiting_count) {
   if (!config_.admission.enabled) return;
   AdmissionSignals signals;
-  signals.client_count = clients;
+  signals.load.client_count = clients;
   // Always fold in the directly observed receive queue: callers outside
   // the LoadReport path (PoolDeny, PoolPressure) would otherwise escalate
   // on a queue figure up to one report interval stale.
-  signals.queue_length = std::max(
+  signals.load.queue_length = std::max(
       queue_len, static_cast<std::uint32_t>(
                      network()->queue_length(wiring_.game_node)));
-  signals.split_denied_streak = stats_.split_denied_streak;
+  signals.load.waiting_count = waiting_count;
+  signals.split_denied_streak = denial_episode_.streak();
   signals.pool_idle_fraction = pool_idle_fraction_;
-  signals.waiting_count = waiting_count;
   if (admission_.observe(now(), signals)) push_admission_to_game();
 }
 
@@ -333,6 +331,8 @@ void MatrixServer::handle_admission_directive(
   directive_floor_ = directive.active
                          ? admission_state_from_wire(directive.floor)
                          : AdmissionState::kNormal;
+  directive_pressure_ = directive.active ? directive.pressure : 0.0;
+  directive_waiting_total_ = directive.active ? directive.waiting_total : 0;
   ++stats_.directives_received;
   if (!active_) return;  // parked in the pool: remember seq, enforce nothing
   // The game server needs the directive itself (token-budget share,
@@ -349,6 +349,8 @@ void MatrixServer::reset_directive() {
   const bool was_active = directive_active_;
   directive_floor_ = AdmissionState::kNormal;
   directive_active_ = false;
+  directive_pressure_ = 0.0;
+  directive_waiting_total_ = 0;
   // The game server of this pair latched the old directive; rescind it so
   // a fresh life (re-adoption, MC fail-over) starts unclamped.
   if (was_active && config_.admission.global.enabled) {
@@ -360,7 +362,7 @@ void MatrixServer::reset_directive() {
 }
 
 void MatrixServer::clear_pool_denial_episode() {
-  if (stats_.pool_backoff_us > 0) {
+  if (denial_episode_.end()) {
     // A doubled backoff may still be holding the topology cooldown far in
     // the future; with the episode over, shrink it to the ordinary
     // cooldown so an underloaded server can reclaim (and a re-overloaded
@@ -391,35 +393,38 @@ bool MatrixServer::can_change_topology() const {
          !being_reclaimed_ && now() >= cooldown_until_;
 }
 
+LoadView MatrixServer::build_load_view() const {
+  LoadView view;
+  view.load.client_count = last_report_.client_count;
+  view.load.queue_length = last_report_.queue_length;
+  view.load.waiting_count = last_report_.waiting_count;
+  view.median_position = last_report_.median_position;
+  view.range = range_;
+  view.consecutive_overload = consecutive_overload_;
+  view.split_denied_streak = denial_episode_.streak();
+  view.pool_idle_fraction = pool_idle_fraction_;
+  view.local_valve = static_cast<std::uint8_t>(admission_.state());
+  view.directive_floor = static_cast<std::uint8_t>(directive_floor_);
+  view.effective_valve =
+      static_cast<std::uint8_t>(effective_admission_state());
+  view.directive_active = directive_active_;
+  view.directive_pressure = directive_pressure_;
+  view.directive_waiting_total = directive_waiting_total_;
+  return view;
+}
+
 void MatrixServer::maybe_split() {
-  if (!config_.allow_split || !can_change_topology()) return;
-  if (consecutive_overload_ < config_.sustain_reports_to_split) return;
-  // Refuse to split below the minimum extent (a point hotspot would recurse
-  // forever otherwise).
-  if (std::max(range_.width(), range_.height()) / 2.0 <
-      config_.min_partition_extent) {
-    return;
-  }
+  if (!can_change_topology()) return;
+  const LoadView view = build_load_view();
+  const SplitDecision decision = policy_->decide_split(view);
+  if (!decision.split) return;
   split_pending_ = true;
   split_started_at_ = now();
   ++stats_.splits_initiated;
-  send(wiring_.pool_node, PoolAcquire{id_});
-}
-
-std::pair<Rect, Rect> MatrixServer::choose_split() const {
-  if (config_.split_policy == SplitPolicy::kLoadAware &&
-      last_report_.client_count > 0) {
-    // Cut at the reported median client coordinate along the longer axis so
-    // each side inherits roughly half the load.
-    const bool wide = range_.width() >= range_.height();
-    const double lo = wide ? range_.x0() : range_.y0();
-    const double extent = wide ? range_.width() : range_.height();
-    const double median =
-        wide ? last_report_.median_position.x : last_report_.median_position.y;
-    return range_.split_at((median - lo) / extent);
-  }
-  // Paper default: halve the partition, hand off the left piece.
-  return range_.split_half();
+  if (decision.proactive) ++stats_.proactive_splits;
+  // The need hint rides the request so the pool can arbitrate a contested
+  // spare toward the most starved partition (0 ⇒ classic FCFS).
+  send(wiring_.pool_node, PoolAcquire{id_, policy_->pool_need(view)});
 }
 
 void MatrixServer::handle_pool_grant(const PoolGrant& grant) {
@@ -437,7 +442,7 @@ void MatrixServer::handle_pool_grant(const PoolGrant& grant) {
   // The pool came through: clear the denial streak and its backoff.
   clear_pool_denial_episode();
 
-  const auto [give_away, keep] = choose_split();
+  const auto [give_away, keep] = policy_->split_ranges(build_load_view());
   ++topology_epoch_;
   range_ = keep;
 
@@ -533,29 +538,17 @@ void MatrixServer::handle_peer_load(const PeerLoad& load) {
 // ---------------------------------------------------------------------------
 
 void MatrixServer::maybe_reclaim() {
-  if (!config_.allow_reclaim || !can_change_topology()) return;
+  if (!can_change_topology()) return;
   if (children_.empty()) return;
-  // Admission gate: reclaiming hands this server the child's entire
-  // population.  Under SOFT/HARD — local valve or the coordinator's
-  // directive floor — the valve is closed to *new* load; do not
-  // voluntarily accept a bulk handoff either.
-  if (config_.admission.enabled &&
-      effective_admission_state() != AdmissionState::kNormal) {
-    return;
-  }
   // Only the most recent child can be reclaimed: its range is the complement
   // of our latest split, so the merge below is exact.  Earlier children
   // become reclaimable as later ones are absorbed (LIFO collapse).
   const ChildInfo& child = children_.back();
-  if (!child.load_known) return;
-  if (child.last_children != 0) return;  // its subtree must collapse first
-  if (!config_.underloaded(child.last_clients)) return;
-  const double combined = static_cast<double>(last_report_.client_count) +
-                          static_cast<double>(child.last_clients);
-  if (combined > config_.reclaim_headroom_fraction *
-                     static_cast<double>(config_.overload_clients)) {
-    return;
-  }
+  ChildView child_view;
+  child_view.client_count = child.last_clients;
+  child_view.child_count = child.last_children;
+  child_view.load_known = child.load_known;
+  if (!policy_->decide_reclaim(build_load_view(), child_view).reclaim) return;
   reclaim_pending_ = true;
   reclaim_started_at_ = now();
   reclaim_retry_at_ = now() + config_.topology_cooldown * 2;

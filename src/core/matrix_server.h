@@ -13,9 +13,20 @@
 //     transfer and client handoff;
 //   * reclaims its most recent child when both are underloaded, returning
 //     the child to the pool;
+//   * delegates WHEN/WHERE those split/reclaim decisions fire — and the
+//     need hint that biases contested pool grants — to the pluggable
+//     LoadPolicy layer (src/policy/): every LoadReport is condensed into
+//     one LoadView snapshot and the policy answers with typed decisions.
+//     The default ClassicPolicy reproduces the historical inline logic
+//     bit-for-bit (bar the deliberate denial-episode fix noted below);
+//     DirectivePolicy adds coordinator-directive-driven proactive splits
+//     and need-weighted grants;
 //   * applies hysteresis (sustained overload, topology cooldown, reclaim
-//     headroom) to prevent split/reclaim oscillation — the paper's "simple
-//     heuristics ... to ensure stability";
+//     headroom, pool-denial backoff episodes) to prevent split/reclaim
+//     oscillation — the paper's "simple heuristics ... to ensure
+//     stability".  The mechanism (cooldowns, pending flags, the denial
+//     episode's doubling backoff) stays here; the thresholds live in the
+//     policy;
 //   * runs the admission controller (src/control/): every load observation
 //     (LoadReport, queue depth, pool denials, the MC's pool-pressure
 //     broadcasts) feeds the NORMAL/SOFT/HARD valve, state changes are
@@ -36,6 +47,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,6 +56,8 @@
 #include "core/config.h"
 #include "core/overlap.h"
 #include "core/protocol_node.h"
+#include "policy/denial_episode.h"
+#include "policy/load_policy.h"
 
 namespace matrix {
 
@@ -99,6 +113,9 @@ class MatrixServer : public ProtocolNode {
     std::uint64_t nonproximal_lookups = 0;
     std::uint64_t splits_initiated = 0;
     std::uint64_t splits_completed = 0;
+    /// Splits initiated below the overload threshold on the strength of an
+    /// active coordinator directive (DirectivePolicy only).
+    std::uint64_t proactive_splits = 0;
     std::uint64_t split_denied_no_server = 0;
     /// Consecutive PoolDeny answers since the last successful grant.
     std::uint32_t split_denied_streak = 0;
@@ -146,6 +163,12 @@ class MatrixServer : public ProtocolNode {
   }
   [[nodiscard]] bool directive_active() const { return directive_active_; }
 
+  /// The load policy steering split/reclaim/grant decisions (src/policy/).
+  [[nodiscard]] const LoadPolicy& policy() const { return *policy_; }
+  /// The consolidated decision input the policy sees right now — exposed so
+  /// tests can assert on exactly what the policy is being asked.
+  [[nodiscard]] LoadView build_load_view() const;
+
   /// Consistency-set lookup for `point` in radius class `rc` — exposed for
   /// tests and the lookup ablation.  nullptr ⇒ empty set (interior point).
   [[nodiscard]] const OverlapRegionWire* lookup(Vec2 point,
@@ -189,11 +212,10 @@ class MatrixServer : public ProtocolNode {
   void handle_admission_directive(const AdmissionDirective& directive);
   void reset_directive();
 
-  // split / reclaim machinery
+  // split / reclaim machinery (decisions delegated to policy_)
   void maybe_split();
   void maybe_reclaim();
   [[nodiscard]] bool can_change_topology() const;
-  [[nodiscard]] std::pair<Rect, Rect> choose_split() const;
 
   void register_with_mc();
   void push_range_to_game(const Rect& shed_range, NodeId shed_to_game,
@@ -231,6 +253,10 @@ class MatrixServer : public ProtocolNode {
   AdmissionState directive_floor_ = AdmissionState::kNormal;
   bool directive_active_ = false;
   std::uint64_t directive_seq_seen_ = 0;
+  /// Pressure score / deployment-wide waiting total carried by the latest
+  /// accepted directive (LoadView inputs for the policy).
+  double directive_pressure_ = 0.0;
+  std::uint32_t directive_waiting_total_ = 0;
   /// Seq space of directives relayed to OUR game server (survives MC
   /// fail-over, unlike the MC's own numbering).
   std::uint64_t game_directive_seq_ = 0;
@@ -254,6 +280,12 @@ class MatrixServer : public ProtocolNode {
   std::map<std::uint32_t, OwnerQuery> pending_owner_queries_;
 
   AdmissionController admission_{config_.admission, config_.overload_clients};
+
+  /// Pluggable decision layer (src/policy/); ClassicPolicy by default.
+  std::unique_ptr<LoadPolicy> policy_ = make_load_policy(config_);
+  /// Pool-retry backoff episode (policy/denial_episode.h); mirrored into
+  /// Stats::split_denied_streak / pool_backoff_us.
+  PoolDenialEpisode denial_episode_{config_};
 
   Stats stats_;
 };

@@ -481,10 +481,14 @@ PointOwner decode_point_owner(ByteReader& r) {
   return m;
 }
 
-void encode_body(ByteWriter& w, const PoolAcquire& m) { w.id(m.requester); }
+void encode_body(ByteWriter& w, const PoolAcquire& m) {
+  w.id(m.requester);
+  w.f64(m.need);
+}
 PoolAcquire decode_pool_acquire(ByteReader& r) {
   PoolAcquire m;
   m.requester = r.id<ServerId>();
+  m.need = r.f64();
   return m;
 }
 

@@ -299,8 +299,16 @@ struct PointOwner {
 // Matrix server ↔ resource pool ("some non-Matrix external entity", §3.2.3)
 // ---------------------------------------------------------------------------
 
+/// Matrix server → pool: "I want to split; give me a spare."  `need` is the
+/// requester's starvation score from the load-policy layer (src/policy/):
+/// 0 under ClassicPolicy (or while no coordinator directive is in force) —
+/// the pool answers immediately, FCFS — while a positive need asks the pool
+/// to hold the request for `Config::policy.grant_window` and arbitrate a
+/// contested spare toward the highest need (the partition the
+/// global-admission pressure score says is most starved).
 struct PoolAcquire {
   ServerId requester;
+  double need = 0.0;
 };
 
 struct PoolGrant {

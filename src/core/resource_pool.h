@@ -8,12 +8,22 @@
 // rebroadcasts the resulting pool-pressure signal to every Matrix server so
 // servers nearing overload can pre-emptively throttle joins when no spare
 // capacity remains.
+//
+// Grant arbitration is delegated to the load-policy layer (src/policy/):
+// a PoolAcquire with need == 0 (ClassicPolicy, or no coordinator directive
+// in force) is answered the instant it arrives — strict FCFS, the
+// historical behavior.  A positive need asks the pool to HOLD the request
+// for the policy's grant window, collect competing requesters, and hand
+// the contested spares to the highest need first (the partition the
+// global-admission pressure score says is most starved), denying the rest.
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "core/protocol_node.h"
+#include "policy/load_policy.h"
 
 namespace matrix {
 
@@ -26,6 +36,11 @@ class ResourcePool : public ProtocolNode {
   };
 
   [[nodiscard]] std::string name() const override { return "pool"; }
+
+  /// Installs the deployment's config (and with it the grant-arbitration
+  /// policy).  Optional: an unconfigured pool runs ClassicPolicy semantics
+  /// for need-0 requests either way, and only ever holds need-tagged ones.
+  void configure(const Config& config) { policy_ = make_load_policy(config); }
 
   /// Points occupancy reports at the MC.  Optional: an unwired pool (unit
   /// harnesses, the static baseline) simply never reports.
@@ -46,21 +61,34 @@ class ResourcePool : public ProtocolNode {
   [[nodiscard]] std::uint64_t grants() const { return grants_; }
   [[nodiscard]] std::uint64_t denies() const { return denies_; }
   [[nodiscard]] std::uint64_t releases() const { return releases_; }
+  /// Requests that went through a held-window arbitration round.
+  [[nodiscard]] std::uint64_t arbitrated_requests() const {
+    return arbitrated_requests_;
+  }
+  /// Arbitration rounds where demand exceeded the idle supply (somebody
+  /// need-weighted actually displaced somebody else).
+  [[nodiscard]] std::uint64_t contested_rounds() const {
+    return contested_rounds_;
+  }
 
  protected:
   void on_message(const Message& message, const Envelope& envelope) override {
-    if (std::holds_alternative<PoolAcquire>(message)) {
-      if (idle_.empty()) {
-        ++denies_;
-        send(envelope.src, PoolDeny{});
+    if (const auto* acquire = std::get_if<PoolAcquire>(&message)) {
+      PoolRequest request;
+      request.requester = acquire->requester;
+      request.reply_to = envelope.src;
+      request.need = acquire->need;
+      request.arrival = ++arrival_counter_;
+      const SimTime hold = policy().grant_hold(request);
+      if (hold.us() <= 0) {
+        answer_now(request);
         return;
       }
-      const Entry entry = idle_.front();
-      idle_.pop_front();
-      ++grants_;
-      send(envelope.src,
-           PoolGrant{entry.server, entry.matrix_node, entry.game_node});
-      push_status();
+      pending_.push_back(request);
+      if (!arbitration_scheduled_) {
+        arbitration_scheduled_ = true;
+        network()->events().schedule_after(hold, [this] { arbitrate(); });
+      }
     } else if (const auto* release = std::get_if<PoolRelease>(&message)) {
       ++releases_;
       idle_.push_back(
@@ -70,6 +98,46 @@ class ResourcePool : public ProtocolNode {
   }
 
  private:
+  /// The immediate (classic / need-0) path: grant the oldest idle spare or
+  /// deny on the spot.
+  void answer_now(const PoolRequest& request) {
+    if (idle_.empty()) {
+      ++denies_;
+      send(request.reply_to, PoolDeny{});
+      return;
+    }
+    const Entry entry = idle_.front();
+    idle_.pop_front();
+    ++grants_;
+    send(request.reply_to,
+         PoolGrant{entry.server, entry.matrix_node, entry.game_node});
+    push_status();
+  }
+
+  /// Window close: the policy orders the held requests; grants walk that
+  /// order until the idle list runs dry, everyone else is denied.
+  void arbitrate() {
+    arbitration_scheduled_ = false;
+    std::vector<PoolRequest> requests;
+    requests.swap(pending_);
+    if (requests.empty()) return;
+    arbitrated_requests_ += requests.size();
+    // Contested = actual competitors for too few spares; a solo request
+    // against a dry pool is just a deny, not an arbitration outcome.
+    if (requests.size() > 1 && requests.size() > idle_.size()) {
+      ++contested_rounds_;
+    }
+    const PoolGrantDecision decision = policy().arbitrate(requests);
+    for (std::size_t index : decision.order) {
+      answer_now(requests[index]);
+    }
+  }
+
+  [[nodiscard]] const LoadPolicy& policy() {
+    if (policy_ == nullptr) policy_ = make_load_policy(Config{});
+    return *policy_;
+  }
+
   void push_status() {
     if (!mc_node_.valid() || network() == nullptr) return;
     send(mc_node_, PoolStatus{static_cast<std::uint32_t>(idle_.size()),
@@ -79,9 +147,15 @@ class ResourcePool : public ProtocolNode {
   std::deque<Entry> idle_;
   std::size_t total_ = 0;
   NodeId mc_node_;
+  std::unique_ptr<LoadPolicy> policy_;
+  std::vector<PoolRequest> pending_;
+  bool arbitration_scheduled_ = false;
+  std::uint64_t arrival_counter_ = 0;
   std::uint64_t grants_ = 0;
   std::uint64_t denies_ = 0;
   std::uint64_t releases_ = 0;
+  std::uint64_t arbitrated_requests_ = 0;
+  std::uint64_t contested_rounds_ = 0;
 };
 
 }  // namespace matrix

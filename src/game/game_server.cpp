@@ -645,17 +645,26 @@ double GameServer::radius_for(std::uint8_t radius_class) const {
   return spec_.visibility_radius;
 }
 
-LoadReport GameServer::build_load_report() {
-  LoadReport report;
-  report.client_count = static_cast<std::uint32_t>(sessions_.size());
-  report.queue_length =
+LoadSignals GameServer::local_signals() const {
+  LoadSignals signals;
+  signals.client_count = static_cast<std::uint32_t>(sessions_.size());
+  signals.queue_length =
       static_cast<std::uint32_t>(network()->queue_length(node_id()));
+  signals.waiting_count = static_cast<std::uint32_t>(surge_queue_.size());
+  return signals;
+}
+
+LoadReport GameServer::build_load_report() {
+  const LoadSignals signals = local_signals();
+  LoadReport report;
+  report.client_count = signals.client_count;
+  report.queue_length = signals.queue_length;
   const double interval_sec = (now() - last_report_at_).sec();
   report.msgs_per_sec =
       interval_sec > 0.0
           ? static_cast<double>(msgs_since_report_) / interval_sec
           : 0.0;
-  report.waiting_count = static_cast<std::uint32_t>(surge_queue_.size());
+  report.waiting_count = signals.waiting_count;
 
   if (!sessions_.empty()) {
     std::vector<double> xs, ys;

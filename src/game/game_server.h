@@ -57,6 +57,7 @@
 #include "core/protocol_node.h"
 #include "game/entity.h"
 #include "game/game_model.h"
+#include "policy/load_view.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -103,6 +104,10 @@ class GameServer : public ProtocolNode {
   /// The surge queue ("waiting room"); empty forever unless
   /// Config::admission.priority.queue_enabled.
   [[nodiscard]] const SurgeQueue& surge_queue() const { return surge_queue_; }
+  /// This server's instantaneous load in the shared LoadSignals vocabulary
+  /// (policy/load_view.h) — the one snapshot LoadReport, the admission
+  /// valve, and the coordinator's LoadDigest aggregate all derive from.
+  [[nodiscard]] LoadSignals local_signals() const;
 
   struct Stats {
     std::uint64_t hellos = 0;

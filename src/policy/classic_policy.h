@@ -1,0 +1,54 @@
+// ClassicPolicy — the historical decision logic, ported bit-for-bit.
+//
+// Split: sustained overload (Config::sustain_reports_to_split consecutive
+// overloaded reports) above the min-partition-extent floor; the cut follows
+// Config::split_policy (halve across the longer dimension, or cut at the
+// reported median client coordinate).  Reclaim: parent underloaded, child
+// underloaded and leaf, combined load within the reclaim headroom, valve
+// composed-NORMAL.  Pool grants: strict FCFS — a request is answered the
+// instant it arrives, whoever asks first wins.
+//
+// This is the default policy; the existing split/reclaim/grant traces (the
+// topology property tests, the matrix-server suite, every admission bench)
+// reproduce exactly under it — with one deliberate exception that applies
+// to every policy: the pool-denial episode's pool-idle semantics were
+// FIXED in the same change (idle spares now permit a prompt retry without
+// forgetting the streak; see policy/denial_episode.h and the regression
+// test in tests/policy_test.cpp).
+#pragma once
+
+#include "policy/load_policy.h"
+
+namespace matrix {
+
+class ClassicPolicy : public LoadPolicy {
+ public:
+  using LoadPolicy::LoadPolicy;
+
+  [[nodiscard]] const char* name() const override { return "classic"; }
+
+  [[nodiscard]] SplitDecision decide_split(const LoadView& view) const override;
+  [[nodiscard]] std::pair<Rect, Rect> split_ranges(
+      const LoadView& view) const override;
+  [[nodiscard]] ReclaimDecision decide_reclaim(
+      const LoadView& view, const ChildView& child) const override;
+  [[nodiscard]] double pool_need(const LoadView& view) const override;
+
+  [[nodiscard]] SimTime grant_hold(const PoolRequest& request) const override;
+  [[nodiscard]] PoolGrantDecision arbitrate(
+      const std::vector<PoolRequest>& requests) const override;
+
+ protected:
+  /// True when halving the range would drop below min_partition_extent (a
+  /// point hotspot would recurse forever otherwise).
+  [[nodiscard]] bool below_min_extent(const Rect& range) const;
+
+  /// The load-aware cut: median client coordinate along the longer axis,
+  /// clamped by Rect::split_at so a degenerate median (all clients at one
+  /// point, or a stale median outside the range) still yields two
+  /// non-degenerate complementary pieces.
+  [[nodiscard]] std::pair<Rect, Rect> load_aware_cut(
+      const LoadView& view) const;
+};
+
+}  // namespace matrix

@@ -1,0 +1,85 @@
+// PoolDenialEpisode — the pool-retry backoff state machine, extracted from
+// MatrixServer so its semantics live in the policy layer and can be pinned
+// by unit tests.
+//
+// An EPISODE is one run of consecutive PoolDeny answers while a server
+// stays hot.  Within an episode the retry backoff doubles per denial
+// (capped at pool_backoff_max) so an exhausted pool is not hammered at the
+// load-report rate.  The contract, as documented in ROADMAP:
+//
+//   * a CALM report (overload gone) or a successful GRANT ends the episode:
+//     the streak and backoff zero, and any pending backoff shrinks to the
+//     ordinary topology cooldown — with the overload gone, no further
+//     PoolAcquire (and hence no clearing PoolGrant) would ever be sent, so
+//     without this a single denial would latch forever;
+//
+//   * a POOL-IDLE signal (PoolPressure with idle > 0) permits a PROMPT
+//     RETRY — the doubled wait described a pool that no longer exists — but
+//     does NOT forget the streak.  The pool broadcasts occupancy on every
+//     change, including grants to *other* servers that leave idle > 0; if
+//     the freed spare is snatched before our retry lands, the next denial
+//     must keep doubling from where the episode left off, or a thrashing
+//     pool is hammered at the flat-cooldown rate forever.  (The historical
+//     inline code reset the whole episode here; tests/policy_test.cpp pins
+//     the corrected semantics.)
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/config.h"
+#include "util/sim_time.h"
+
+namespace matrix {
+
+class PoolDenialEpisode {
+ public:
+  explicit PoolDenialEpisode(const Config& config)
+      : initial_(config.pool_backoff_initial.us() > 0
+                     ? config.pool_backoff_initial
+                     : config.topology_cooldown),
+        max_(config.pool_backoff_max) {}
+
+  /// Records the next consecutive denial and returns the backoff to sit out
+  /// before re-asking: initial on the first denial, doubling per repeat,
+  /// capped at pool_backoff_max.
+  SimTime on_denied() {
+    ++streak_;
+    SimTime backoff = initial_;
+    for (std::uint32_t i = 1; i < streak_ && backoff < max_; ++i) {
+      backoff = backoff * 2;
+    }
+    backoff = std::min(backoff, max_);
+    backoff_us_ = static_cast<std::uint64_t>(backoff.us());
+    return backoff;
+  }
+
+  /// Ends the episode (grant arrived, or a calm report showed the overload
+  /// gone).  Returns true when a backoff was pending — the caller should
+  /// shrink any cooldown it derived from it back to the ordinary
+  /// topology cooldown.
+  bool end() {
+    const bool pending = backoff_us_ > 0;
+    streak_ = 0;
+    backoff_us_ = 0;
+    return pending;
+  }
+
+  /// Idle spares reappeared mid-episode: returns true when a backoff is
+  /// pending and a prompt retry should be allowed.  The streak is
+  /// deliberately preserved — only end() forgets it.
+  [[nodiscard]] bool idle_allows_prompt_retry() const {
+    return backoff_us_ > 0;
+  }
+
+  [[nodiscard]] std::uint32_t streak() const { return streak_; }
+  [[nodiscard]] std::uint64_t backoff_us() const { return backoff_us_; }
+
+ private:
+  SimTime initial_;
+  SimTime max_;
+  std::uint32_t streak_ = 0;
+  std::uint64_t backoff_us_ = 0;
+};
+
+}  // namespace matrix

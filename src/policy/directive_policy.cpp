@@ -1,0 +1,78 @@
+#include "policy/directive_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace matrix {
+
+SplitDecision DirectivePolicy::decide_split(const LoadView& view) const {
+  const SplitDecision classic = ClassicPolicy::decide_split(view);
+  if (classic.split) return classic;
+
+  // Proactive trigger: only under an active directive, only with real
+  // starvation evidence (a populated waiting room), and never below the
+  // minimum extent.  The ordinary cooldown and pending-topology gates stay
+  // with the caller, so a directive cannot stampede a server into
+  // back-to-back splits.
+  if (!config_.allow_split || !view.directive_active) return classic;
+  // A proactive ask against a dry (or unknown) pool cannot be granted, but
+  // the PoolDeny it provokes still feeds the denial-streak admission signal
+  // and can slam the valve to HARD — freezing the very waiting room the
+  // split was meant to drain.  Only volunteer when spares are known idle;
+  // a genuinely overloaded server still asks through the classic path.
+  if (view.pool_idle_fraction <= 0.0) return classic;
+  const auto threshold = static_cast<std::uint32_t>(
+      std::llround(config_.policy.proactive_load_fraction *
+                   static_cast<double>(config_.overload_clients)));
+  if (view.load.client_count < threshold) return classic;
+  if (view.load.waiting_count < config_.policy.proactive_min_waiting) {
+    return classic;
+  }
+  if (below_min_extent(view.range)) return classic;
+  return {.split = true, .proactive = true};
+}
+
+std::pair<Rect, Rect> DirectivePolicy::split_ranges(const LoadView& view) const {
+  // Under a directive every split is about shedding a hotspot: cut at the
+  // median so the child inherits half the load, whatever split_policy says.
+  if (view.directive_active && view.load.client_count > 0) {
+    return load_aware_cut(view);
+  }
+  return ClassicPolicy::split_ranges(view);
+}
+
+double DirectivePolicy::pool_need(const LoadView& view) const {
+  if (!view.directive_active) return 0.0;  // no bias without a directive
+  const auto overload =
+      static_cast<double>(std::max(1u, config_.overload_clients));
+  // The per-partition slice of the MC's pressure score: load fraction plus
+  // depth-weighted starvation.  The +1 keeps every directive-era request
+  // strictly positive so it enters arbitration even at zero load.
+  return 1.0 +
+         static_cast<double>(view.load.client_count) / overload +
+         config_.policy.need_waiting_weight *
+             static_cast<double>(view.load.waiting_count) / overload;
+}
+
+SimTime DirectivePolicy::grant_hold(const PoolRequest& request) const {
+  // Need 0 means the requester ran ClassicPolicy or saw no directive:
+  // answer immediately, exactly like the classic pool.
+  return request.need > 0.0 ? config_.policy.grant_window : SimTime{};
+}
+
+PoolGrantDecision DirectivePolicy::arbitrate(
+    const std::vector<PoolRequest>& requests) const {
+  PoolGrantDecision decision;
+  decision.order.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) decision.order[i] = i;
+  std::sort(decision.order.begin(), decision.order.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (requests[a].need != requests[b].need) {
+                return requests[a].need > requests[b].need;
+              }
+              return requests[a].arrival < requests[b].arrival;  // FCFS tie
+            });
+  return decision;
+}
+
+}  // namespace matrix

@@ -1,0 +1,49 @@
+// DirectivePolicy — ClassicPolicy plus the coordinator-directive extensions.
+//
+// While no AdmissionDirective is in force this policy is ClassicPolicy to
+// the bit: the extensions key on the directive precisely because the
+// directive is the deployment-wide "we are past capacity" signal the MC
+// derives from its pressure score (control/global_admission.h).  Under an
+// active directive it adds:
+//
+//   * NEED-WEIGHTED POOL GRANTS.  PoolAcquire carries a need hint scored
+//     from the same signals the MC's pressure score weights (load fraction
+//     plus waiting-room depth — the deepest line is the most starved
+//     partition).  The pool holds need-tagged requests for
+//     Config::policy.grant_window and grants the contested spare to the
+//     highest need instead of whoever's retry happened to arrive first, so
+//     the spare lands where the global-admission score says it relieves the
+//     most starvation.
+//
+//   * PROACTIVE LOAD-AWARE SPLITS.  An active directive means the valve
+//     system is already shedding joins deployment-wide; waiting for a
+//     partition to cross the full overload + sustain hysteresis before
+//     splitting wastes the spare pool's head start.  Once reported clients
+//     reach proactive_load_fraction × overload_clients AND the waiting room
+//     holds proactive_min_waiting parked joins, the partition splits
+//     immediately — before its valve ever reaches HARD — and the cut is
+//     load-aware (median) regardless of split_policy, because a proactive
+//     split exists to shed the hotspot, not to halve real estate.
+#pragma once
+
+#include "policy/classic_policy.h"
+
+namespace matrix {
+
+class DirectivePolicy : public ClassicPolicy {
+ public:
+  using ClassicPolicy::ClassicPolicy;
+
+  [[nodiscard]] const char* name() const override { return "directive"; }
+
+  [[nodiscard]] SplitDecision decide_split(const LoadView& view) const override;
+  [[nodiscard]] std::pair<Rect, Rect> split_ranges(
+      const LoadView& view) const override;
+  [[nodiscard]] double pool_need(const LoadView& view) const override;
+
+  [[nodiscard]] SimTime grant_hold(const PoolRequest& request) const override;
+  [[nodiscard]] PoolGrantDecision arbitrate(
+      const std::vector<PoolRequest>& requests) const override;
+};
+
+}  // namespace matrix

@@ -1,0 +1,39 @@
+#include "policy/load_policy.h"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "policy/directive_policy.h"
+
+namespace matrix {
+
+LoadPolicyKind default_load_policy_kind() {
+  static const LoadPolicyKind kind = [] {
+    const char* env = std::getenv("MATRIX_LOAD_POLICY");
+    if (env != nullptr && std::string_view(env) == "directive") {
+      return LoadPolicyKind::kDirective;
+    }
+    return LoadPolicyKind::kClassic;
+  }();
+  return kind;
+}
+
+const char* load_policy_kind_name(LoadPolicyKind kind) {
+  switch (kind) {
+    case LoadPolicyKind::kClassic: return "classic";
+    case LoadPolicyKind::kDirective: return "directive";
+  }
+  return "?";
+}
+
+std::unique_ptr<LoadPolicy> make_load_policy(const Config& config) {
+  switch (config.policy.kind) {
+    case LoadPolicyKind::kDirective:
+      return std::make_unique<DirectivePolicy>(config);
+    case LoadPolicyKind::kClassic:
+      break;
+  }
+  return std::make_unique<ClassicPolicy>(config);
+}
+
+}  // namespace matrix

@@ -1,0 +1,131 @@
+// LoadPolicy — the pluggable decision layer for adaptive load distribution.
+//
+// The paper's core contribution (§3.2.3) is the set of decisions that move
+// load around a Matrix deployment: WHEN a partition splits, WHERE the cut
+// lands, WHEN a child is reclaimed, and WHO wins a spare server when the
+// pool is contested.  Historically those decisions were smeared across
+// MatrixServer::maybe_split/maybe_reclaim/choose_split, the resource pool's
+// FCFS grant loop, and threshold helpers baked into Config.  This layer
+// gathers them behind one interface consuming one consolidated input
+// (LoadView, policy/load_view.h) and emitting typed decisions, so the
+// decision logic is swappable without touching the mechanism code
+// (message handshakes, state transfer, hysteresis bookkeeping stay in
+// core/).
+//
+// Implementations:
+//
+//   * ClassicPolicy (classic_policy.h)    — bit-for-bit port of the
+//     historical behavior: threshold + sustain splits, split-to-left or
+//     median cuts per Config::split_policy, headroom-gated reclaims, FCFS
+//     pool grants.  The default; the seed traces are reproduced exactly.
+//
+//   * DirectivePolicy (directive_policy.h) — ClassicPolicy plus the two
+//     coordinator-directive extensions named in ROADMAP: need-weighted
+//     pool-grant arbitration (the PoolAcquire need hint biases a contested
+//     grant toward the partition the global-admission pressure score says
+//     is most starved) and directive-driven proactive load-aware splits
+//     (an active AdmissionDirective splits the hottest partition before
+//     the valve ever reaches HARD).
+//
+// Selection: Config::policy.kind, overridable process-wide via the
+// MATRIX_LOAD_POLICY environment variable (CI's policy-matrix leg).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "policy/load_view.h"
+#include "util/ids.h"
+#include "util/sim_time.h"
+
+namespace matrix {
+
+/// Split now, or defer?  Emitted by LoadPolicy::decide_split on every load
+/// report; the Matrix server turns a positive decision into a PoolAcquire.
+struct SplitDecision {
+  bool split = false;
+  /// True when the split fired below the ordinary overload threshold on the
+  /// strength of an active coordinator directive (DirectivePolicy).
+  bool proactive = false;
+};
+
+/// Reclaim the most recent child, or leave the topology alone?
+struct ReclaimDecision {
+  bool reclaim = false;
+};
+
+/// One pool request awaiting arbitration (resource-pool side).
+struct PoolRequest {
+  ServerId requester;
+  NodeId reply_to;
+  /// The requester's need hint as carried by PoolAcquire; 0 means "no bias"
+  /// (ClassicPolicy, or no directive in force) and is never held.
+  double need = 0.0;
+  /// Arrival order within the window (FCFS tie-break).
+  std::uint64_t arrival = 0;
+};
+
+/// Which requester wins a contested pool server: indices into the request
+/// vector, best first.  The pool grants down this order until the idle
+/// list runs dry and denies the rest.
+struct PoolGrantDecision {
+  std::vector<std::size_t> order;
+};
+
+class LoadPolicy {
+ public:
+  explicit LoadPolicy(const Config& config) : config_(config) {}
+  virtual ~LoadPolicy() = default;
+
+  LoadPolicy(const LoadPolicy&) = delete;
+  LoadPolicy& operator=(const LoadPolicy&) = delete;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  // ---- Matrix-server-side decisions -----------------------------------------
+
+  /// Should this server split now?  Consulted on every LoadReport once the
+  /// mechanical gates (active, nothing pending, cooldown elapsed) pass.
+  [[nodiscard]] virtual SplitDecision decide_split(
+      const LoadView& view) const = 0;
+
+  /// Where the cut lands: {give_away, keep}, the first piece handed to the
+  /// newly granted child (the paper's split-to-left contract).
+  [[nodiscard]] virtual std::pair<Rect, Rect> split_ranges(
+      const LoadView& view) const = 0;
+
+  /// Should this server reclaim its most recent child?
+  [[nodiscard]] virtual ReclaimDecision decide_reclaim(
+      const LoadView& view, const ChildView& child) const = 0;
+
+  /// The need hint stamped onto PoolAcquire.  0 ⇒ classic FCFS handling at
+  /// the pool; > 0 ⇒ the request may be held and arbitrated against
+  /// competing requesters.
+  [[nodiscard]] virtual double pool_need(const LoadView& view) const = 0;
+
+  // ---- resource-pool-side arbitration ---------------------------------------
+
+  /// How long the pool should hold `request` before arbitrating; 0 ⇒
+  /// grant/deny immediately (the classic path).
+  [[nodiscard]] virtual SimTime grant_hold(const PoolRequest& request) const = 0;
+
+  /// Orders the held requests by grant preference.
+  [[nodiscard]] virtual PoolGrantDecision arbitrate(
+      const std::vector<PoolRequest>& requests) const = 0;
+
+  // ---- shared helpers -------------------------------------------------------
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ protected:
+  Config config_;
+};
+
+/// Constructs the implementation selected by `config.policy.kind`.
+[[nodiscard]] std::unique_ptr<LoadPolicy> make_load_policy(
+    const Config& config);
+
+}  // namespace matrix

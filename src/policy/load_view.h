@@ -1,0 +1,111 @@
+// Consolidated load signals — the single input surface of the load-policy
+// layer (src/policy/).
+//
+// Before this layer existed, the same few signals (client count, receive
+// queue, waiting-room depth, pool occupancy, valve/directive state) were
+// re-derived independently in matrix_server.cpp, global_admission.cpp, and
+// game_server.cpp, and every adaptive decision consumed a private ad-hoc
+// slice of them.  These structs are the one shared vocabulary:
+//
+//   * LoadSignals      — one server's instantaneous load triple, as observed
+//                        by the game server and carried by LoadReport and
+//                        LoadDigest;
+//   * LoadView         — the full decision input a Matrix server assembles
+//                        for its LoadPolicy: its own LoadSignals plus range,
+//                        split hysteresis, pool occupancy, and the local
+//                        valve / coordinator-directive state;
+//   * ChildView        — the parent-visible slice of one child (reclaim
+//                        decisions);
+//   * PressureBreakdown — the global-admission pressure score split into its
+//                        weighted terms, so policies (and tests) can see WHY
+//                        the deployment is pressured, not just how much.
+//
+// This header is deliberately dependency-light (geometry only): it is
+// included by control/, core/, game/, and policy/ alike.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/rect.h"
+#include "geometry/vec2.h"
+
+namespace matrix {
+
+/// One server's instantaneous load, as its game server observes it.  The
+/// triple every control-plane consumer reads: the admission valve, the
+/// load-policy layer, and the coordinator's global-admission aggregate.
+struct LoadSignals {
+  std::uint32_t client_count = 0;
+  /// Receive-queue depth (messages) — the paper's "system performance
+  /// measurements" overload signal.
+  std::uint32_t queue_length = 0;
+  /// Surge-queue ("waiting room") depth; 0 while the room is disabled.
+  std::uint32_t waiting_count = 0;
+};
+
+/// The deployment-wide pressure score of coordinator-led global admission
+/// (control/global_admission.h), split into its weighted terms.  Weights
+/// are fixed by the scoring contract documented in ROADMAP/ARCHITECTURE:
+/// 0.4·pool + 0.3·load + 0.2·elevated + 0.1·waiting.
+struct PressureBreakdown {
+  double pool_term = 0.0;      ///< 1 − idle fraction of the spare pool
+  double load_term = 0.0;      ///< mean load fraction vs overload, sat. at 1
+  double elevated_term = 0.0;  ///< share of servers SOFT (0.5) / HARD (1.0)
+  double waiting_term = 0.0;   ///< aggregate waiting-room depth, saturated
+
+  [[nodiscard]] constexpr double total() const {
+    return 0.40 * pool_term + 0.30 * load_term + 0.20 * elevated_term +
+           0.10 * waiting_term;
+  }
+};
+
+/// Everything a LoadPolicy may consult when deciding splits, reclaims, and
+/// pool-grant need.  Assembled by MatrixServer::build_load_view() from the
+/// latest LoadReport, the MC's broadcasts, and local hysteresis state —
+/// one snapshot, one place, instead of each decision re-reading members.
+struct LoadView {
+  LoadSignals load;
+  /// Median client coordinate from the latest LoadReport (load-aware cuts).
+  Vec2 median_position;
+  /// This server's current partition.
+  Rect range;
+  /// Consecutive overloaded LoadReports (split hysteresis counter).
+  std::uint32_t consecutive_overload = 0;
+  /// Consecutive PoolDeny answers since the last grant / calm report.
+  std::uint32_t split_denied_streak = 0;
+  /// Idle fraction of the deployment's spare pool; negative ⇒ never heard.
+  double pool_idle_fraction = -1.0;
+
+  // ---- valve / directive state (control/) ----------------------------------
+  /// Local admission valve (0 NORMAL, 1 SOFT, 2 HARD — numeric to keep this
+  /// header free of control/ includes; compare via the constants below).
+  std::uint8_t local_valve = 0;
+  /// Coordinator directive floor, same encoding.
+  std::uint8_t directive_floor = 0;
+  /// Composed state (strictest of the two) — what the join gate enforces.
+  std::uint8_t effective_valve = 0;
+  /// True while a coordinator AdmissionDirective is in force.
+  bool directive_active = false;
+  /// Deployment pressure score carried by the latest directive.
+  double directive_pressure = 0.0;
+  /// Deployment-wide parked joins carried by the latest directive.
+  std::uint32_t directive_waiting_total = 0;
+};
+
+/// Numeric valve states as carried in LoadView (mirrors AdmissionState
+/// without pulling control/admission.h into this header).
+inline constexpr std::uint8_t kValveNormal = 0;
+inline constexpr std::uint8_t kValveSoft = 1;
+inline constexpr std::uint8_t kValveHard = 2;
+
+/// The parent-visible slice of one child server, for reclaim decisions
+/// (fed by the child's PeerLoad heartbeats).
+struct ChildView {
+  std::uint32_t client_count = 0;
+  std::uint32_t child_count = 0;
+  /// False until the first heartbeat arrives — an unknown child is never
+  /// reclaimed on a default-zero load figure.
+  bool load_known = false;
+};
+
+}  // namespace matrix

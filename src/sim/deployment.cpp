@@ -49,6 +49,7 @@ Deployment::Deployment(DeploymentOptions options)
   coordinator_ = std::make_unique<Coordinator>(options_.config);
   const NodeId mc_node = network_.attach(coordinator_.get(), options_.infra_node);
   pool_ = std::make_unique<ResourcePool>();
+  pool_->configure(options_.config);  // grant-arbitration policy (src/policy/)
   const NodeId pool_node = network_.attach(pool_.get(), options_.infra_node);
   // The pool reports occupancy to the MC, which rebroadcasts pool pressure
   // to every Matrix server (admission subsystem, src/control/).  Left

@@ -189,6 +189,47 @@ void schedule_multi_partition_surge_scenario(
   }
 }
 
+void schedule_contested_pool_scenario(
+    Deployment& deployment, const ContestedPoolScenarioOptions& options) {
+  // The arrival/churn mechanics mirror the multi-partition surge; what makes
+  // the scenario "contested" is (a) running MORE surges than the deployment
+  // parks spares (the caller's pool_size), so every PoolAcquire races the
+  // others for the same server, and (b) the per-center stagger, which
+  // decouples WHO ASKS FIRST from WHO NEEDS IT MOST.
+  Scenario scenario(deployment);
+  scenario.add_background_bots(SimTime::from_ms(100), options.background_bots);
+
+  const std::size_t surges =
+      std::min(options.centers.size(), options.flash_bots.size());
+  for (std::size_t s = 0; s < surges; ++s) {
+    SimTime t = options.flash_at + options.flash_stagger * s;
+    for (std::size_t joined = 0; joined < options.flash_bots[s];) {
+      const std::size_t batch = std::min(
+          options.join_batch > 0 ? options.join_batch : options.flash_bots[s],
+          options.flash_bots[s] - joined);
+      scenario.add_surge_bots(t, batch, options.centers[s], options.spread,
+                              options.vip_fraction);
+      joined += batch;
+      t += options.join_interval;
+    }
+  }
+
+  // Churn departures near every center, proportional to its crowd.
+  for (std::size_t s = 0; s < surges; ++s) {
+    const auto leave_total = static_cast<std::size_t>(
+        options.leave_fraction * static_cast<double>(options.flash_bots[s]));
+    SimTime leave_t = options.leave_at;
+    for (std::size_t left = 0; left < leave_total;) {
+      const std::size_t batch = std::min(
+          options.leave_batch > 0 ? options.leave_batch : leave_total,
+          leave_total - left);
+      scenario.remove_bots_at(leave_t, batch, options.centers[s]);
+      left += batch;
+      leave_t += options.leave_interval;
+    }
+  }
+}
+
 std::size_t deployment_capacity_clients(const Deployment& deployment) {
   return deployment.game_servers().size() *
          deployment.options().config.overload_clients;

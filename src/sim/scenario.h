@@ -205,4 +205,65 @@ void schedule_multi_partition_surge_scenario(
   return total;
 }
 
+/// Contested-pool workload (load-policy layer, src/policy/): MORE partitions
+/// overload simultaneously than the resource pool holds spares, so every
+/// PoolAcquire is a contest — the regime where grant ARBITRATION (who gets
+/// the spare) decides the deployment's worst-partition experience, not just
+/// whether a split happens.  Crowd sizes are deliberately unequal: under
+/// FCFS the spare goes to whichever partition's retry happens to land
+/// first (often a small crowd's), while need-weighted arbitration
+/// (DirectivePolicy) hands it to the most starved partition.  Pair it with
+/// a deployment whose pool_size < centers.size(); mid-run churn keeps
+/// releasing and re-contesting the spares so the arbitration fires
+/// repeatedly, not once.  `bench_policy_grants` runs exactly this head-to-
+/// head.
+struct ContestedPoolScenarioOptions {
+  std::size_t background_bots = 40;
+
+  /// One simultaneous surge per entry (pair with `centers`, same pairing
+  /// rule as MultiPartitionSurgeScenarioOptions).  Four unequal crowds by
+  /// default — run them against fewer spares than surges.
+  std::vector<std::size_t> flash_bots{240, 130, 90, 70};
+  std::vector<Vec2> centers{
+      {150.0, 150.0}, {850.0, 150.0}, {150.0, 850.0}, {850.0, 850.0}};
+
+  std::size_t join_batch = 60;
+  SimTime join_interval = SimTime::from_sec(2.0);
+  SimTime flash_at = SimTime::from_sec(5.0);
+  /// Per-center stagger: center `s` begins surging at
+  /// flash_at + s × flash_stagger.  Listing the SMALL crowds first with a
+  /// non-zero stagger reproduces the FCFS pathology head-on: the lightest
+  /// partition overloads (and asks the pool) first, so arrival-order grants
+  /// hand it the spare while the big crowd that arrives moments later
+  /// starves.  0 keeps all surges simultaneous.
+  SimTime flash_stagger{};
+  double spread = 80.0;
+  double vip_fraction = 0.10;
+
+  /// Churn: this fraction of each crowd departs mid-run (nearest its
+  /// center first), freeing capacity — and, when a split collapses back,
+  /// releasing the spare for the next contest.
+  double leave_fraction = 0.5;
+  std::size_t leave_batch = 20;
+  SimTime leave_at = SimTime::from_sec(40.0);
+  SimTime leave_interval = SimTime::from_sec(4.0);
+
+  SimTime duration = SimTime::from_sec(120.0);
+};
+
+/// Schedules the contested-pool surges.  Call
+/// deployment.run_until(options.duration) afterwards.
+void schedule_contested_pool_scenario(
+    Deployment& deployment, const ContestedPoolScenarioOptions& options);
+
+/// Offered clients at the crest of a ContestedPoolScenario.
+[[nodiscard]] inline std::size_t contested_pool_offered_clients(
+    const ContestedPoolScenarioOptions& options) {
+  std::size_t total = options.background_bots;
+  const std::size_t surges =
+      std::min(options.centers.size(), options.flash_bots.size());
+  for (std::size_t s = 0; s < surges; ++s) total += options.flash_bots[s];
+  return total;
+}
+
 }  // namespace matrix

@@ -38,7 +38,7 @@ AdmissionConfig unit_config() {
 AdmissionSignals calm() { return {}; }
 AdmissionSignals load(std::uint32_t clients) {
   AdmissionSignals s;
-  s.client_count = clients;
+  s.load.client_count = clients;
   return s;
 }
 
@@ -57,11 +57,11 @@ TEST(AdmissionTarget, LoadThresholds) {
 TEST(AdmissionTarget, QueueThresholds) {
   AdmissionController c(unit_config(), kOverload);
   AdmissionSignals s;
-  s.queue_length = 99;
+  s.load.queue_length = 99;
   EXPECT_EQ(c.target_for(s), AdmissionState::kNormal);
-  s.queue_length = 100;
+  s.load.queue_length = 100;
   EXPECT_EQ(c.target_for(s), AdmissionState::kSoft);
-  s.queue_length = 400;
+  s.load.queue_length = 400;
   EXPECT_EQ(c.target_for(s), AdmissionState::kHard);
 }
 
@@ -73,11 +73,11 @@ TEST(AdmissionTarget, WaitingCountThresholds) {
   config.hard_waiting_count = 200;
   AdmissionController c(config, kOverload);
   AdmissionSignals s;
-  s.waiting_count = 49;
+  s.load.waiting_count = 49;
   EXPECT_EQ(c.target_for(s), AdmissionState::kNormal);
-  s.waiting_count = 50;
+  s.load.waiting_count = 50;
   EXPECT_EQ(c.target_for(s), AdmissionState::kSoft);
-  s.waiting_count = 200;
+  s.load.waiting_count = 200;
   EXPECT_EQ(c.target_for(s), AdmissionState::kHard);
 }
 
@@ -85,7 +85,7 @@ TEST(AdmissionTarget, WaitingCountDisabledByDefault) {
   // Thresholds default to 0 = off: PR-2 behaviour is bit-identical.
   AdmissionController c(unit_config(), kOverload);
   AdmissionSignals s;
-  s.waiting_count = 100000;
+  s.load.waiting_count = 100000;
   EXPECT_EQ(c.target_for(s), AdmissionState::kNormal);
 }
 
@@ -101,18 +101,18 @@ TEST(AdmissionTarget, DeniedStreakEscalates) {
 TEST(AdmissionTarget, PoolPressurePreEscalatesLoadedServer) {
   AdmissionController c(unit_config(), kOverload);
   AdmissionSignals s;
-  s.client_count = 50;  // at pool_pressure_load_fraction × overload
+  s.load.client_count = 50;  // at pool_pressure_load_fraction × overload
   s.pool_idle_fraction = 0.2;
   EXPECT_EQ(c.target_for(s), AdmissionState::kSoft);
   // A healthy pool, or a lightly loaded server, does not pre-escalate.
   s.pool_idle_fraction = 1.0;
   EXPECT_EQ(c.target_for(s), AdmissionState::kNormal);
   s.pool_idle_fraction = 0.0;
-  s.client_count = 30;
+  s.load.client_count = 30;
   EXPECT_EQ(c.target_for(s), AdmissionState::kNormal);
   // Unknown pool occupancy never escalates.
   s.pool_idle_fraction = -1.0;
-  s.client_count = 50;
+  s.load.client_count = 50;
   EXPECT_EQ(c.target_for(s), AdmissionState::kNormal);
 }
 

@@ -57,8 +57,8 @@ GlobalAdmission::ServerDigest digest(std::uint32_t clients,
                                      std::uint32_t waiting,
                                      AdmissionState state) {
   GlobalAdmission::ServerDigest d;
-  d.client_count = clients;
-  d.waiting_count = waiting;
+  d.load.client_count = clients;
+  d.load.waiting_count = waiting;
   d.state = state;
   return d;
 }
