@@ -1,0 +1,132 @@
+// Engine hot-path throughput: events/sec and messages/sec on macro workloads.
+//
+// The simulation engine is the instrument every other bench measures with —
+// its constant factors bound the scenarios the reproduction can afford.  The
+// hot-path overhaul (allocation-free event scheduling, pooled message
+// buffers, dense-id routing) is judged here on two macro workloads:
+//
+//   fig2_macro : the paper's Fig. 2 hotspot timeline (300 s, ~700 peak
+//                clients, ~9.4M messages) — the message-heavy macro workload
+//                every figure regenerates from.  The pre-overhaul engine ran
+//                this at ~0.50M events/s; the acceptance bar is ≥3×.
+//   mega_surge : MegaSurgeScenario — ≥10k concurrent clients across a 36-root
+//                grid, the scale the old engine could not reach in a usable
+//                wall-time budget.
+//
+// Alongside throughput it reports the engine counters (events processed,
+// peak event-heap depth, payload-buffer reuse rate) so a perf regression can
+// be localized from the JSON artifact alone.  CI gates on events/sec via
+// scripts/check_bench_regression.py against bench/baselines/engine_baseline.json.
+#include <chrono>
+
+#include "bench_common.h"
+
+namespace matrix::bench {
+namespace {
+
+using namespace time_literals;
+
+DeploymentOptions fig2_options() {
+  DeploymentOptions options = paper_options();
+  options.seed = 2005;
+  return options;
+}
+
+DeploymentOptions mega_options() {
+  // Shared with tests/mega_surge_test.cpp — see mega_surge_deployment_options.
+  return mega_surge_deployment_options();
+}
+
+struct RunResult {
+  double wall_sec = 0.0;
+  double sim_sec = 0.0;
+  std::uint64_t messages = 0;
+  std::size_t peak_clients = 0;
+  Network::EngineStats engine;
+};
+
+template <typename Schedule>
+RunResult run_workload(DeploymentOptions options, SimTime duration,
+                       Schedule&& schedule) {
+  Deployment deployment(std::move(options));
+  schedule(deployment);
+  const auto t0 = std::chrono::steady_clock::now();
+  deployment.run_until(duration);
+  const auto t1 = std::chrono::steady_clock::now();
+  RunResult result;
+  result.wall_sec = std::chrono::duration<double>(t1 - t0).count();
+  result.sim_sec = duration.sec();
+  result.messages = deployment.network().total_messages();
+  result.peak_clients = deployment.total_clients();
+  result.engine = deployment.network().engine_stats();
+  return result;
+}
+
+void report(JsonReport& json, const char* run, const RunResult& r) {
+  const double events_per_sec =
+      static_cast<double>(r.engine.events_processed) / r.wall_sec;
+  const double messages_per_sec =
+      static_cast<double>(r.messages) / r.wall_sec;
+  const double reuse = r.engine.buffers_acquired > 0
+                           ? static_cast<double>(r.engine.buffers_reused) /
+                                 static_cast<double>(r.engine.buffers_acquired)
+                           : 0.0;
+  std::printf("\n[%s]\n", run);
+  std::printf("  %-26s %12.3f\n", "wall seconds", r.wall_sec);
+  std::printf("  %-26s %12.1f\n", "sim seconds", r.sim_sec);
+  std::printf("  %-26s %12llu\n", "events processed",
+              static_cast<unsigned long long>(r.engine.events_processed));
+  std::printf("  %-26s %12llu\n", "messages",
+              static_cast<unsigned long long>(r.messages));
+  std::printf("  %-26s %12.0f\n", "events/sec", events_per_sec);
+  std::printf("  %-26s %12.0f\n", "messages/sec", messages_per_sec);
+  std::printf("  %-26s %12zu\n", "peak event-heap depth",
+              r.engine.event_peak_pending);
+  std::printf("  %-26s %11.1f%%\n", "payload-buffer reuse",
+              100.0 * reuse);
+  std::printf("  %-26s %12zu\n", "final clients", r.peak_clients);
+
+  json.add(run, "events_per_sec", events_per_sec, "events/s");
+  json.add(run, "messages_per_sec", messages_per_sec, "msgs/s");
+  json.add(run, "events_processed",
+           static_cast<double>(r.engine.events_processed), "events");
+  json.add(run, "messages", static_cast<double>(r.messages), "msgs");
+  json.add(run, "peak_event_heap", static_cast<double>(r.engine.event_peak_pending),
+           "events");
+  json.add(run, "buffer_reuse_fraction", reuse, "");
+  json.add(run, "wall_seconds", r.wall_sec, "s");
+}
+
+}  // namespace
+}  // namespace matrix::bench
+
+int main(int argc, char** argv) {
+  using namespace matrix;
+  using namespace matrix::bench;
+  using namespace matrix::time_literals;
+
+  header("bench_engine_throughput",
+         "engine hot-path throughput on macro workloads");
+  JsonReport json("engine_throughput");
+
+  {
+    HotspotScenarioOptions scenario;  // the paper's Fig. 2 timeline
+    auto r = run_workload(fig2_options(), scenario.duration,
+                          [&](Deployment& d) {
+                            schedule_hotspot_scenario(d, scenario);
+                          });
+    report(json, "fig2_macro", r);
+  }
+  {
+    MegaSurgeScenarioOptions scenario;  // ≥10k concurrent clients
+    auto r = run_workload(mega_options(), scenario.duration,
+                          [&](Deployment& d) {
+                            schedule_mega_surge_scenario(d, scenario);
+                          });
+    report(json, "mega_surge", r);
+    std::printf("  offered clients            %12zu (>= 10k scale)\n",
+                mega_surge_offered_clients(scenario));
+  }
+
+  return json.write(json_report_path(argc, argv)) ? 0 : 1;
+}

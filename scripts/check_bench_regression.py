@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Perf gate: fail when a bench JSON regresses against a checked-in baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.15]
+
+Both files use the matrix_bench_json shape emitted by bench_common.h's
+JsonReport ({"benchmarks": [{"name", "value", "unit"}, ...]}).  Every metric
+present in the BASELINE is looked up in CURRENT; a higher-is-better metric
+(the default) fails when current < baseline * (1 - tolerance).  Metrics whose
+name ends in one of the LOWER_IS_BETTER suffixes fail in the other direction.
+
+Baselines are deliberately conservative (well below a warm developer
+machine's numbers) so the gate trips on real regressions — an engine change
+that halves events/sec — rather than on CI-runner weather.  Refresh
+bench/baselines/*.json when the engine legitimately gets faster.
+"""
+import argparse
+import json
+import sys
+
+LOWER_IS_BETTER = ("wall_seconds", "_ms", "_seconds")
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: float(b["value"]) for b in doc.get("benchmarks", [])}
+
+
+def lower_is_better(name):
+    return any(name.endswith(suffix) for suffix in LOWER_IS_BETTER)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional regression (default 0.15)")
+    args = parser.parse_args()
+
+    baseline = load_metrics(args.baseline)
+    current = load_metrics(args.current)
+
+    failures = []
+    for name, base_value in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: missing from current report")
+            continue
+        value = current[name]
+        if lower_is_better(name):
+            limit = base_value * (1.0 + args.tolerance)
+            ok = value <= limit
+            direction = "<="
+        else:
+            limit = base_value * (1.0 - args.tolerance)
+            ok = value >= limit
+            direction = ">="
+        status = "ok  " if ok else "FAIL"
+        print(f"  [{status}] {name}: {value:.6g} ({direction} {limit:.6g}, "
+              f"baseline {base_value:.6g})")
+        if not ok:
+            failures.append(f"{name}: {value:.6g} vs baseline {base_value:.6g}")
+
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)} metric(s) regressed "
+              f"beyond {args.tolerance:.0%}):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed ({len(baseline)} metric(s) within "
+          f"{args.tolerance:.0%}).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,40 +44,40 @@ class MatrixPort {
   /// Forwards a spatially-tagged game packet for consistency routing.
   /// Returns wire bytes sent.
   std::size_t send_packet(const TaggedPacket& packet) {
-    return send(Message{packet});
+    return send_body(packet);
   }
 
   /// Periodic load report; drives split/reclaim decisions.
   std::size_t report_load(const LoadReport& report) {
-    return send(Message{report});
+    return send_body(report);
   }
 
   /// Bulk map-object state destined for `transfer.to_game`, relayed via
   /// Matrix during splits/reclaims.
   std::size_t transfer_state(const StateTransfer& transfer) {
-    return send(Message{transfer});
+    return send_body(transfer);
   }
 
   /// One switching client's avatar state, relayed via Matrix.
   std::size_t transfer_client_state(const ClientStateTransfer& transfer) {
-    return send(Message{transfer});
+    return send_body(transfer);
   }
 
   /// Acknowledges that a MapRange-ordered shed has completed.
-  std::size_t shed_done(const ShedDone& done) { return send(Message{done}); }
+  std::size_t shed_done(const ShedDone& done) { return send_body(done); }
 
   /// Surge-queue entries whose region moved to `handoff.to_game` in a
   /// split/reclaim, relayed via Matrix so they re-park there with class
   /// and accrued age preserved (coordinator-led global admission).
   std::size_t transfer_queue(const QueueHandoff& handoff) {
-    return send(Message{handoff});
+    return send_body(handoff);
   }
 
   /// Asks Matrix which game server owns `query.point` (client migration:
   /// "Matrix provides the identity of the appropriate game server").  The
   /// answer arrives on the on_owner_reply callback.
   std::size_t query_owner(const OwnerQuery& query) {
-    return send(Message{query});
+    return send_body(query);
   }
 
   // ---- inbound callbacks (Matrix → game) ------------------------------------
@@ -164,7 +164,17 @@ class MatrixPort {
 
  private:
   std::size_t send(const Message& message) {
-    return network_->send(self_, matrix_node_, encode_message(message));
+    ByteWriter writer(network_->rent_buffer());
+    encode_message_into(writer, message);
+    return network_->send(self_, matrix_node_, writer.take());
+  }
+
+  /// Typed fast path: no Message-variant copy per outbound call.
+  template <typename Body>
+  std::size_t send_body(const Body& body) {
+    ByteWriter writer(network_->rent_buffer());
+    encode_one_into(writer, body);
+    return network_->send(self_, matrix_node_, writer.take());
   }
 
   Network* network_;

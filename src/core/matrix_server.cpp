@@ -37,8 +37,13 @@ const OverlapRegionWire* MatrixServer::lookup(Vec2 point,
 }
 
 void MatrixServer::on_message(const Message& message, const Envelope& env) {
-  if (const auto* packet = std::get_if<TaggedPacket>(&message)) {
-    handle_tagged_packet(*packet, env);
+  if (std::get_if<TaggedPacket>(&message) != nullptr) {
+    // Wire TaggedPackets are normally intercepted by on_frame before the
+    // full decode; a frame reaching here re-parses so routing stays on the
+    // single view-based implementation.
+    if (const auto view = parse_tagged_packet_frame(env.payload)) {
+      route_tagged_frame(*view, env);
+    }
   } else if (const auto* report = std::get_if<LoadReport>(&message)) {
     handle_load_report(*report);
   } else if (const auto* grant = std::get_if<PoolGrant>(&message)) {
@@ -137,24 +142,45 @@ void MatrixServer::on_message(const Message& message, const Envelope& env) {
 // Data plane
 // ---------------------------------------------------------------------------
 
-void MatrixServer::handle_tagged_packet(const TaggedPacket& packet,
-                                        const Envelope& env) {
+bool MatrixServer::on_frame(const Envelope& env) {
+  if (env.payload.empty() || env.payload[0] != kTaggedPacketWireType) {
+    return false;
+  }
+  const auto view = parse_tagged_packet_frame(env.payload);
+  if (!view) return false;  // malformed: the generic path counts it
+  route_tagged_frame(*view, env);
+  return true;
+}
+
+std::size_t MatrixServer::send_peer_frame(NodeId peer,
+                                          const std::vector<std::uint8_t>& frame,
+                                          std::size_t flag_offset) {
+  std::vector<std::uint8_t> buf = network()->rent_buffer();
+  buf.assign(frame.begin(), frame.end());
+  buf[flag_offset] = 1;  // peer_forwarded = true, flipped in place
+  return network()->send(node_id(), peer, std::move(buf));
+}
+
+void MatrixServer::route_tagged_frame(const TaggedPacketView& view,
+                                      const Envelope& env) {
   if (!active_) return;
 
-  if (packet.peer_forwarded) {
+  if (view.peer_forwarded) {
     // Arrived from a peer Matrix server: verify the packet's range before
     // handing it to our game server (paper §3.2.3).
     ++stats_.peer_packets_received;
     const double radius =
-        packet.radius_class < radii_.size() ? radii_[packet.radius_class]
-                                            : radii_.front();
+        view.radius_class < radii_.size() ? radii_[view.radius_class]
+                                          : radii_.front();
     const bool origin_relevant =
-        metric_distance(config_.metric, packet.origin, range_) <= radius;
+        metric_distance(config_.metric, view.origin, range_) <= radius;
     const bool target_relevant =
-        packet.target.has_value() && range_.contains(*packet.target);
+        view.target.has_value() && range_.contains(*view.target);
     if (origin_relevant || target_relevant) {
       ++stats_.peer_packets_delivered;
-      send(wiring_.game_node, packet);
+      // Deliver the frame as received: the packet is forwarded unchanged,
+      // so the arriving bytes are exactly what re-encoding would produce.
+      send_raw(wiring_.game_node, env.payload);
     } else {
       ++stats_.peer_packets_rejected;
     }
@@ -163,48 +189,44 @@ void MatrixServer::handle_tagged_packet(const TaggedPacket& packet,
 
   // Arrived from our own game server: fan out along the consistency set.
   ++stats_.packets_from_game;
-  (void)env;
 
-  if (!range_.contains(packet.origin)) {
+  if (!range_.contains(view.origin)) {
     // Handoff-window stray: the client's new home will route it properly.
     // Hand it to the point's owner via the MC (non-proximal machinery).
     ++stats_.origin_outside_range;
     ++stats_.nonproximal_lookups;
     const std::uint32_t seq = next_lookup_seq_++;
-    TaggedPacket forwarded = packet;
+    TaggedPacket forwarded = view.materialize();
     forwarded.peer_forwarded = true;
-    forwarded.target = packet.origin;  // ensure delivery at the owner
+    forwarded.target = view.origin;  // ensure delivery at the owner
     pending_lookups_[seq] = std::move(forwarded);
-    send(wiring_.mc_node, PointLookup{packet.origin, seq});
+    send(wiring_.mc_node, PointLookup{view.origin, seq});
     return;
   }
 
   if (const OverlapRegionWire* region =
-          lookup(packet.origin, packet.radius_class)) {
-    TaggedPacket copy = packet;
-    copy.peer_forwarded = true;
+          lookup(view.origin, view.radius_class)) {
     for (NodeId peer : region->peer_matrix_nodes) {
       ++stats_.packets_fanned_out;
-      send(peer, copy);
+      send_peer_frame(peer, env.payload, view.peer_flag_offset);
     }
   }
 
   // Non-proximal interaction (paper §3.2.4): the target lies beyond our
   // partition; ask the MC who owns it, then forward directly.
-  if (packet.target.has_value() && !range_.contains(*packet.target)) {
+  if (view.target.has_value() && !range_.contains(*view.target)) {
     const double radius =
-        packet.radius_class < radii_.size() ? radii_[packet.radius_class]
-                                            : radii_.front();
+        view.radius_class < radii_.size() ? radii_[view.radius_class]
+                                          : radii_.front();
     // Targets within the origin's visibility radius were already covered by
     // the origin fan-out above.
-    if (metric_distance(config_.metric, *packet.target, packet.origin) >
-        radius) {
+    if (metric_distance(config_.metric, *view.target, view.origin) > radius) {
       ++stats_.nonproximal_lookups;
       const std::uint32_t seq = next_lookup_seq_++;
-      TaggedPacket forwarded = packet;
+      TaggedPacket forwarded = view.materialize();
       forwarded.peer_forwarded = true;
       pending_lookups_[seq] = std::move(forwarded);
-      send(wiring_.mc_node, PointLookup{*packet.target, seq});
+      send(wiring_.mc_node, PointLookup{*view.target, seq});
     }
   }
 }

@@ -176,6 +176,10 @@ class MatrixServer : public ProtocolNode {
 
  protected:
   void on_message(const Message& message, const Envelope& envelope) override;
+  /// Frame fast path: TaggedPackets — the routing hot path — are handled
+  /// from a zero-copy partial parse; peer forwards resend the raw frame
+  /// with the peer flag flipped in place instead of decode → re-encode.
+  bool on_frame(const Envelope& envelope) override;
 
  private:
   struct ChildInfo {
@@ -192,7 +196,12 @@ class MatrixServer : public ProtocolNode {
   };
 
   // message handlers
-  void handle_tagged_packet(const TaggedPacket& packet, const Envelope& env);
+  void route_tagged_frame(const TaggedPacketView& view, const Envelope& env);
+  /// Forwards the received frame to `peer` with the peer_forwarded flag set —
+  /// byte-identical to re-encoding the packet with the flag mutated.
+  std::size_t send_peer_frame(NodeId peer,
+                              const std::vector<std::uint8_t>& frame,
+                              std::size_t flag_offset);
   void handle_load_report(const LoadReport& report);
   void handle_pool_grant(const PoolGrant& grant);
   void handle_adopt(const Adopt& adopt);

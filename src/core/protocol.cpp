@@ -110,7 +110,7 @@ TaggedPacket decode_tagged_packet(ByteReader& r) {
   m.seq = r.u32();
   m.client_sent_at = get_time(r);
   m.peer_forwarded = r.u8() != 0;
-  m.payload = r.raw();
+  m.payload = r.raw_payload();
   return m;
 }
 
@@ -163,7 +163,7 @@ ClientAction decode_client_action(ByteReader& r) {
   m.target = get_opt_vec2(r);
   m.seq = r.u32();
   m.sent_at = get_time(r);
-  m.payload = r.raw();
+  m.payload = r.raw_payload();
   return m;
 }
 
@@ -180,7 +180,7 @@ ServerUpdate decode_server_update(ByteReader& r) {
   m.position = get_vec2(r);
   m.ack_seq = r.u32();
   m.origin_sent_at = get_time(r);
-  m.payload = r.raw();
+  m.payload = r.raw_payload();
   return m;
 }
 
@@ -712,14 +712,177 @@ constexpr MsgType type_tag() {
 
 std::vector<std::uint8_t> encode_message(const Message& message) {
   ByteWriter w;
+  encode_message_into(w, message);
+  return w.take();
+}
+
+void encode_message_into(ByteWriter& w, const Message& message) {
   std::visit(
       [&w](const auto& body) {
         using T = std::decay_t<decltype(body)>;
-        w.u8(static_cast<std::uint8_t>(type_tag<T>()));
-        encode_body(w, body);
+        encode_one_into<T>(w, body);
       },
       message);
-  return w.take();
+}
+
+namespace {
+
+// Sized from the encode_body layouts above: fixed fields at their worst
+// varint width, plus the payload/blob for the carrying messages.  Being a
+// few bytes generous is fine (capacity, not wire size); being short costs
+// one realloc, so the high-rate messages are counted carefully.
+template <typename T>
+std::size_t body_size_hint(const T& body) {
+  (void)body;
+  if constexpr (std::is_same_v<T, TaggedPacket>) {
+          return 64 + body.payload.size();
+        } else if constexpr (std::is_same_v<T, ClientAction>) {
+          return 56 + body.payload.size();
+        } else if constexpr (std::is_same_v<T, ServerUpdate>) {
+          return 40 + body.payload.size();
+        } else if constexpr (std::is_same_v<T, LoadReport>) {
+          return 48;
+        } else if constexpr (std::is_same_v<T, QueueUpdate>) {
+          return 32;
+        } else if constexpr (std::is_same_v<T, ClientHello> ||
+                             std::is_same_v<T, LoadDigest> ||
+                             std::is_same_v<T, PeerLoad>) {
+          return 32;
+        } else if constexpr (std::is_same_v<T, Welcome> ||
+                             std::is_same_v<T, AdmissionDirective>) {
+          return 56;
+        } else if constexpr (std::is_same_v<T, StateTransfer>) {
+          return 64 + body.blob.size();
+        } else if constexpr (std::is_same_v<T, ClientStateTransfer>) {
+          return 40 + body.blob.size();
+        } else if constexpr (std::is_same_v<T, QueueHandoff>) {
+          return 24 + 48 * body.entries.size();
+        } else if constexpr (std::is_same_v<T, OverlapTableMsg>) {
+          std::size_t hint = 72;
+          for (const OverlapRegionWire& region : body.regions) {
+            hint += 48 + 20 * region.peer_servers.size();
+          }
+          return hint;
+        } else if constexpr (std::is_same_v<T, Adopt>) {
+          std::size_t hint = 80 + 10 * body.extra_radii.size();
+          for (const std::string& key : body.content_keys) {
+            hint += 10 + key.size();
+          }
+          return hint;
+        } else {
+          return 64;
+        }
+}
+
+}  // namespace
+
+template <typename Body>
+void encode_one_into(ByteWriter& writer, const Body& body) {
+  writer.reserve(writer.size() + body_size_hint(body));
+  writer.u8(static_cast<std::uint8_t>(type_tag<Body>()));
+  encode_body(writer, body);
+}
+
+// One instantiation per Message alternative, so the typed fast path is
+// available to every sender without pulling the encoder bodies into the
+// header.  The static_assert keeps the list in lock-step with the variant.
+#define MATRIX_MESSAGE_TYPES(X)                                              \
+  X(TaggedPacket) X(ClientHello) X(Welcome) X(ClientAction) X(ServerUpdate)  \
+  X(Redirect) X(ClientBye) X(LoadReport) X(MapRange) X(ShedDone)             \
+  X(OwnerQuery) X(OwnerReply) X(Adopt) X(PeerLoad) X(ReclaimRequest)         \
+  X(ReclaimDecline) X(ReclaimDone) X(StateTransfer) X(ClientStateTransfer)   \
+  X(ServerRegister) X(ServerUnregister) X(OverlapTableMsg) X(PointLookup)    \
+  X(PointOwner) X(PoolAcquire) X(PoolGrant) X(PoolDeny) X(PoolRelease)       \
+  X(McAnnounce) X(JoinDeny) X(JoinDefer) X(AdmissionUpdate) X(PoolStatus)    \
+  X(PoolPressure) X(QueueUpdate) X(LoadDigest) X(AdmissionDirective)         \
+  X(QueueHandoff)
+
+#define MATRIX_INSTANTIATE_ENCODE(T) \
+  template void encode_one_into<T>(ByteWriter&, const T&);
+MATRIX_MESSAGE_TYPES(MATRIX_INSTANTIATE_ENCODE)
+#undef MATRIX_INSTANTIATE_ENCODE
+
+namespace {
+#define MATRIX_COUNT_ONE(T) +1
+static_assert(std::variant_size_v<Message> ==
+                  MATRIX_MESSAGE_TYPES(MATRIX_COUNT_ONE),
+              "encode_one_into instantiations out of sync with Message");
+#undef MATRIX_COUNT_ONE
+}  // namespace
+#undef MATRIX_MESSAGE_TYPES
+
+// ---- zero-copy frame fast paths -------------------------------------------
+
+static_assert(kTaggedPacketWireType ==
+              static_cast<std::uint8_t>(MsgType::kTaggedPacket));
+static_assert(kClientActionWireType ==
+              static_cast<std::uint8_t>(MsgType::kClientAction));
+static_assert(kServerUpdateWireType ==
+              static_cast<std::uint8_t>(MsgType::kServerUpdate));
+
+TaggedPacket TaggedPacketView::materialize() const {
+  TaggedPacket packet;
+  packet.client = client;
+  packet.entity = entity;
+  packet.origin = origin;
+  packet.target = target;
+  packet.radius_class = radius_class;
+  packet.kind = kind;
+  packet.seq = seq;
+  packet.client_sent_at = client_sent_at;
+  packet.peer_forwarded = peer_forwarded;
+  packet.payload.assign(payload.data(), payload.size());
+  return packet;
+}
+
+std::optional<TaggedPacketView> parse_tagged_packet_frame(
+    std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  if (r.u8() != kTaggedPacketWireType || !r.ok()) return std::nullopt;
+  TaggedPacketView view;
+  view.client = r.id<ClientId>();
+  view.entity = r.id<EntityId>();
+  view.origin = get_vec2(r);
+  view.target = get_opt_vec2(r);
+  view.radius_class = r.u8();
+  view.kind = r.u8();
+  view.seq = r.u32();
+  view.client_sent_at = get_time(r);
+  view.peer_flag_offset = r.pos();
+  view.peer_forwarded = r.u8() != 0;
+  view.payload = r.raw_span();
+  if (!r.ok()) return std::nullopt;
+  return view;
+}
+
+std::optional<ClientActionView> parse_client_action_frame(
+    std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  if (r.u8() != kClientActionWireType || !r.ok()) return std::nullopt;
+  ClientActionView view;
+  view.client = r.id<ClientId>();
+  view.kind = r.u8();
+  view.position = get_vec2(r);
+  view.target = get_opt_vec2(r);
+  view.seq = r.u32();
+  view.sent_at = get_time(r);
+  view.payload = r.raw_span();
+  if (!r.ok()) return std::nullopt;
+  return view;
+}
+
+std::optional<ServerUpdateView> parse_server_update_frame(
+    std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  if (r.u8() != kServerUpdateWireType || !r.ok()) return std::nullopt;
+  ServerUpdateView view;
+  view.kind = r.u8();
+  view.position = get_vec2(r);
+  view.ack_seq = r.u32();
+  view.origin_sent_at = get_time(r);
+  view.payload = r.raw_span();
+  if (!r.ok()) return std::nullopt;
+  return view;
 }
 
 std::optional<Message> decode_message(std::span<const std::uint8_t> bytes) {

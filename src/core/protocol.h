@@ -56,7 +56,7 @@ struct TaggedPacket {
   std::uint32_t seq = 0;          ///< client action sequence (latency pairing)
   SimTime client_sent_at{};       ///< stamped by client; for latency metrics
   bool peer_forwarded = false;    ///< set on matrix→matrix relay (no re-fwd)
-  std::vector<std::uint8_t> payload;  ///< game-specific body (opaque)
+  PayloadBytes payload;           ///< game-specific body (opaque)
 };
 
 // ---------------------------------------------------------------------------
@@ -92,7 +92,7 @@ struct ClientAction {
   std::optional<Vec2> target;       ///< e.g. shot aim point, teleport target
   std::uint32_t seq = 0;
   SimTime sent_at{};
-  std::vector<std::uint8_t> payload;
+  PayloadBytes payload;
 };
 
 /// Game server → client state delta.  `ack_seq` is nonzero when this update
@@ -103,7 +103,7 @@ struct ServerUpdate {
   Vec2 position;
   std::uint32_t ack_seq = 0;
   SimTime origin_sent_at{};
-  std::vector<std::uint8_t> payload;
+  PayloadBytes payload;
 };
 
 /// Orders a client to reconnect to a different game server (paper §3.2.1:
@@ -463,6 +463,83 @@ using Message =
 
 /// Serializes `message` (1 type byte + body).
 [[nodiscard]] std::vector<std::uint8_t> encode_message(const Message& message);
+
+/// Serializes into `writer`, reserving a per-type size hint up front.  Pair
+/// the writer with a recycled buffer (Network::rent_buffer) and steady-state
+/// encoding performs no allocation at all.
+void encode_message_into(ByteWriter& writer, const Message& message);
+
+/// Serializes a single message body (type byte + body, hint-reserved)
+/// without ever constructing the Message variant — the typed fast path
+/// behind ProtocolNode's and MatrixPort's sends, which otherwise would copy
+/// the body (payload included) into a temporary variant per send.
+/// Explicitly instantiated in protocol.cpp for every Message alternative.
+template <typename Body>
+void encode_one_into(ByteWriter& writer, const Body& body);
+
+// ---------------------------------------------------------------------------
+// Zero-copy frame fast paths (the engine hot path)
+// ---------------------------------------------------------------------------
+//
+// The three messages that dominate steady-state traffic — TaggedPacket,
+// ClientAction, ServerUpdate — can be routed/applied from a partial decode
+// that never copies the opaque payload and never materializes the Message
+// variant.  `ProtocolNode::on_frame` overrides use these views; parse_*
+// returns nullopt for any other frame type or a malformed body, sending the
+// message down the ordinary decode path.  Each view's decoded fields are
+// bit-identical to what decode_message would produce.
+
+/// Wire type bytes of the fast-path frames.  Values are pinned against the
+/// private MsgType enum by static_asserts in protocol.cpp.
+inline constexpr std::uint8_t kTaggedPacketWireType = 1;
+inline constexpr std::uint8_t kClientActionWireType = 4;
+inline constexpr std::uint8_t kServerUpdateWireType = 5;
+
+struct TaggedPacketView {
+  ClientId client;
+  EntityId entity;
+  Vec2 origin;
+  std::optional<Vec2> target;
+  std::uint8_t radius_class = 0;
+  std::uint8_t kind = 0;
+  std::uint32_t seq = 0;
+  SimTime client_sent_at{};
+  bool peer_forwarded = false;
+  /// Byte offset of the peer_forwarded flag within the frame.  A relay that
+  /// forwards the packet flag-flipped copies the frame and writes one byte —
+  /// byte-identical to re-encoding the mutated struct.
+  std::size_t peer_flag_offset = 0;
+  std::span<const std::uint8_t> payload;  ///< view into the frame
+
+  /// Full TaggedPacket (payload copied) for the rare paths that must hold
+  /// the packet across events (pending MC lookups).
+  [[nodiscard]] TaggedPacket materialize() const;
+};
+
+struct ClientActionView {
+  ClientId client;
+  std::uint8_t kind = 0;
+  Vec2 position;
+  std::optional<Vec2> target;
+  std::uint32_t seq = 0;
+  SimTime sent_at{};
+  std::span<const std::uint8_t> payload;  ///< view into the frame
+};
+
+struct ServerUpdateView {
+  std::uint8_t kind = 0;
+  Vec2 position;
+  std::uint32_t ack_seq = 0;
+  SimTime origin_sent_at{};
+  std::span<const std::uint8_t> payload;  ///< view into the frame
+};
+
+[[nodiscard]] std::optional<TaggedPacketView> parse_tagged_packet_frame(
+    std::span<const std::uint8_t> frame);
+[[nodiscard]] std::optional<ClientActionView> parse_client_action_frame(
+    std::span<const std::uint8_t> frame);
+[[nodiscard]] std::optional<ServerUpdateView> parse_server_update_frame(
+    std::span<const std::uint8_t> frame);
 
 /// Parses bytes back into a Message; std::nullopt on malformed input.
 [[nodiscard]] std::optional<Message> decode_message(

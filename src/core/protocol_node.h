@@ -17,6 +17,7 @@ namespace matrix {
 class ProtocolNode : public Node {
  public:
   void handle_message(const Envelope& envelope) final {
+    if (on_frame(envelope)) return;
     auto message = decode_message(envelope.payload);
     if (!message) {
       ++malformed_count_;
@@ -33,9 +34,47 @@ class ProtocolNode : public Node {
   /// Typed dispatch point; `envelope` exposes src/timing metadata.
   virtual void on_message(const Message& message, const Envelope& envelope) = 0;
 
-  /// Encodes and sends; returns wire bytes charged.
+  /// Frame fast path, tried before the full decode: a subclass that can
+  /// handle this frame from a zero-copy partial parse (protocol.h's
+  /// parse_*_frame views) does so and returns true; returning false sends
+  /// the message down the ordinary decode → on_message path.  An override
+  /// MUST be behaviorally identical to its on_message handling — the
+  /// golden-trace determinism tests pin exactly that.
+  virtual bool on_frame(const Envelope& envelope) {
+    (void)envelope;
+    return false;
+  }
+
+  /// Encodes and sends; returns wire bytes charged.  Encodes into a buffer
+  /// rented from the network's pool, so steady-state sends are
+  /// allocation-free (the network reclaims the storage after delivery).
   std::size_t send(NodeId dst, const Message& message) {
-    return network()->send(node_id(), dst, encode_message(message));
+    ByteWriter writer(network()->rent_buffer());
+    encode_message_into(writer, message);
+    return network()->send(node_id(), dst, writer.take());
+  }
+
+  /// Typed fast path: callers passing a concrete body (the common case)
+  /// skip the Message-variant copy entirely.
+  template <typename Body,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<Body>, Message> &&
+                std::is_constructible_v<Message, const Body&>>>
+  std::size_t send(NodeId dst, const Body& body) {
+    ByteWriter writer(network()->rent_buffer());
+    encode_one_into(writer, body);
+    return network()->send(node_id(), dst, writer.take());
+  }
+
+  /// Relay fast path: forwards already-encoded wire bytes verbatim (e.g. a
+  /// verified peer packet handed to the co-located game server), skipping
+  /// the decode→re-encode round-trip.  Byte-equivalent to re-encoding the
+  /// decoded message — encode∘decode is the identity on valid frames (the
+  /// round-trip property protocol_test pins for every message type).
+  std::size_t send_raw(NodeId dst, std::span<const std::uint8_t> bytes) {
+    std::vector<std::uint8_t> buf = network()->rent_buffer();
+    buf.assign(bytes.begin(), bytes.end());
+    return network()->send(node_id(), dst, std::move(buf));
   }
 
   [[nodiscard]] SimTime now() const { return network()->now(); }

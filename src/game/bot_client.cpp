@@ -44,6 +44,25 @@ void BotClient::leave() {
   send(server_node_, ClientBye{id_});
 }
 
+bool BotClient::on_frame(const Envelope& envelope) {
+  const std::vector<std::uint8_t>& frame = envelope.payload;
+  if (frame.empty() || frame[0] != kServerUpdateWireType) return false;
+  const auto view = parse_server_update_frame(frame);
+  if (!view) return false;  // malformed: the generic path counts it
+  if (!playing_) return true;
+  ++metrics_.updates_received;
+  if (view->ack_seq != 0) {
+    PendingAck& slot = outstanding_[view->ack_seq % kOutstandingWindow];
+    if (slot.seq == view->ack_seq) {
+      metrics_.self_latency_ms.add((now() - slot.sent_at).ms());
+      slot.seq = 0;  // consumed; a duplicate ack won't pair twice
+    }
+  } else if (view->origin_sent_at.us() > 0) {
+    metrics_.observer_latency_ms.add((now() - view->origin_sent_at).ms());
+  }
+  return true;
+}
+
 void BotClient::on_message(const Message& message, const Envelope& envelope) {
   if (const auto* welcome = std::get_if<Welcome>(&message)) {
     if (!ever_connected_) {
@@ -92,10 +111,10 @@ void BotClient::on_message(const Message& message, const Envelope& envelope) {
     if (!playing_) return;
     ++metrics_.updates_received;
     if (update->ack_seq != 0) {
-      if (auto it = outstanding_.find(update->ack_seq);
-          it != outstanding_.end()) {
-        metrics_.self_latency_ms.add((now() - it->second).ms());
-        outstanding_.erase(it);
+      PendingAck& slot = outstanding_[update->ack_seq % kOutstandingWindow];
+      if (slot.seq == update->ack_seq) {
+        metrics_.self_latency_ms.add((now() - slot.sent_at).ms());
+        slot.seq = 0;  // consumed; a duplicate ack won't pair twice
       }
     } else if (update->origin_sent_at.us() > 0) {
       metrics_.observer_latency_ms.add((now() - update->origin_sent_at).ms());
@@ -229,9 +248,7 @@ void BotClient::act() {
   }
 
   action.payload.assign(spec_.payload_size(kind), 0);
-  outstanding_[action.seq] = action.sent_at;
-  // Bound the pairing map: a lost ack should not leak memory forever.
-  while (outstanding_.size() > 64) outstanding_.erase(outstanding_.begin());
+  outstanding_[action.seq % kOutstandingWindow] = {action.seq, action.sent_at};
   send(server_node_, action);
   ++metrics_.actions_sent;
 }

@@ -19,8 +19,8 @@
 // flagged VIP (set_vip) to ride the queue's priority classes.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 
@@ -110,6 +110,10 @@ class BotClient : public ProtocolNode {
 
  protected:
   void on_message(const Message& message, const Envelope& envelope) override;
+  /// Frame fast path: ServerUpdates — the one message a bot receives at
+  /// tick rate — are handled from a zero-copy partial parse (only ack_seq
+  /// and the origin timestamp matter; the digest payload is opaque).
+  bool on_frame(const Envelope& envelope) override;
 
  private:
   void schedule_next_action();
@@ -140,9 +144,18 @@ class BotClient : public ProtocolNode {
   SimTime last_move_at_{};
 
   std::uint32_t next_seq_ = 1;
-  // Outstanding action timestamps by seq, for self-latency pairing.  Small
-  // bounded map: old entries are dropped once acked or overwritten.
-  std::map<std::uint32_t, SimTime> outstanding_;
+  // Outstanding action timestamps for self-latency pairing: a fixed ring
+  // keyed by seq, overwritten as newer actions arrive — zero per-action
+  // allocation (this is the bot hot path).  A sample is lost only when the
+  // ack trails its action by a full window of newer actions (≥12.8 s at
+  // 10 Hz) — wider coverage under ack delay than the old 64-entry bounded
+  // map, which also evicted its oldest unacked entries in that regime.
+  struct PendingAck {
+    std::uint32_t seq = 0;  ///< 0 = empty/consumed
+    SimTime sent_at{};
+  };
+  static constexpr std::size_t kOutstandingWindow = 128;
+  std::array<PendingAck, kOutstandingWindow> outstanding_{};
 
   // Switch measurement.
   bool switch_pending_ = false;

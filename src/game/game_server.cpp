@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
-#include <unordered_map>
 
+#include "util/hash_mix.h"
 #include "util/log.h"
 
 namespace matrix {
@@ -18,6 +18,45 @@ std::int64_t bucket(double v, double cell) {
 }
 
 }  // namespace
+
+void GameServer::grid_prepare(std::size_t entries) {
+  std::size_t size = grid_keys_.size() < 64 ? 64 : grid_keys_.size();
+  while (size < entries * 4) size *= 2;  // load factor ≤ 25%
+  // Grow-only: shrinking on entity-count dips would re-allocate every tick
+  // when the population straddles a power-of-two boundary.
+  if (grid_keys_.size() != size) {
+    grid_keys_.assign(size, 0);
+    grid_counts_.assign(size, 0);
+    grid_stamps_.assign(size, 0);
+    grid_epoch_ = 0;
+  }
+  ++grid_epoch_;
+}
+
+void GameServer::grid_bump(std::uint64_t key) {
+  const std::size_t mask = grid_keys_.size() - 1;
+  std::size_t i = splitmix64(key) & mask;
+  while (grid_stamps_[i] == grid_epoch_) {
+    if (grid_keys_[i] == key) {
+      ++grid_counts_[i];
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+  grid_stamps_[i] = grid_epoch_;
+  grid_keys_[i] = key;
+  grid_counts_[i] = 1;
+}
+
+std::uint32_t GameServer::grid_count(std::uint64_t key) const {
+  const std::size_t mask = grid_keys_.size() - 1;
+  std::size_t i = splitmix64(key) & mask;
+  while (grid_stamps_[i] == grid_epoch_) {
+    if (grid_keys_[i] == key) return grid_counts_[i];
+    i = (i + 1) & mask;
+  }
+  return 0;
+}
 
 std::string GameServer::name() const {
   std::ostringstream oss;
@@ -362,6 +401,32 @@ void GameServer::spawn_map_objects(std::size_t count, const Rect& area,
   }
 }
 
+bool GameServer::on_frame(const Envelope& envelope) {
+  const std::vector<std::uint8_t>& frame = envelope.payload;
+  if (frame.empty()) return false;
+  if (frame[0] == kTaggedPacketWireType) {
+    // Mirrors on_message → try_dispatch → handle_remote_packet: an unwired
+    // server has no port to consume the packet, so the generic path (which
+    // drops it) must handle the frame instead.
+    if (port_ == nullptr) return false;
+    const auto view = parse_tagged_packet_frame(frame);
+    if (!view) return false;  // malformed: the generic path counts it
+    ++msgs_since_report_;
+    apply_remote_event(view->entity, view->client, view->origin, view->target,
+                       view->radius_class, view->client_sent_at, view->kind);
+    return true;
+  }
+  if (frame[0] == kClientActionWireType) {
+    const auto view = parse_client_action_frame(frame);
+    if (!view) return false;
+    ++msgs_since_report_;
+    handle_action_core(view->client, view->kind, view->position, view->target,
+                       view->seq, view->sent_at, envelope);
+    return true;
+  }
+  return false;
+}
+
 void GameServer::on_message(const Message& message, const Envelope& envelope) {
   ++msgs_since_report_;
   if (port_ != nullptr && port_->try_dispatch(message)) return;
@@ -389,7 +454,16 @@ void GameServer::handle_hello(const ClientHello& hello,
 
 void GameServer::handle_action(const ClientAction& action,
                                const Envelope& envelope) {
-  auto it = sessions_.find(action.client);
+  handle_action_core(action.client, action.kind, action.position,
+                     action.target, action.seq, action.sent_at, envelope);
+}
+
+void GameServer::handle_action_core(ClientId client, std::uint8_t kind_byte,
+                                    Vec2 position,
+                                    const std::optional<Vec2>& target,
+                                    std::uint32_t seq, SimTime sent_at,
+                                    const Envelope& envelope) {
+  auto it = sessions_.find(client);
   if (it == sessions_.end()) {
     // Client is mid-switch and this packet raced the redirect; its new home
     // will see the next one.
@@ -399,45 +473,43 @@ void GameServer::handle_action(const ClientAction& action,
   ++stats_.actions;
   Session& session = it->second;
   session.client_node = envelope.src;
-  session.position = action.position;
+  session.position = position;
 
-  const auto kind = static_cast<ActionKind>(action.kind);
-  const std::uint8_t radius_class = radius_class_for(action.client);
+  const auto kind = static_cast<ActionKind>(kind_byte);
+  const std::uint8_t radius_class = radius_class_for(client);
 
   // Tag with world coordinates and hand to Matrix — the single line of
   // integration the paper's API story hinges on.
   TaggedPacket packet;
-  packet.client = action.client;
+  packet.client = client;
   packet.entity = session.avatar;
-  packet.origin = action.position;
-  packet.target = action.target;
+  packet.origin = position;
+  packet.target = target;
   packet.radius_class = radius_class;
-  packet.kind = action.kind;
-  packet.seq = action.seq;
-  packet.client_sent_at = action.sent_at;
+  packet.kind = kind_byte;
+  packet.seq = seq;
+  packet.client_sent_at = sent_at;
   packet.payload.assign(spec_.payload_size(kind), 0);
   port_->send_packet(packet);
 
   // Immediate ack to the actor: this is the "response latency" the paper's
   // user study measures (action → observed reaction).
   ServerUpdate ack;
-  ack.kind = action.kind;
-  ack.position = action.position;
-  ack.ack_seq = action.seq;
-  ack.origin_sent_at = action.sent_at;
+  ack.kind = kind_byte;
+  ack.position = position;
+  ack.ack_seq = seq;
+  ack.origin_sent_at = sent_at;
   send(envelope.src, ack);
   ++stats_.acks_sent;
 
   // Everyone nearby sees the event at the next update tick.
-  pending_events_.push_back({action.position, radius_for(radius_class),
-                             action.sent_at, action.kind});
-  if (action.target && kind == ActionKind::kFire) {
+  push_pending({position, radius_for(radius_class), sent_at, kind_byte});
+  if (target && kind == ActionKind::kFire) {
     // Shots also matter where they land.
-    pending_events_.push_back({*action.target, radius_for(radius_class),
-                               action.sent_at, action.kind});
+    push_pending({*target, radius_for(radius_class), sent_at, kind_byte});
   }
 
-  maybe_migrate(action.client, session);
+  maybe_migrate(client, session);
 }
 
 void GameServer::handle_bye(const ClientBye& bye) {
@@ -510,24 +582,31 @@ void GameServer::redirect_client(ClientId client, Session& session,
 // ---------------------------------------------------------------------------
 
 void GameServer::handle_remote_packet(const TaggedPacket& packet) {
+  apply_remote_event(packet.entity, packet.client, packet.origin,
+                     packet.target, packet.radius_class,
+                     packet.client_sent_at, packet.kind);
+}
+
+void GameServer::apply_remote_event(EntityId entity, ClientId client,
+                                    Vec2 origin,
+                                    const std::optional<Vec2>& target,
+                                    std::uint8_t radius_class, SimTime sent_at,
+                                    std::uint8_t kind) {
   ++stats_.remote_events;
   // Maintain a ghost replica of the remote avatar so local players "see"
   // across the partition boundary — the localized consistency the paper's
   // overlap regions exist to provide.
-  Entity& ghost = ghosts_[packet.entity];
-  ghost.id = packet.entity;
+  Entity& ghost = ghosts_.upsert(entity);
   ghost.kind = EntityKind::kGhost;
-  ghost.position = packet.origin;
-  ghost.owner = packet.client;
+  ghost.position = origin;
+  ghost.owner = client;
 
-  const double radius = radius_for(packet.radius_class);
-  pending_events_.push_back(
-      {packet.origin, radius, packet.client_sent_at, packet.kind});
-  if (packet.target && authority_.contains(*packet.target)) {
+  const double radius = radius_for(radius_class);
+  push_pending({origin, radius, sent_at, kind});
+  if (target && authority_.contains(*target)) {
     // Non-proximal interaction landing in our range (teleport arrival,
     // remote shot impact).
-    pending_events_.push_back(
-        {*packet.target, radius, packet.client_sent_at, packet.kind});
+    push_pending({*target, radius, sent_at, kind});
   }
 }
 
@@ -629,10 +708,7 @@ std::uint8_t GameServer::radius_class_for(ClientId client) const {
     return 0;
   }
   // SplitMix64 finalizer over the id: uniform, stable, server-independent.
-  std::uint64_t z = client.value() + 0x9E3779B97F4A7C15ULL;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  z ^= z >> 31;
+  const std::uint64_t z = splitmix64(client.value() + 0x9E3779B97F4A7C15ULL);
   const double u =
       static_cast<double>(z >> 11) * 0x1.0p-53;  // uniform in [0,1)
   return u < spec_.exceptional_radius_fraction ? 1 : 0;
@@ -697,15 +773,11 @@ void GameServer::schedule_load_report() {
         // Prune ghosts that drifted far from our range (their owners moved
         // away; no further updates will refresh them).
         const double keep_radius = spec_.visibility_radius * 1.5;
-        for (auto it = ghosts_.begin(); it != ghosts_.end();) {
-          if (!authority_.empty() &&
-              metric_distance(config_.metric, it->second.position,
-                              authority_) > keep_radius) {
-            it = ghosts_.erase(it);
-          } else {
-            ++it;
-          }
-        }
+        ghosts_.prune([&](const Entity& ghost) {
+          return authority_.empty() ||
+                 metric_distance(config_.metric, ghost.position, authority_) <=
+                     keep_radius;
+        });
         schedule_load_report();
       });
 }
@@ -719,7 +791,7 @@ void GameServer::schedule_update_tick() {
       // Approximate each client's visible-entity count with an R-sized
       // bucket grid (sum over the 3×3 neighbourhood); sizes the digest.
       const double cell = std::max(spec_.visibility_radius, 1.0);
-      std::unordered_map<std::uint64_t, std::uint32_t> grid;
+      grid_prepare(sessions_.size() + ghosts_.size());
       auto key = [cell](Vec2 p) {
         const auto ix = static_cast<std::uint64_t>(
             static_cast<std::uint32_t>(bucket(p.x, cell)));
@@ -727,13 +799,14 @@ void GameServer::schedule_update_tick() {
             static_cast<std::uint32_t>(bucket(p.y, cell)));
         return (ix << 32) | iy;
       };
-      for (const auto& [client, session] : sessions_) ++grid[key(session.position)];
-      for (const auto& [eid, ghost] : ghosts_) ++grid[key(ghost.position)];
+      for (const auto& [client, session] : sessions_) {
+        grid_bump(key(session.position));
+      }
+      ghosts_.for_each(
+          [&](const Entity& ghost) { grid_bump(key(ghost.position)); });
 
       SimTime oldest = now();
-      for (const auto& event : pending_events_) {
-        oldest = std::min(oldest, event.sent_at);
-      }
+      if (!pending_events_.empty()) oldest = std::min(oldest, pending_oldest_);
 
       for (const auto& [client, session] : sessions_) {
         std::uint32_t visible = 0;
@@ -745,9 +818,7 @@ void GameServer::schedule_update_tick() {
                 static_cast<std::uint32_t>(bx + dx));
             const auto iy = static_cast<std::uint64_t>(
                 static_cast<std::uint32_t>(by + dy));
-            if (auto it = grid.find((ix << 32) | iy); it != grid.end()) {
-              visible += it->second;
-            }
+            visible += grid_count((ix << 32) | iy);
           }
         }
         ServerUpdate update;

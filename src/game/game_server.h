@@ -56,6 +56,7 @@
 #include "core/config.h"
 #include "core/protocol_node.h"
 #include "game/entity.h"
+#include "game/ghost_table.h"
 #include "game/game_model.h"
 #include "policy/load_view.h"
 #include "util/rng.h"
@@ -141,6 +142,11 @@ class GameServer : public ProtocolNode {
 
  protected:
   void on_message(const Message& message, const Envelope& envelope) override;
+  /// Frame fast path: forwarded TaggedPackets and ClientActions — the two
+  /// per-message hot paths — are handled from zero-copy partial parses,
+  /// skipping the Message-variant decode (neither consumes the payload
+  /// bytes: remote events update ghosts, actions re-tag a fresh payload).
+  bool on_frame(const Envelope& envelope) override;
 
  private:
   struct Session {
@@ -153,10 +159,18 @@ class GameServer : public ProtocolNode {
   // client traffic
   void handle_hello(const ClientHello& hello, const Envelope& envelope);
   void handle_action(const ClientAction& action, const Envelope& envelope);
+  void handle_action_core(ClientId client, std::uint8_t kind_byte,
+                          Vec2 position, const std::optional<Vec2>& target,
+                          std::uint32_t seq, SimTime sent_at,
+                          const Envelope& envelope);
   void handle_bye(const ClientBye& bye);
 
   // Matrix callbacks
   void handle_remote_packet(const TaggedPacket& packet);
+  void apply_remote_event(EntityId entity, ClientId client, Vec2 origin,
+                          const std::optional<Vec2>& target,
+                          std::uint8_t radius_class, SimTime sent_at,
+                          std::uint8_t kind);
   void handle_map_range(const MapRange& range);
   void handle_state_transfer(const StateTransfer& transfer);
   void handle_client_state(const ClientStateTransfer& transfer);
@@ -215,7 +229,10 @@ class GameServer : public ProtocolNode {
   Rect authority_;
   std::map<ClientId, Session> sessions_;
   std::map<EntityId, Entity> map_objects_;
-  std::map<EntityId, Entity> ghosts_;
+  /// Ghost replicas of remote avatars, updated once per forwarded packet —
+  /// a hot-path table (flat open-address storage; see game/ghost_table.h
+  /// for why iteration order cannot perturb traces).
+  GhostTable ghosts_;
   /// Avatar state that arrived (ClientStateTransfer) before the client's
   /// hello; consumed when the hello lands.
   std::map<ClientId, Entity> pending_avatars_;
@@ -230,6 +247,30 @@ class GameServer : public ProtocolNode {
     std::uint8_t kind;
   };
   std::vector<PendingEvent> pending_events_;
+  /// Oldest sent_at among pending_events_ (valid while non-empty),
+  /// maintained on push so the update tick does not rescan the batch.
+  SimTime pending_oldest_{};
+
+  void push_pending(const PendingEvent& event) {
+    if (pending_events_.empty() || event.sent_at < pending_oldest_) {
+      pending_oldest_ = event.sent_at;
+    }
+    pending_events_.push_back(event);
+  }
+
+  /// Scratch bucket grid for the update tick's visible-entity estimate: an
+  /// epoch-stamped open-address table (linear probing, ≤25% load factor)
+  /// kept across ticks.  Epoch stamping makes "clear" a counter increment,
+  /// so the tick performs no allocation and no table wipe in steady state.
+  /// Count sums are order-independent, so determinism is unaffected.
+  std::vector<std::uint64_t> grid_keys_;
+  std::vector<std::uint32_t> grid_counts_;
+  std::vector<std::uint32_t> grid_stamps_;
+  std::uint32_t grid_epoch_ = 0;
+
+  void grid_prepare(std::size_t entries);
+  void grid_bump(std::uint64_t key);
+  [[nodiscard]] std::uint32_t grid_count(std::uint64_t key) const;
 
   std::uint32_t next_redirect_seq_ = 1;
   std::uint32_t next_query_seq_ = 1;

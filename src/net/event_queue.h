@@ -4,53 +4,81 @@
 // simulation: message deliveries, node service completions, game ticks, and
 // scenario actions (hotspot arrival at t=10s, ...).  The sequence number
 // breaks time ties in insertion order, which makes runs fully deterministic.
+//
+// Hot-path layout: the heap itself holds only 16-byte POD entries
+// (when + a packed seq/slot word) in a 4-ary array heap — sift moves are
+// trivial copies and one level's four children share a cache line.  The callbacks live in
+// a separate slab of small-buffer-optimized InlineAction slots (a deque, so
+// slots never move) recycled through a freelist: steady-state scheduling
+// performs no allocation, and popping invokes the callback in place — no
+// copy-on-pop, no move-on-pop.  Pop order depends only on the (when, seq)
+// total order, so the heap arity is invisible to traces.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <deque>
 #include <vector>
 
+#include "util/inline_function.h"
 #include "util/sim_time.h"
 
 namespace matrix {
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineAction;
 
   /// Schedules `action` to run at absolute time `when`.  Scheduling in the
   /// past is clamped to "now" (runs next, still after already-queued events
-  /// at the current instant).
-  void schedule_at(SimTime when, Action action) {
+  /// at the current instant).  The callable is constructed directly in its
+  /// slab slot — no intermediate Action object, no relocation.
+  template <typename F>
+  void schedule_at(SimTime when, F&& action) {
     if (when < now_) when = now_;
-    heap_.push(Event{when, next_seq_++, std::move(action)});
+    const std::uint32_t slot = acquire_slot();
+    slots_[slot].assign(std::forward<F>(action));
+    heap_push(HeapEntry{when, (next_seq_++ << kSlotBits) | slot});
+    if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
   }
 
   /// Schedules `action` to run `delay` after the current time.
-  void schedule_after(SimTime delay, Action action) {
-    schedule_at(now_ + delay, std::move(action));
+  template <typename F>
+  void schedule_after(SimTime delay, F&& action) {
+    schedule_at(now_ + delay, std::forward<F>(action));
   }
 
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
+  /// Total events executed since construction.
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_processed_;
+  }
+  /// High-water mark of simultaneously pending events (peak heap depth).
+  [[nodiscard]] std::size_t peak_pending() const { return peak_pending_; }
+
   /// Runs the next event; returns false when the queue is empty.
   bool step() {
     if (heap_.empty()) return false;
-    // Copy out before pop: the action may schedule new events.
-    Event ev = heap_.top();
-    heap_.pop();
-    now_ = ev.when;
-    ev.action();
+    const HeapEntry top = heap_[0];
+    heap_pop();
+    now_ = top.when;
+    ++events_processed_;
+    // Invoke in place — the slab is a deque, so slots stay put while the
+    // action schedules new events.  The slot is recycled only afterwards,
+    // so re-entrant scheduling can never alias the running callback.
+    const std::uint32_t slot = top.slot();
+    slots_[slot].invoke_and_reset();
+    free_slots_.push_back(slot);
     return true;
   }
 
   /// Runs all events with time <= `until`, then advances the clock to
   /// `until` even if no event lands exactly there.
   void run_until(SimTime until) {
-    while (!heap_.empty() && heap_.top().when <= until) {
+    while (!heap_.empty() && heap_[0].when <= until) {
       step();
     }
     if (now_ < until) now_ = until;
@@ -64,22 +92,90 @@ class EventQueue {
   }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    Action action;
+  /// Slot index width inside the packed (seq, slot) word.  2^24 concurrent
+  /// events would mean a multi-gigabyte slab, far past any workload here;
+  /// sequence numbers keep 40 bits — a trillion events per run.
+  static constexpr std::uint64_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ULL << kSlotBits) - 1;
 
-    // std::priority_queue is a max-heap; invert so earliest (then lowest
-    // sequence) pops first.
-    bool operator<(const Event& other) const {
-      if (when != other.when) return when > other.when;
-      return seq > other.seq;
+  /// 16-byte heap entry: time plus (seq << 24 | slot).  Comparing the packed
+  /// word on time ties orders by sequence — the slot bits can never decide,
+  /// because sequence numbers are unique.
+  struct HeapEntry {
+    SimTime when;
+    std::uint64_t seq_slot;
+
+    [[nodiscard]] std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(seq_slot & kSlotMask);
+    }
+
+    /// Min-heap order: earliest time, then lowest sequence.
+    [[nodiscard]] bool before(const HeapEntry& other) const {
+      if (when != other.when) return when < other.when;
+      return seq_slot < other.seq_slot;
     }
   };
+  static_assert(sizeof(HeapEntry) == 16);
 
-  std::priority_queue<Event> heap_;
+  static constexpr std::size_t kArity = 4;
+
+  std::uint32_t acquire_slot() {
+    if (!free_slots_.empty()) {
+      const std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      return slot;
+    }
+    slots_.emplace_back();
+    // The slot index must fit the packed heap word; 2^24 concurrent events
+    // would need a multi-gigabyte slab, so this is a loud tripwire for an
+    // impossible state, not a reachable limit.
+    assert(slots_.size() <= kSlotMask + 1);
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  void heap_push(HeapEntry entry) {
+    std::size_t i = heap_.size();
+    heap_.push_back(entry);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!entry.before(heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = entry;
+  }
+
+  void heap_pop() {
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0) return;
+    std::size_t i = 0;
+    while (true) {
+      const std::size_t first_child = i * kArity + 1;
+      if (first_child >= n) break;
+      const std::size_t end =
+          first_child + kArity < n ? first_child + kArity : n;
+      std::size_t best = first_child;
+      for (std::size_t c = first_child + 1; c < end; ++c) {
+        if (heap_[c].before(heap_[best])) best = c;
+      }
+      if (!heap_[best].before(last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+
+  std::vector<HeapEntry> heap_;
+  // Callback slab, indexed by HeapEntry::slot.  A deque so references stay
+  // stable while a running action schedules (and thus grows the slab).
+  std::deque<Action> slots_;
+  std::vector<std::uint32_t> free_slots_;
   SimTime now_{};
   std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::size_t peak_pending_ = 0;
 };
 
 }  // namespace matrix

@@ -4,30 +4,90 @@
 
 namespace matrix {
 
+namespace {
+
+/// Reserves geometric capacity before growing a dense id-indexed table to
+/// cover `index`.  Ids arrive in increasing order (attach order, client
+/// fan-out), so relying on the library's resize growth policy would make
+/// table growth quadratic at 10k-node scale on implementations that size
+/// exactly.
+template <typename T>
+void reserve_for_index(std::vector<T>& table, std::size_t index) {
+  if (index < table.capacity()) return;
+  std::size_t cap = table.capacity() < 16 ? 16 : table.capacity() * 2;
+  while (cap <= index) cap *= 2;
+  table.reserve(cap);
+}
+
+}  // namespace
+
+Network::NodeState& Network::ensure_state(NodeId id) {
+  const std::size_t index = id.value();
+  if (index >= nodes_.size()) {
+    reserve_for_index(nodes_, index);
+    nodes_.resize(index + 1);
+  }
+  return nodes_[index];
+}
+
+Network::LinkRecord& Network::link_record(NodeId src, NodeId dst) {
+  NodeState& state = ensure_state(src);
+  const std::size_t d = dst.value();
+  if (state.out.size() <= d) {
+    reserve_for_index(state.out, d);
+    state.out.resize(d + 1, -1);
+  }
+  std::int32_t slot = state.out[d];
+  if (slot < 0) {
+    slot = static_cast<std::int32_t>(link_records_.size());
+    state.out[d] = slot;
+    LinkRecord record;
+    record.src = src;
+    record.dst = dst;
+    link_records_.push_back(std::move(record));
+  }
+  return link_records_[static_cast<std::size_t>(slot)];
+}
+
+const Network::LinkRecord* Network::find_link_record(NodeId src,
+                                                     NodeId dst) const {
+  const NodeState* state = find_state(src);
+  if (state == nullptr) return nullptr;
+  const std::size_t d = dst.value();
+  if (d >= state->out.size() || state->out[d] < 0) return nullptr;
+  return &link_records_[static_cast<std::size_t>(state->out[d])];
+}
+
 NodeId Network::attach(Node* node, NodeConfig config) {
   const NodeId id = node_ids_.next();
   node->node_id_ = id;
   node->network_ = this;
-  NodeState& state = nodes_[id];
+  NodeState& state = ensure_state(id);
   state.node = node;
   state.config = config;
   return id;
 }
 
 void Network::detach(NodeId id) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end()) return;
-  NodeState& state = it->second;
-  total_dropped_ += state.queue.size();
-  state.queue.clear();
-  state.node = nullptr;
-  state.serving = false;
-  ++state.epoch;  // cancels any in-flight service completion
+  NodeState* state = find_state(id);
+  if (state == nullptr) return;
+  total_dropped_ += state->queue.size();
+  for (Envelope& env : state->queue) pool_.release(std::move(env.payload));
+  state->queue.clear();
+  state->node = nullptr;
+  state->serving = false;
+  ++state->epoch;  // cancels any in-flight service completion
+}
+
+void Network::set_link(NodeId src, NodeId dst, LinkConfig config) {
+  LinkRecord& record = link_record(src, dst);
+  record.has_override = true;
+  record.config = config;
 }
 
 void Network::set_node_config(NodeId id, NodeConfig config) {
-  auto it = nodes_.find(id);
-  if (it != nodes_.end()) it->second.config = config;
+  NodeState* state = find_state(id);
+  if (state != nullptr) state->config = config;
 }
 
 std::size_t Network::send(NodeId src, NodeId dst,
@@ -39,18 +99,22 @@ std::size_t Network::send(NodeId src, NodeId dst,
   envelope.sent_at = now();
   const std::size_t wire = envelope.wire_size();
 
-  LinkStats& stats = link_stats_[{src, dst}];
-  const LinkConfig& cfg = link(src, dst);
+  LinkRecord& record = link_record(src, dst);
+  const LinkConfig& cfg = record.has_override ? record.config : default_link_;
 
-  if (!attached(dst) ||
-      (cfg.drop_probability > 0.0 && rng_.next_bool(cfg.drop_probability))) {
-    ++stats.dropped_messages;
+  const bool dropped =
+      !attached(dst) ||
+      (cfg.drop_probability > 0.0 && rng_.next_bool(cfg.drop_probability));
+  if (trace_hash_on_) trace_record(src, dst, envelope.payload, dropped);
+  if (dropped) {
+    ++record.stats.dropped_messages;
     ++total_dropped_;
+    pool_.release(std::move(envelope.payload));
     return wire;
   }
 
-  stats.messages += 1;
-  stats.bytes += wire;
+  record.stats.messages += 1;
+  record.stats.bytes += wire;
   total_bytes_ += wire;
   total_messages_ += 1;
 
@@ -63,69 +127,91 @@ std::size_t Network::send(NodeId src, NodeId dst,
 }
 
 void Network::deliver(NodeId dst, Envelope envelope) {
-  auto it = nodes_.find(dst);
-  if (it == nodes_.end() || it->second.node == nullptr) {
+  NodeState* state = find_state(dst);
+  if (state == nullptr || state->node == nullptr) {
     ++total_dropped_;
+    pool_.release(std::move(envelope.payload));
     return;  // node detached while the message was in flight
   }
-  NodeState& state = it->second;
-  if (state.config.queue_capacity &&
-      state.queue.size() >= *state.config.queue_capacity) {
+  if (state->config.queue_capacity &&
+      state->queue.size() >= *state->config.queue_capacity) {
     ++total_dropped_;
-    ++link_stats_[{envelope.src, dst}].dropped_messages;
+    ++link_record(envelope.src, dst).stats.dropped_messages;
+    pool_.release(std::move(envelope.payload));
     return;  // tail drop: the overloaded-static-server failure mode
   }
-  state.queue.push_back(std::move(envelope));
-  if (!state.serving) start_service(dst);
+  state->queue.push_back(std::move(envelope));
+  if (!state->serving) start_service(dst);
 }
 
 void Network::start_service(NodeId dst) {
-  auto it = nodes_.find(dst);
-  if (it == nodes_.end() || it->second.node == nullptr ||
-      it->second.queue.empty()) {
-    if (it != nodes_.end()) it->second.serving = false;
+  NodeState* state = find_state(dst);
+  if (state == nullptr || state->node == nullptr || state->queue.empty()) {
+    if (state != nullptr) state->serving = false;
     return;
   }
-  NodeState& state = it->second;
-  state.serving = true;
-  const std::uint64_t epoch = state.epoch;
-  const SimTime service = state.config.service_time(state.queue.front().wire_size());
+  state->serving = true;
+  const std::uint64_t epoch = state->epoch;
+  const SimTime service =
+      state->config.service_time(state->queue.front().wire_size());
   events_.schedule_after(service, [this, dst, epoch] {
-    auto it2 = nodes_.find(dst);
-    if (it2 == nodes_.end() || it2->second.epoch != epoch ||
-        it2->second.node == nullptr || it2->second.queue.empty()) {
+    NodeState* s = find_state(dst);
+    if (s == nullptr || s->epoch != epoch || s->node == nullptr ||
+        s->queue.empty()) {
       return;
     }
-    NodeState& s = it2->second;
-    Envelope env = std::move(s.queue.front());
-    s.queue.pop_front();
+    Envelope env = std::move(s->queue.front());
+    s->queue.pop_front();
     // Handle *before* scheduling the next service so handlers observe a
     // queue that no longer contains the message being processed.
-    s.node->handle_message(env);
-    // The handler may have detached this node (e.g. reclamation).
-    auto it3 = nodes_.find(dst);
-    if (it3 != nodes_.end() && it3->second.epoch == epoch) {
+    s->node->handle_message(env);
+    pool_.release(std::move(env.payload));
+    // The handler may have detached this node (e.g. reclamation) or attached
+    // new ones (the node table may have grown) — re-resolve.
+    s = find_state(dst);
+    if (s != nullptr && s->epoch == epoch) {
       start_service(dst);
     }
   });
 }
 
+void Network::trace_record(NodeId src, NodeId dst,
+                           const std::vector<std::uint8_t>& payload,
+                           bool dropped) {
+  constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+  auto mix = [this](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      trace_hash_ ^= (v >> (8 * i)) & 0xFF;
+      trace_hash_ *= kPrime;
+    }
+  };
+  mix(static_cast<std::uint64_t>(now().us()));
+  mix(src.value());
+  mix(dst.value());
+  mix(dropped ? 1u : 0u);
+  mix(payload.size());
+  for (const std::uint8_t b : payload) {
+    trace_hash_ ^= b;
+    trace_hash_ *= kPrime;
+  }
+}
+
 std::size_t Network::queue_length(NodeId id) const {
-  auto it = nodes_.find(id);
-  return it != nodes_.end() ? it->second.queue.size() : 0;
+  const NodeState* state = find_state(id);
+  return state != nullptr ? state->queue.size() : 0;
 }
 
 const LinkStats& Network::stats(NodeId src, NodeId dst) const {
   static const LinkStats kEmpty;
-  auto it = link_stats_.find({src, dst});
-  return it != link_stats_.end() ? it->second : kEmpty;
+  const LinkRecord* record = find_link_record(src, dst);
+  return record != nullptr ? record->stats : kEmpty;
 }
 
 std::uint64_t Network::bytes_matching(
     const std::function<bool(NodeId, NodeId)>& pred) const {
   std::uint64_t sum = 0;
-  for (const auto& [key, stats] : link_stats_) {
-    if (pred(key.first, key.second)) sum += stats.bytes;
+  for (const LinkRecord& record : link_records_) {
+    if (pred(record.src, record.dst)) sum += record.stats.bytes;
   }
   return sum;
 }

@@ -14,12 +14,19 @@
 // Everything is driven by the shared EventQueue; the network never uses wall
 // time, threads, or unordered containers on the hot path, so runs are
 // bit-deterministic for a given seed.
+//
+// Hot-path layout (docs/ARCHITECTURE.md, "Engine internals"): NodeIds are
+// dense (monotonic from 1), so the node table is a flat vector indexed by id
+// and every per-send lookup is O(1) array arithmetic.  Per-pair link state
+// (config override + traffic counters) lives in one append-ordered record
+// store reached through per-source dense jump tables, replacing the former
+// pair-keyed std::map lookups.  Message payload storage is recycled through
+// a BufferPool once the receiving handler returns.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -27,6 +34,7 @@
 
 #include "net/event_queue.h"
 #include "net/message.h"
+#include "util/buffer_pool.h"
 #include "util/ids.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
@@ -110,13 +118,12 @@ class Network {
   void detach(NodeId id);
 
   [[nodiscard]] bool attached(NodeId id) const {
-    return nodes_.count(id) != 0 && nodes_.at(id).node != nullptr;
+    const NodeState* state = find_state(id);
+    return state != nullptr && state->node != nullptr;
   }
 
   void set_default_link(LinkConfig config) { default_link_ = config; }
-  void set_link(NodeId src, NodeId dst, LinkConfig config) {
-    link_overrides_[{src, dst}] = config;
-  }
+  void set_link(NodeId src, NodeId dst, LinkConfig config);
   /// Convenience: sets both directions.
   void set_link_bidirectional(NodeId a, NodeId b, LinkConfig config) {
     set_link(a, b, config);
@@ -124,8 +131,9 @@ class Network {
   }
 
   [[nodiscard]] const LinkConfig& link(NodeId src, NodeId dst) const {
-    auto it = link_overrides_.find({src, dst});
-    return it != link_overrides_.end() ? it->second : default_link_;
+    const LinkRecord* record = find_link_record(src, dst);
+    return record != nullptr && record->has_override ? record->config
+                                                     : default_link_;
   }
 
   void set_node_config(NodeId id, NodeConfig config);
@@ -136,15 +144,25 @@ class Network {
   /// Messages to detached nodes are counted as drops.
   std::size_t send(NodeId src, NodeId dst, std::vector<std::uint8_t> payload);
 
+  /// Rents a recycled payload buffer (capacity intact, contents cleared) for
+  /// encoding the next outgoing message; the network reclaims the storage
+  /// after the receiving handler runs.  See util/buffer_pool.h.
+  [[nodiscard]] std::vector<std::uint8_t> rent_buffer() {
+    return pool_.acquire();
+  }
+
   // ---- time ---------------------------------------------------------------
 
   [[nodiscard]] EventQueue& events() { return events_; }
+  [[nodiscard]] const EventQueue& events() const { return events_; }
   [[nodiscard]] SimTime now() const { return events_.now(); }
   void run_until(SimTime t) { events_.run_until(t); }
 
   // ---- instrumentation ----------------------------------------------------
 
   [[nodiscard]] std::size_t queue_length(NodeId id) const;
+  /// Counters for one directed pair.  The reference is invalidated by the
+  /// next send between a previously-unseen pair (the record store may grow).
   [[nodiscard]] const LinkStats& stats(NodeId src, NodeId dst) const;
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
   [[nodiscard]] std::uint64_t total_messages() const { return total_messages_; }
@@ -155,30 +173,80 @@ class Network {
   [[nodiscard]] std::uint64_t bytes_matching(
       const std::function<bool(NodeId, NodeId)>& pred) const;
 
+  /// Engine hot-path counters (surfaced by the --json bench reports).
+  struct EngineStats {
+    std::uint64_t events_processed = 0;   ///< EventQueue events executed
+    std::size_t event_peak_pending = 0;   ///< peak event-heap depth
+    std::uint64_t buffers_acquired = 0;   ///< payload buffers rented
+    std::uint64_t buffers_reused = 0;     ///< rentals served from the freelist
+    std::size_t buffers_idle = 0;         ///< freelist depth right now
+  };
+  [[nodiscard]] EngineStats engine_stats() const {
+    return EngineStats{events_.events_processed(), events_.peak_pending(),
+                       pool_.counters().acquired, pool_.counters().reused,
+                       pool_.idle()};
+  }
+
+  /// Golden-trace hashing (tests/determinism_test.cpp): chains an FNV-1a
+  /// hash over every send (time, src, dst, drop flag, payload bytes).
+  void enable_trace_hash() { trace_hash_on_ = true; }
+  [[nodiscard]] std::uint64_t trace_hash() const { return trace_hash_; }
+
   [[nodiscard]] Rng& rng() { return rng_; }
 
  private:
+  /// Per-directed-pair link state: traffic counters plus the optional config
+  /// override, stored once in an append-ordered record store.
+  struct LinkRecord {
+    LinkStats stats;  // first: the only fields every send touches
+    NodeId src;
+    NodeId dst;
+    bool has_override = false;
+    LinkConfig config{};
+  };
+
   struct NodeState {
     Node* node = nullptr;
     NodeConfig config;
     std::deque<Envelope> queue;
     bool serving = false;
     std::uint64_t epoch = 0;  // bumped on detach to cancel stale service events
+    /// Dense NodeId-indexed jump table: out[dst.value()] is this source's
+    /// record index in link_records_, or -1 before first use.  Grows lazily
+    /// to the highest destination this source has actually addressed.
+    std::vector<std::int32_t> out;
   };
+
+  [[nodiscard]] NodeState* find_state(NodeId id) {
+    const std::size_t index = id.value();
+    return index < nodes_.size() ? &nodes_[index] : nullptr;
+  }
+  [[nodiscard]] const NodeState* find_state(NodeId id) const {
+    const std::size_t index = id.value();
+    return index < nodes_.size() ? &nodes_[index] : nullptr;
+  }
+  NodeState& ensure_state(NodeId id);
+  LinkRecord& link_record(NodeId src, NodeId dst);
+  [[nodiscard]] const LinkRecord* find_link_record(NodeId src,
+                                                   NodeId dst) const;
 
   void deliver(NodeId dst, Envelope envelope);
   void start_service(NodeId dst);
+  void trace_record(NodeId src, NodeId dst,
+                    const std::vector<std::uint8_t>& payload, bool dropped);
 
   EventQueue events_;
-  std::map<NodeId, NodeState> nodes_;
-  std::map<std::pair<NodeId, NodeId>, LinkConfig> link_overrides_;
-  std::map<std::pair<NodeId, NodeId>, LinkStats> link_stats_;
+  std::vector<NodeState> nodes_;       // dense, index = NodeId::value()
+  std::vector<LinkRecord> link_records_;
   LinkConfig default_link_;
   IdGenerator<NodeId> node_ids_;
+  BufferPool pool_;
   Rng rng_;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_dropped_ = 0;
+  bool trace_hash_on_ = false;
+  std::uint64_t trace_hash_ = 0xcbf29ce484222325ULL;
 };
 
 }  // namespace matrix

@@ -230,6 +230,37 @@ void schedule_contested_pool_scenario(
   }
 }
 
+void schedule_mega_surge_scenario(Deployment& deployment,
+                                  const MegaSurgeScenarioOptions& options) {
+  Scenario scenario(deployment);
+  scenario.add_background_bots(SimTime::from_ms(100), options.background_bots);
+
+  // Hotspot centers on an evenly-spaced grid over the world, so the crowd
+  // lands on every partition of a grid deployment at once — sustained
+  // deployment-wide message pressure rather than one collapsing partition.
+  const Rect& world = deployment.options().config.world;
+  const double cell_w =
+      (world.x1() - world.x0()) / static_cast<double>(options.hotspots_x);
+  const double cell_h =
+      (world.y1() - world.y0()) / static_cast<double>(options.hotspots_y);
+  for (std::size_t ix = 0; ix < options.hotspots_x; ++ix) {
+    for (std::size_t iy = 0; iy < options.hotspots_y; ++iy) {
+      const Vec2 center{world.x0() + (static_cast<double>(ix) + 0.5) * cell_w,
+                        world.y0() + (static_cast<double>(iy) + 0.5) * cell_h};
+      SimTime t = options.flash_at;
+      for (std::size_t joined = 0; joined < options.bots_per_hotspot;) {
+        const std::size_t batch =
+            std::min(options.join_batch > 0 ? options.join_batch
+                                            : options.bots_per_hotspot,
+                     options.bots_per_hotspot - joined);
+        scenario.add_hotspot_bots(t, batch, center, options.spread);
+        joined += batch;
+        t += options.join_interval;
+      }
+    }
+  }
+}
+
 std::size_t deployment_capacity_clients(const Deployment& deployment) {
   return deployment.game_servers().size() *
          deployment.options().config.overload_clients;

@@ -256,6 +256,71 @@ struct ContestedPoolScenarioOptions {
 void schedule_contested_pool_scenario(
     Deployment& deployment, const ContestedPoolScenarioOptions& options);
 
+/// Ten-thousand-client macro workload (the engine-scale proof for the
+/// hot-path overhaul): a grid of simultaneous flash crowds plus a uniform
+/// background population, sized an order of magnitude beyond every other
+/// scenario.  Pair it with a deployment whose root grid can actually admit
+/// the crowd (≥ offered/overload_clients roots) — the point is sustained
+/// 10k-client steady-state message traffic, not admission-control behaviour;
+/// bench_engine_throughput and tests/mega_surge_test.cpp run exactly this.
+struct MegaSurgeScenarioOptions {
+  std::size_t background_bots = 2000;
+
+  /// Flash crowds arrive at an hx × hy grid of hotspot centers spread
+  /// evenly over the world, `bots_per_hotspot` each.
+  std::size_t hotspots_x = 4;
+  std::size_t hotspots_y = 2;
+  std::size_t bots_per_hotspot = 1024;
+
+  std::size_t join_batch = 256;
+  SimTime join_interval = SimTime::from_ms(500);
+  SimTime flash_at = SimTime::from_sec(2.0);
+  double spread = 70.0;
+
+  SimTime duration = SimTime::from_sec(20.0);
+};
+
+/// Schedules the grid of flash crowds.  Call
+/// deployment.run_until(options.duration) afterwards.
+void schedule_mega_surge_scenario(Deployment& deployment,
+                                  const MegaSurgeScenarioOptions& options);
+
+/// Offered clients at the crest of a MegaSurgeScenario (10,192 with the
+/// defaults — the ≥10k bar).
+[[nodiscard]] inline std::size_t mega_surge_offered_clients(
+    const MegaSurgeScenarioOptions& options) {
+  return options.background_bots +
+         options.hotspots_x * options.hotspots_y * options.bots_per_hotspot;
+}
+
+/// The canonical deployment for the default MegaSurgeScenario — shared by
+/// bench_engine_throughput (whose numbers CI's perf-gate compares against a
+/// checked-in baseline) and tests/mega_surge_test.cpp (the tier-1 scale
+/// assertions), so the gated workload and the proven workload cannot drift
+/// apart.  36 roots × the paper's 300-client overload threshold = 10.8k
+/// capacity, on production-grade hosts (50 µs per message ⇒ ~20k msg/s per
+/// server, vs the paper benches' deliberately modest 200 µs): the 10k crowd
+/// is admitted and PLAYS — sustained full-rate traffic, not one collapsing
+/// partition's queue (OverloadScenario covers that regime).
+[[nodiscard]] inline DeploymentOptions mega_surge_deployment_options() {
+  DeploymentOptions options;
+  options.config.world = Rect(0, 0, 1000, 1000);
+  options.config.overload_clients = 300;
+  options.config.underload_clients = 150;
+  options.config.sustain_reports_to_split = 2;
+  options.config.topology_cooldown = SimTime::from_sec(3.0);
+  options.config.load_report_interval = SimTime::from_ms(500);
+  options.config.policy.kind = LoadPolicyKind::kClassic;
+  options.spec = bzflag_like();
+  options.config.visibility_radius = options.spec.visibility_radius;
+  options.game_node.service_per_message = SimTime::from_us(50);
+  options.initial_servers = 36;
+  options.pool_size = 4;
+  options.map_objects = 360;
+  options.seed = 2005;
+  return options;
+}
+
 /// Offered clients at the crest of a ContestedPoolScenario.
 [[nodiscard]] inline std::size_t contested_pool_offered_clients(
     const ContestedPoolScenarioOptions& options) {

@@ -18,12 +18,28 @@
 #include <vector>
 
 #include "util/ids.h"
+#include "util/payload_bytes.h"
 
 namespace matrix {
 
 /// Appends primitive values to a growing byte buffer.
 class ByteWriter {
  public:
+  ByteWriter() = default;
+
+  /// Adopts `recycled` as the backing buffer (cleared, capacity preserved).
+  /// Pairs with BufferPool / Network::rent_buffer so steady-state encoding
+  /// reuses payload storage instead of allocating.
+  explicit ByteWriter(std::vector<std::uint8_t> recycled)
+      : buf_(std::move(recycled)) {
+    buf_.clear();
+  }
+
+  /// Pre-sizes the buffer (the size-hinted encode paths in core/protocol
+  /// use this so common messages encode without reallocation even on a
+  /// fresh buffer).
+  void reserve(std::size_t bytes) { buf_.reserve(bytes); }
+
   [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
@@ -68,8 +84,13 @@ class ByteWriter {
  private:
   template <typename T>
   void append_le(T v) {
+    // Bulk write (one resize + one wide store after optimization) instead of
+    // per-byte push_back — encoding is f64/u64-heavy on the hot path.
+    const std::size_t n = buf_.size();
+    buf_.resize(n + sizeof(T));
+    std::uint8_t* out = buf_.data() + n;
     for (std::size_t i = 0; i < sizeof(T); ++i) {
-      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      out[i] = static_cast<std::uint8_t>(v >> (8 * i));
     }
   }
 
@@ -86,6 +107,19 @@ class ByteReader {
   [[nodiscard]] bool ok() const { return ok_; }
   [[nodiscard]] bool at_end() const { return pos_ == bytes_.size(); }
   [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  /// Current read offset — lets frame parsers record field positions
+  /// (e.g. the peer-forwarded flag a raw relay flips in place).
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+
+  /// Like raw(), but returns a view into the underlying buffer instead of
+  /// copying — for the zero-copy frame fast paths.
+  std::span<const std::uint8_t> raw_span() {
+    const std::uint64_t n = varint();
+    if (!check(n)) return {};
+    std::span<const std::uint8_t> out = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
 
   std::uint8_t u8() {
     if (!check(1)) return 0;
@@ -137,6 +171,16 @@ class ByteReader {
     return out;
   }
 
+  /// Like raw(), but into the inline PayloadBytes container — no heap
+  /// allocation for typical game payload sizes.
+  PayloadBytes raw_payload() {
+    const std::uint64_t n = varint();
+    if (!check(n)) return {};
+    PayloadBytes out(bytes_.data() + pos_, n);
+    pos_ += n;
+    return out;
+  }
+
   template <typename IdType>
   IdType id() {
     return IdType(varint());
@@ -154,12 +198,15 @@ class ByteReader {
   template <typename T>
   T read_le() {
     if (!check(sizeof(T))) return T{};
-    T v{};
+    // Accumulate in u64 with the canonical little-endian idiom, which
+    // optimizers collapse into a single wide load.
+    const std::uint8_t* in = bytes_.data() + pos_;
+    std::uint64_t v = 0;
     for (std::size_t i = 0; i < sizeof(T); ++i) {
-      v = static_cast<T>(v | (static_cast<T>(bytes_[pos_ + i]) << (8 * i)));
+      v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
     }
     pos_ += sizeof(T);
-    return v;
+    return static_cast<T>(v);
   }
 
   std::span<const std::uint8_t> bytes_;

@@ -1,0 +1,19 @@
+// SplitMix64 finalizer — the repo's standard cheap integer mixer.
+//
+// Used wherever a deterministic, toolchain-independent scatter of an id or
+// key is needed (open-address probe hashes, stable per-client assignment).
+// Deliberately NOT tied to util/rng.h: Rng's seeding is part of the
+// reproducibility spec and must not change if this helper ever does.
+#pragma once
+
+#include <cstdint>
+
+namespace matrix {
+
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace matrix

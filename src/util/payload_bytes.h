@@ -1,0 +1,142 @@
+// Inline byte container for per-message game payloads.
+//
+// TaggedPacket / ClientAction / ServerUpdate each carry an opaque payload of
+// a few dozen to a few hundred bytes, created and destroyed once per
+// simulated message.  As std::vector those payloads were the engine's last
+// steady-state allocation: one heap round-trip per decode and per copy, at
+// hundreds of thousands of messages per simulated second.  PayloadBytes
+// stores up to kInlineBytes inline (sized for the largest engine-generated
+// payload, the 268-byte digest ServerUpdate) and copies only the bytes in
+// use; larger payloads — possible through the public API, never produced by
+// the engine — transparently spill to a heap vector.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace matrix {
+
+class PayloadBytes {
+ public:
+  static constexpr std::size_t kInlineBytes = 272;
+
+  PayloadBytes() = default;
+
+  PayloadBytes(const std::uint8_t* data, std::size_t n) { assign(data, n); }
+
+  // NOLINTNEXTLINE(google-explicit-constructor): vector payloads predate
+  // this type; generators and API users still hand over vectors.
+  PayloadBytes(const std::vector<std::uint8_t>& bytes) {
+    assign(bytes.data(), bytes.size());
+  }
+
+  PayloadBytes(const PayloadBytes& other) { assign(other.data(), other.size()); }
+  PayloadBytes& operator=(const PayloadBytes& other) {
+    if (this != &other) assign(other.data(), other.size());
+    return *this;
+  }
+  PayloadBytes(PayloadBytes&& other) noexcept
+      : size_(other.size_), overflow_(std::move(other.overflow_)) {
+    if (size_ <= kInlineBytes) {
+      std::memcpy(inline_.data(), other.inline_.data(), size_);
+    }
+    other.size_ = 0;
+    other.overflow_.clear();
+  }
+  PayloadBytes& operator=(PayloadBytes&& other) noexcept {
+    if (this != &other) {
+      size_ = other.size_;
+      overflow_ = std::move(other.overflow_);
+      if (size_ <= kInlineBytes) {
+        std::memcpy(inline_.data(), other.inline_.data(), size_);
+      }
+      other.size_ = 0;
+      other.overflow_.clear();
+    }
+    return *this;
+  }
+  ~PayloadBytes() = default;
+
+  PayloadBytes& operator=(const std::vector<std::uint8_t>& bytes) {
+    assign(bytes.data(), bytes.size());
+    return *this;
+  }
+
+  void assign(std::size_t n, std::uint8_t value) {
+    size_ = n;
+    if (n <= kInlineBytes) {
+      overflow_.clear();
+      std::memset(inline_.data(), value, n);
+    } else {
+      overflow_.assign(n, value);
+    }
+  }
+
+  void assign(const std::uint8_t* data, std::size_t n) {
+    size_ = n;
+    if (n <= kInlineBytes) {
+      overflow_.clear();
+      // n == 0 may come with data == nullptr (an empty vector's data());
+      // memcpy's pointer arguments must be non-null even for zero sizes.
+      if (n != 0) std::memcpy(inline_.data(), data, n);
+    } else {
+      overflow_.assign(data, data + n);
+    }
+  }
+
+  void clear() {
+    size_ = 0;
+    overflow_.clear();
+  }
+
+  void push_back(std::uint8_t value) {
+    if (size_ < kInlineBytes) {
+      inline_[size_++] = value;
+    } else {
+      if (size_ == kInlineBytes && overflow_.empty()) {
+        overflow_.assign(inline_.begin(), inline_.end());
+      }
+      overflow_.push_back(value);
+      ++size_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] const std::uint8_t* data() const {
+    return size_ <= kInlineBytes ? inline_.data() : overflow_.data();
+  }
+  [[nodiscard]] std::uint8_t* data() {
+    return size_ <= kInlineBytes ? inline_.data() : overflow_.data();
+  }
+
+  [[nodiscard]] const std::uint8_t* begin() const { return data(); }
+  [[nodiscard]] const std::uint8_t* end() const { return data() + size_; }
+
+  [[nodiscard]] std::uint8_t operator[](std::size_t i) const {
+    return data()[i];
+  }
+
+  // NOLINTNEXTLINE(google-explicit-constructor): so encode paths taking
+  // std::span accept a PayloadBytes unchanged.
+  [[nodiscard]] operator std::span<const std::uint8_t>() const {
+    return {data(), size_};
+  }
+
+  friend bool operator==(const PayloadBytes& a, const PayloadBytes& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::array<std::uint8_t, kInlineBytes> inline_;
+  std::vector<std::uint8_t> overflow_;  // engaged only when size_ > kInlineBytes
+};
+
+}  // namespace matrix
