@@ -15,6 +15,10 @@
 // budget as deployments grow.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "core/overlap.h"
 #include "core/partition.h"
 #include "core/quadtree_index.h"
@@ -139,4 +143,34 @@ BENCHMARK(BM_BuildRegionIndex)->Arg(4)->Arg(64)->Arg(1024);
 }  // namespace
 }  // namespace matrix
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the repo-wide `--json <path>` /
+// `--json=<path>` flag (bench/bench_common.h convention) is translated onto
+// google-benchmark's native JSON writer so CI collects one artifact shape
+// from every bench binary.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::string out_flag;
+  static std::string fmt_flag = "--benchmark_out_format=json";
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      out_flag = std::string("--benchmark_out=") + argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      out_flag = std::string("--benchmark_out=") + (argv[i] + 7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -52,6 +52,15 @@ Result run_one(SplitPolicy policy, Vec2 hotspot, double spread) {
   return result;
 }
 
+void report(JsonReport& json, const std::string& run, const Result& r) {
+  json.add(run, "peak_servers", static_cast<double>(r.peak_servers));
+  json.add(run, "splits", static_cast<double>(r.splits));
+  json.add(run, "splits_denied", static_cast<double>(r.denied));
+  json.add(run, "peak_queue", r.peak_queue, "msgs");
+  json.add(run, "end_queue", r.end_queue, "msgs");
+  json.add(run, "self_p99_ms", r.p99_ms, "ms");
+}
+
 void print_rows(const char* shape, const Result& left, const Result& aware) {
   std::printf("\n--- %s ---\n", shape);
   std::printf("%-14s %9s %7s %7s %10s %10s %9s\n", "policy", "servers",
@@ -67,15 +76,22 @@ void print_rows(const char* shape, const Result& left, const Result& aware) {
               aware.end_queue, aware.p99_ms);
 }
 
-void run() {
+void run(JsonReport& json) {
   header("A-split", "ablation: split-to-left (paper) vs load-aware median splits");
 
-  print_rows("central hotspot (350,350), footprint 120",
-             run_one(SplitPolicy::kSplitToLeft, {350, 350}, 120.0),
-             run_one(SplitPolicy::kLoadAware, {350, 350}, 120.0));
-  print_rows("corner hotspot (120,120), footprint 60",
-             run_one(SplitPolicy::kSplitToLeft, {120, 120}, 60.0),
-             run_one(SplitPolicy::kLoadAware, {120, 120}, 60.0));
+  const Result central_left = run_one(SplitPolicy::kSplitToLeft, {350, 350}, 120.0);
+  const Result central_aware = run_one(SplitPolicy::kLoadAware, {350, 350}, 120.0);
+  print_rows("central hotspot (350,350), footprint 120", central_left,
+             central_aware);
+  report(json, "central/split_to_left", central_left);
+  report(json, "central/load_aware", central_aware);
+
+  const Result corner_left = run_one(SplitPolicy::kSplitToLeft, {120, 120}, 60.0);
+  const Result corner_aware = run_one(SplitPolicy::kLoadAware, {120, 120}, 60.0);
+  print_rows("corner hotspot (120,120), footprint 60", corner_left,
+             corner_aware);
+  report(json, "corner/split_to_left", corner_left);
+  report(json, "corner/load_aware", corner_aware);
 
   std::printf(
       "\nReading: both policies relieve the hotspot (endQ drains), which is\n"
@@ -90,7 +106,8 @@ void run() {
 }  // namespace
 }  // namespace matrix::bench
 
-int main() {
-  matrix::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  matrix::bench::JsonReport json("ablation_split");
+  matrix::bench::run(json);
+  return json.write(matrix::bench::json_report_path(argc, argv)) ? 0 : 1;
 }

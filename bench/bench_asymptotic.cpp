@@ -73,7 +73,7 @@ Measured measure(std::size_t servers, std::size_t players) {
   return m;
 }
 
-void run() {
+void run(JsonReport& json) {
   header("T-asym", "asymptotic scalability: overlap fraction vs per-server I/O");
 
   // ---- measure the model constants from small simulations ------------------
@@ -97,6 +97,11 @@ void run() {
         (300.0 / static_cast<double>(n)) * a * (c_client + 2.0 * f);
     std::printf("%8zu %22.0f %22.0f %20.3f\n", n, m.msgs_per_server_per_sec,
                 model, m.overlap_fraction);
+    const std::string run_name = "n" + std::to_string(n);
+    json.add(run_name, "sim_msgs_per_server_per_sec", m.msgs_per_server_per_sec,
+             "msgs/s");
+    json.add(run_name, "model_msgs_per_server_per_sec", model, "msgs/s");
+    json.add(run_name, "forward_fraction", m.overlap_fraction);
   }
   std::printf("  (calibrated: a = %.1f actions/client/s, c_client = %.2f msgs/action)\n",
               a, c_client);
@@ -126,6 +131,8 @@ void run() {
     const double bad_players = capacity / io_bad * n;
     std::printf("%8.0f %14.3f %18.0f %20.0f\n", n, f, max_players,
                 bad_players);
+    json.add("extrapolation/n" + std::to_string(static_cast<int>(n)),
+             "max_players", max_players, "players");
   }
   std::printf(
       "\nReading: at 10,000 servers Matrix supports >1M players when the\n"
@@ -138,7 +145,8 @@ void run() {
 }  // namespace
 }  // namespace matrix::bench
 
-int main() {
-  matrix::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  matrix::bench::JsonReport json("asymptotic");
+  matrix::bench::run(json);
+  return json.write(matrix::bench::json_report_path(argc, argv)) ? 0 : 1;
 }

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/collect.h"
+#include "obs/registry.h"
 #include "sim/deployment.h"
 #include "sim/metrics.h"
 #include "sim/scenario.h"
@@ -77,6 +79,19 @@ class JsonReport {
   std::string bench_name_;
   std::vector<Entry> entries_;
 };
+
+/// Snapshots a finished deployment's unified metrics registry
+/// (obs/collect.h) into the report under `<bench>/<run>/<metric-name>`.
+/// Every bench that writes --json gets the same engine.* / net.* /
+/// topology.* / admission.* / clients.* / latency.* namespace for free, so
+/// cross-bench diffs (scripts/check_bench_regression.py) speak one schema.
+inline void add_registry(JsonReport& report, const std::string& run,
+                         Deployment& deployment) {
+  const obs::Registry registry = obs::collect_registry(deployment);
+  for (const obs::Metric& metric : registry.metrics()) {
+    report.add(run, metric.name, metric.value, metric.unit);
+  }
+}
 
 /// Parses `--json <path>` / `--json=<path>` from argv; nullptr when absent.
 inline const char* json_report_path(int argc, char** argv) {

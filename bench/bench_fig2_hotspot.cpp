@@ -17,7 +17,7 @@ namespace {
 
 using namespace time_literals;
 
-void run() {
+void run(JsonReport& json) {
   header("Fig2", "600-client hotspot: clients/server and queue length vs time");
 
   auto options = paper_options();
@@ -113,6 +113,14 @@ void run() {
   std::printf("  self-latency p50/p99 (ms): %.1f / %.1f\n",
               latency.self_ms.median(), latency.self_ms.percentile(99));
 
+  json.add("hotspot", "peak_active_servers", metrics.max_active_servers());
+  json.add("hotspot", "splits", static_cast<double>(totals.splits));
+  json.add("hotspot", "reclaims", static_cast<double>(totals.reclaims));
+  json.add("hotspot", "peak_queue", metrics.max_queue(), "msgs");
+  json.add("hotspot", "self_p50_ms", latency.self_ms.median(), "ms");
+  json.add("hotspot", "self_p99_ms", latency.self_ms.percentile(99), "ms");
+  add_registry(json, "hotspot", deployment);
+
   // CSV artifacts for plotting.
   std::vector<const TimeSeries*> client_series, queue_series;
   for (const auto& s : metrics.clients_per_server()) client_series.push_back(&s);
@@ -138,7 +146,8 @@ void run() {
 }  // namespace
 }  // namespace matrix::bench
 
-int main() {
-  matrix::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  matrix::bench::JsonReport json("fig2_hotspot");
+  matrix::bench::run(json);
+  return json.write(matrix::bench::json_report_path(argc, argv)) ? 0 : 1;
 }

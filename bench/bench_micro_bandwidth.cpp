@@ -17,7 +17,7 @@ namespace {
 
 using namespace time_literals;
 
-void run() {
+void run(JsonReport& json) {
   header("T-micro-bw", "matrix<->matrix traffic vs overlap-region size (sweep R)");
 
   std::printf("\n%8s %18s %16s %18s %20s\n", "R", "overlap area frac",
@@ -56,14 +56,22 @@ void run() {
     for (const MatrixServer* server : deployment.matrix_servers()) {
       fanned += server->stats().packets_fanned_out;
     }
+    const double bytes_per_action =
+        actions ? static_cast<double>(traffic.matrix_to_matrix) /
+                      static_cast<double>(actions)
+                : 0.0;
+    const double fwd_per_action =
+        actions ? static_cast<double>(fanned) / static_cast<double>(actions)
+                : 0.0;
     std::printf("%8.0f %18.3f %16llu %18.1f %20.3f\n", radius, fraction,
                 static_cast<unsigned long long>(traffic.matrix_to_matrix),
-                actions ? static_cast<double>(traffic.matrix_to_matrix) /
-                              static_cast<double>(actions)
-                        : 0.0,
-                actions ? static_cast<double>(fanned) /
-                              static_cast<double>(actions)
-                        : 0.0);
+                bytes_per_action, fwd_per_action);
+    const std::string run_name = "r" + std::to_string(static_cast<int>(radius));
+    json.add(run_name, "overlap_area_fraction", fraction);
+    json.add(run_name, "mm_bytes",
+             static_cast<double>(traffic.matrix_to_matrix), "bytes");
+    json.add(run_name, "mm_bytes_per_action", bytes_per_action, "bytes");
+    json.add(run_name, "forwards_per_action", fwd_per_action);
   }
   std::printf(
       "\nReading: bytes per action rises with the overlap area fraction —\n"
@@ -76,7 +84,8 @@ void run() {
 }  // namespace
 }  // namespace matrix::bench
 
-int main() {
-  matrix::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  matrix::bench::JsonReport json("micro_bandwidth");
+  matrix::bench::run(json);
+  return json.write(matrix::bench::json_report_path(argc, argv)) ? 0 : 1;
 }

@@ -48,7 +48,7 @@ PartitionMap split_tree_map(std::size_t n, Rng& rng) {
   return map;
 }
 
-void run() {
+void run(JsonReport& json) {
   header("T-micro-coord", "coordinator recompute cost and routing-path comparison");
 
   const double radius = 60.0;
@@ -83,6 +83,13 @@ void run() {
                 static_cast<double>(total_regions) / static_cast<double>(n),
                 static_cast<double>(total_bytes) / static_cast<double>(n),
                 total_fraction / static_cast<double>(n));
+    const std::string run_name = "recompute/n" + std::to_string(n);
+    json.add(run_name, "recompute_ms", elapsed.count(), "ms");
+    json.add(run_name, "regions_per_server",
+             static_cast<double>(total_regions) / static_cast<double>(n));
+    json.add(run_name, "table_bytes_per_server",
+             static_cast<double>(total_bytes) / static_cast<double>(n),
+             "bytes");
   }
 
   std::printf("\n[2] per-packet consistency-set resolution (hot path)\n");
@@ -114,6 +121,8 @@ void run() {
     const double dht_us = std::log2(static_cast<double>(n)) * lan_rtt_us / 2.0;
     std::printf("%8zu %15.0f ns %19.0f us %19.0f us\n", n, elapsed + hits * 0.0,
                 dht_us, lan_rtt_us);
+    json.add("lookup/n" + std::to_string(n), "table_lookup_ns", elapsed, "ns");
+    json.add("lookup/n" + std::to_string(n), "dht_model_us", dht_us, "us");
   }
   std::printf(
       "\nReading: table lookups are O(1) *local memory* — 3-5 orders of\n"
@@ -124,7 +133,8 @@ void run() {
 }  // namespace
 }  // namespace matrix::bench
 
-int main() {
-  matrix::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  matrix::bench::JsonReport json("micro_coordinator");
+  matrix::bench::run(json);
+  return json.write(matrix::bench::json_report_path(argc, argv)) ? 0 : 1;
 }

@@ -18,7 +18,7 @@ namespace {
 
 using namespace time_literals;
 
-void run() {
+void run(JsonReport& json) {
   header("T-micro-switch", "client switching latency and split cost");
 
   auto options = paper_options();
@@ -75,6 +75,23 @@ void run() {
               static_cast<unsigned long long>(traffic.matrix_to_matrix));
   std::printf("  control-plane bytes: %llu (MC tables + lookups)\n",
               static_cast<unsigned long long>(traffic.matrix_to_mc));
+
+  json.add("switch", "switches", static_cast<double>(latency.switches));
+  json.add("switch", "p50_ms", latency.switch_ms.median(), "ms");
+  json.add("switch", "p99_ms", latency.switch_ms.percentile(99), "ms");
+  json.add("switch", "over_budget_fraction",
+           latency.switch_ms.fraction_above(150.0));
+  json.add("topology", "splits", static_cast<double>(splits));
+  json.add("topology", "split_mean_ms",
+           splits ? static_cast<double>(split_us) /
+                        (1000.0 * static_cast<double>(splits))
+                  : 0.0,
+           "ms");
+  json.add("topology", "reclaims", static_cast<double>(reclaims));
+  json.add("topology", "clients_redirected", static_cast<double>(redirected));
+  json.add("topology", "mm_bytes",
+           static_cast<double>(traffic.matrix_to_matrix), "bytes");
+  add_registry(json, "switch", deployment);
   std::printf("\nReading: the median switch costs one WAN round trip — players\n"
               "can't perceive it (the tail comes from switches issued while the\n"
               "overloaded server is still draining).  A full split settles in a\n"
@@ -85,7 +102,8 @@ void run() {
 }  // namespace
 }  // namespace matrix::bench
 
-int main() {
-  matrix::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  matrix::bench::JsonReport json("micro_switching");
+  matrix::bench::run(json);
+  return json.write(matrix::bench::json_report_path(argc, argv)) ? 0 : 1;
 }

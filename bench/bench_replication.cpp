@@ -28,7 +28,7 @@ std::uint64_t total_actions_rep(const ReplicatedDeployment& deployment) {
   return actions;
 }
 
-void run() {
+void run(JsonReport& json) {
   header("T-replica", "routing cost: Matrix vs tightly-coupled replicas (§5)");
 
   const std::size_t population = 300;
@@ -53,12 +53,17 @@ void run() {
     deployment.run_until(40_sec);
     const std::uint64_t actions = total_actions_rep(deployment);
     const std::uint64_t bytes = deployment.routing_bytes();
+    const double per_action =
+        actions ? static_cast<double>(bytes) / static_cast<double>(actions)
+                : 0.0;
     std::printf("%-18s %8zu %14llu %18llu %18.1f\n",
                 ("replicated 2x" + std::to_string(m)).c_str(), 2 * m,
                 static_cast<unsigned long long>(actions),
-                static_cast<unsigned long long>(bytes),
-                actions ? static_cast<double>(bytes) / static_cast<double>(actions)
-                        : 0.0);
+                static_cast<unsigned long long>(bytes), per_action);
+    json.add("replicated_2x" + std::to_string(m), "routing_bytes_per_action",
+             per_action, "bytes");
+    json.add("replicated_2x" + std::to_string(m), "servers",
+             static_cast<double>(2 * m));
   }
 
   // Matrix with the same population (uniform load → few servers needed).
@@ -86,12 +91,16 @@ void run() {
           return matrix_nodes.count(src) != 0 &&
                  (matrix_nodes.count(dst) != 0 || game_nodes.count(dst) != 0);
         });
+    const double per_action =
+        actions ? static_cast<double>(bytes) / static_cast<double>(actions)
+                : 0.0;
     std::printf("%-18s %8zu %14llu %18llu %18.1f\n", "matrix",
                 deployment.active_server_count(),
                 static_cast<unsigned long long>(actions),
-                static_cast<unsigned long long>(bytes),
-                actions ? static_cast<double>(bytes) / static_cast<double>(actions)
-                        : 0.0);
+                static_cast<unsigned long long>(bytes), per_action);
+    json.add("matrix", "routing_bytes_per_action", per_action, "bytes");
+    json.add("matrix", "servers",
+             static_cast<double>(deployment.active_server_count()));
   }
 
   std::printf(
@@ -104,7 +113,8 @@ void run() {
 }  // namespace
 }  // namespace matrix::bench
 
-int main() {
-  matrix::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  matrix::bench::JsonReport json("replication");
+  matrix::bench::run(json);
+  return json.write(matrix::bench::json_report_path(argc, argv)) ? 0 : 1;
 }

@@ -65,7 +65,18 @@ RunResult run_one(const GameModelSpec& spec, std::size_t hotspot_bots,
   return result;
 }
 
-void run_game(const GameModelSpec& spec, std::size_t hotspot_bots) {
+void report(JsonReport& json, const std::string& run, const RunResult& r) {
+  json.add(run, "servers_used", static_cast<double>(r.servers_used));
+  json.add(run, "peak_queue", r.peak_queue, "msgs");
+  json.add(run, "end_queue", r.end_queue, "msgs");
+  json.add(run, "self_p50_ms", r.p50_ms, "ms");
+  json.add(run, "self_p99_ms", r.p99_ms, "ms");
+  json.add(run, "over_budget_fraction", r.over_budget);
+  json.add(run, "splits", static_cast<double>(r.splits));
+}
+
+void run_game(JsonReport& json, const GameModelSpec& spec,
+              std::size_t hotspot_bots) {
   std::printf("\n--- %s: %zu-client hotspot (rate %.0f Hz, R=%.0f) ---\n",
               spec.name.c_str(), hotspot_bots,
               1000.0 / spec.action_interval.ms(), spec.visibility_radius);
@@ -86,24 +97,26 @@ void run_game(const GameModelSpec& spec, std::size_t hotspot_bots) {
                 row.r.end_queue, row.r.p50_ms, row.r.p99_ms,
                 100.0 * row.r.over_budget,
                 static_cast<unsigned long long>(row.r.splits));
+    report(json, spec.name + "/" + row.label, row.r);
   }
 }
 
 }  // namespace
 }  // namespace matrix::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace matrix;
   using namespace matrix::bench;
   header("T-games", "Matrix vs static partitioning under hotspots (3 games)");
+  JsonReport json("static_vs_matrix");
   // Hotspot sizes chosen so the offered message rate clearly exceeds one
   // server's ~5k msg/s capacity: clients × rate ≳ 1.2× capacity.
-  run_game(bzflag_like(), 600);    // 600 × 10 Hz = 6k msg/s
-  run_game(quake_like(), 400);     // 400 × 20 Hz = 8k msg/s
-  run_game(daimonin_like(), 1500); // 1500 × 4 Hz = 6k msg/s
+  run_game(json, bzflag_like(), 600);    // 600 × 10 Hz = 6k msg/s
+  run_game(json, quake_like(), 400);     // 400 × 20 Hz = 8k msg/s
+  run_game(json, daimonin_like(), 1500); // 1500 × 4 Hz = 6k msg/s
   std::printf(
       "\nReading: static schemes pin the hotspot to one server — its queue\n"
       "diverges (endQ) and latency collapses; Matrix recruits servers\n"
       "(splits column) and ends with drained queues and playable latency.\n");
-  return 0;
+  return json.write(json_report_path(argc, argv)) ? 0 : 1;
 }

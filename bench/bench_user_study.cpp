@@ -41,7 +41,16 @@ void print_window(const Window& window) {
               window.switch_ms.count());
 }
 
-void run() {
+void report(JsonReport& json, const std::string& run, const Window& window) {
+  json.add(run, "actions", static_cast<double>(window.self_ms.count()));
+  json.add(run, "self_p50_ms", window.self_ms.median(), "ms");
+  json.add(run, "self_p95_ms", window.self_ms.percentile(95), "ms");
+  json.add(run, "self_p99_ms", window.self_ms.percentile(99), "ms");
+  json.add(run, "over_budget_fraction", window.self_ms.fraction_above(150.0));
+  json.add(run, "switches", static_cast<double>(window.switch_ms.count()));
+}
+
+void run(JsonReport& json) {
   header("T-user", "player-perceived latency through a split storm (user-study proxy)");
 
   auto options = paper_options();
@@ -70,9 +79,13 @@ void run() {
   print_window(steady);
   print_window(during);
   print_window(after);
+  report(json, "steady", steady);
+  report(json, "during_splits", during);
+  report(json, "after", after);
 
   const std::size_t servers = deployment.active_server_count();
   std::printf("\nactive servers at end: %zu (started with 1)\n", servers);
+  json.add("after", "active_servers", static_cast<double>(servers));
   std::printf(
       "\nReading: the 150 ms interactivity budget [Armitage'01] holds in\n"
       "steady state and after stabilization; the split storm adds a brief\n"
@@ -84,7 +97,8 @@ void run() {
 }  // namespace
 }  // namespace matrix::bench
 
-int main() {
-  matrix::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  matrix::bench::JsonReport json("user_study");
+  matrix::bench::run(json);
+  return json.write(matrix::bench::json_report_path(argc, argv)) ? 0 : 1;
 }

@@ -13,8 +13,15 @@
 // Scenario (workload), MetricsSampler / collect_latency (observability).
 // The game logic itself lives behind GameModelSpec — swap bzflag_like()
 // for your own spec and nothing else changes.
+//
+// With MATRIX_TRACE=1 (or options.config.obs.trace_enabled = true) the run
+// also drops its observability artifacts — quickstart_trace.jsonl (the
+// flight recorder) and quickstart_registry.{jsonl,csv} (the unified metrics
+// registry) — the files CI uploads from its obs-gate job.
 #include <cstdio>
 
+#include "obs/collect.h"
+#include "obs/registry.h"
 #include "sim/deployment.h"
 #include "sim/metrics.h"
 #include "sim/scenario.h"
@@ -81,5 +88,24 @@ int main() {
               static_cast<unsigned long long>(traffic.game_to_matrix),
               static_cast<unsigned long long>(traffic.matrix_to_matrix),
               static_cast<unsigned long long>(traffic.matrix_to_mc));
+
+  // 7. Observability artifacts (src/obs/).  When tracing ran (MATRIX_TRACE=1
+  //    turns it on without a recompile), dump the flight recorder and the
+  //    unified metrics registry for offline digestion — e.g.
+  //    scripts/trace_summary.py quickstart_trace.jsonl.
+  if (deployment.network().tracer().enabled()) {
+    const obs::Tracer& tracer = deployment.network().tracer();
+    const obs::Registry registry = obs::collect_registry(deployment);
+    const bool wrote = tracer.dump_jsonl("quickstart_trace.jsonl") &&
+                       registry.write_jsonl("quickstart_registry.jsonl") &&
+                       registry.write_csv("quickstart_registry.csv");
+    std::printf("\ntracing: %llu events recorded, admit p99 %.1f ms — %s\n",
+                static_cast<unsigned long long>(tracer.events_recorded()),
+                tracer.histogram(obs::SpanKind::kAdmit).percentile_ms(99.0),
+                wrote ? "wrote quickstart_trace.jsonl, "
+                        "quickstart_registry.{jsonl,csv}"
+                      : "artifact write FAILED");
+    if (!wrote) return 1;
+  }
   return 0;
 }

@@ -7,6 +7,7 @@
 // Every knob is tabulated with its default and effect in docs/CONFIG.md.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "geometry/metric.h"
@@ -212,6 +213,30 @@ struct AdmissionConfig {
   GlobalAdmissionConfig global;
 };
 
+namespace obs {
+/// Process-level default for ObsConfig::trace_enabled: reads the
+/// MATRIX_TRACE environment variable once (defined in src/obs/trace.cpp).
+[[nodiscard]] bool default_trace_enabled();
+}  // namespace obs
+
+/// Knobs for the observability layer (src/obs/): structured tracing, the
+/// flight-recorder ring, and span pairing.  Mirrors obs::TraceOptions so
+/// configuring a deployment does not pull in the obs headers.  Disabled by
+/// default — every hook then costs one predictable branch and the golden
+/// determinism hashes are unchanged (the passivity contract,
+/// docs/OBSERVABILITY.md).
+struct ObsConfig {
+  /// Master switch: Deployment enables its network's Tracer when set.
+  bool trace_enabled = obs::default_trace_enabled();
+  /// Flight-recorder depth (most recent events kept).
+  std::size_t ring_capacity = 8192;
+  /// Concurrently-open span capacity (opens beyond it are dropped and
+  /// counted, never allocated).
+  std::size_t span_capacity = 1 << 15;
+  /// Record a trace event for every Network::send (the firehose).
+  bool record_sends = true;
+};
+
 struct Config {
   // ---- world ---------------------------------------------------------------
   Rect world{0.0, 0.0, 1000.0, 1000.0};
@@ -264,6 +289,9 @@ struct Config {
 
   // ---- pluggable load-policy layer (src/policy/) ----------------------------
   PolicyConfig policy;
+
+  // ---- observability (src/obs/) ---------------------------------------------
+  ObsConfig obs;
 
   // ---- reporting cadence ----------------------------------------------------
   /// Game server → Matrix server load report interval.

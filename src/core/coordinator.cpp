@@ -54,6 +54,11 @@ void Coordinator::send_directive(ServerId server, NodeId matrix_node) {
   directive.waiting_total = global_admission_.waiting_total();
   send(matrix_node, directive);
   ++directives_broadcast_;
+  network()->tracer().record(now(), obs::TraceKind::kDirectiveBroadcast,
+                             server.value(), 0,
+                             directive.active
+                                 ? static_cast<std::int64_t>(directive.floor)
+                                 : 0);
 }
 
 void Coordinator::maybe_broadcast_directives(bool force) {

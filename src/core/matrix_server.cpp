@@ -51,6 +51,10 @@ void MatrixServer::on_message(const Message& message, const Envelope& env) {
   } else if (std::holds_alternative<PoolDeny>(message)) {
     ++stats_.split_denied_no_server;
     split_pending_ = false;
+    network()->tracer().record(now(), obs::TraceKind::kPoolDenied,
+                               id_.value());
+    network()->tracer().close_span(now(), obs::SpanKind::kSplit, id_.value(),
+                                   /*success=*/false);
     // Exponential backoff before asking the pool again (doubling per
     // consecutive denial, capped): the episode semantics live in the policy
     // layer (policy/denial_episode.h), this server just applies the wait.
@@ -406,6 +410,9 @@ void MatrixServer::push_admission_to_game() {
   update.seq = ++admission_seq_;
   send(wiring_.game_node, update);
   ++stats_.admission_updates;
+  network()->tracer().record(now(), obs::TraceKind::kAdmissionTransition,
+                             id_.value(), 0,
+                             static_cast<std::int64_t>(effective));
   MATRIX_INFO("matrix", name() << " admission -> "
                                << admission_state_name(effective));
 }
@@ -446,7 +453,12 @@ void MatrixServer::maybe_split() {
   if (decision.proactive) ++stats_.proactive_splits;
   // The need hint rides the request so the pool can arbitrate a contested
   // spare toward the most starved partition (0 ⇒ classic FCFS).
-  send(wiring_.pool_node, PoolAcquire{id_, policy_->pool_need(view)});
+  const auto need = policy_->pool_need(view);
+  obs::Tracer& tracer = network()->tracer();
+  tracer.record(now(), obs::TraceKind::kSplitRequested, id_.value(), 0,
+                decision.proactive ? 1 : 0, need);
+  tracer.open_span(now(), obs::SpanKind::kSplit, id_.value());
+  send(wiring_.pool_node, PoolAcquire{id_, need});
 }
 
 void MatrixServer::handle_pool_grant(const PoolGrant& grant) {
@@ -458,11 +470,15 @@ void MatrixServer::handle_pool_grant(const PoolGrant& grant) {
     send(wiring_.pool_node,
          PoolRelease{grant.server, grant.matrix_node, grant.game_node});
     split_pending_ = false;
+    network()->tracer().close_span(now(), obs::SpanKind::kSplit, id_.value(),
+                                   /*success=*/false);
     return;
   }
 
   // The pool came through: clear the denial streak and its backoff.
   clear_pool_denial_episode();
+  network()->tracer().record(now(), obs::TraceKind::kPoolGranted, id_.value(),
+                             grant.server.value());
 
   const auto [give_away, keep] = policy_->split_ranges(build_load_view());
   ++topology_epoch_;
@@ -522,6 +538,8 @@ void MatrixServer::handle_adopt(const Adopt& adopt) {
     admission_.reset(now());
     push_admission_to_game();
   }
+  network()->tracer().record(now(), obs::TraceKind::kAdopted, id_.value(),
+                             parent_.value());
 
   MATRIX_INFO("matrix", name() << " adopted range " << range_ << " from S"
                                << parent_.value());
@@ -575,6 +593,10 @@ void MatrixServer::maybe_reclaim() {
   reclaim_started_at_ = now();
   reclaim_retry_at_ = now() + config_.topology_cooldown * 2;
   ++stats_.reclaims_initiated;
+  obs::Tracer& tracer = network()->tracer();
+  tracer.record(now(), obs::TraceKind::kReclaimRequested, id_.value(),
+                child.server.value());
+  tracer.open_span(now(), obs::SpanKind::kReclaim, id_.value());
   MATRIX_INFO("matrix", name() << " reclaiming child S"
                                << child.server.value());
   send(child.matrix_node, ReclaimRequest{child.adoption_token});
@@ -602,6 +624,10 @@ void MatrixServer::handle_reclaim_decline(const ReclaimDecline& decline) {
   if (!reclaim_pending_) return;
   if (children_.empty() || children_.back().server != decline.child) return;
   reclaim_pending_ = false;
+  network()->tracer().record(now(), obs::TraceKind::kReclaimDeclined,
+                             id_.value(), decline.child.value());
+  network()->tracer().close_span(now(), obs::SpanKind::kReclaim, id_.value(),
+                                 /*success=*/false);
   // Brief cooldown before considering the child again.
   cooldown_until_ = now() + config_.topology_cooldown;
 }
@@ -618,6 +644,9 @@ void MatrixServer::handle_reclaim_done(const ReclaimDone& done) {
   ++stats_.reclaims_completed;
   stats_.reclaim_latency_us_sum +=
       static_cast<std::uint64_t>((now() - reclaim_started_at_).us());
+  network()->tracer().record(now(), obs::TraceKind::kReclaimCompleted,
+                             id_.value(), done.child.value());
+  network()->tracer().close_span(now(), obs::SpanKind::kReclaim, id_.value());
   MATRIX_INFO("matrix", name() << " reclaimed range, now " << range_);
   register_with_mc();
   push_range_to_game(Rect{}, NodeId{}, ServerId{}, /*reclaim=*/false);
@@ -644,10 +673,21 @@ void MatrixServer::handle_shed_done(const ShedDone& done) {
     ++stats_.splits_completed;
     stats_.split_latency_us_sum +=
         static_cast<std::uint64_t>((now() - split_started_at_).us());
+    obs::Tracer& tracer = network()->tracer();
+    tracer.record(now(), obs::TraceKind::kSplitCompleted, id_.value(),
+                  children_.empty() ? 0 : children_.back().server.value());
+    tracer.close_span(now(), obs::SpanKind::kSplit, id_.value());
   }
 }
 
 void MatrixServer::deactivate() {
+  obs::Tracer& tracer = network()->tracer();
+  tracer.record(now(), obs::TraceKind::kDeactivated, id_.value());
+  // A deactivating server abandons any split/reclaim in flight.
+  tracer.close_span(now(), obs::SpanKind::kSplit, id_.value(),
+                    /*success=*/false);
+  tracer.close_span(now(), obs::SpanKind::kReclaim, id_.value(),
+                    /*success=*/false);
   active_ = false;
   being_reclaimed_ = false;
   split_pending_ = false;

@@ -128,6 +128,12 @@ class ResourcePool : public ProtocolNode {
       ++contested_rounds_;
     }
     const PoolGrantDecision decision = policy().arbitrate(requests);
+    if (!decision.order.empty()) {
+      const PoolRequest& winner = requests[decision.order.front()];
+      network()->tracer().record(
+          now(), obs::TraceKind::kPoolArbitrated, winner.requester.value(), 0,
+          static_cast<std::int64_t>(requests.size()), winner.need);
+    }
     for (std::size_t index : decision.order) {
       answer_now(requests[index]);
     }

@@ -107,11 +107,34 @@ void GameServer::handle_directive(const AdmissionDirective& directive) {
                           : config_.admission.token_rate_per_sec;
   join_bucket_.set_rate(now(), rate);
   ++stats_.directives_applied;
+  network()->tracer().record(
+      now(), obs::TraceKind::kDirectiveApplied, id_.value(), node_id().value(),
+      directive.active ? static_cast<std::int64_t>(directive.floor) : 0);
   // A lowered floor or a fatter share may make the waiting room drainable.
   if (!surge_queue_.empty()) {
     drain_surge_queue();
     if (!surge_queue_.empty()) schedule_queue_tick();
   }
+}
+
+void GameServer::trace_join_deferred(ClientId client) {
+  obs::Tracer& tracer = network()->tracer();
+  tracer.record(now(), obs::TraceKind::kClientDeferred, client.value(),
+                node_id().value());
+  tracer.close_span(now(), obs::SpanKind::kQueueWait, client.value(),
+                    /*success=*/false);
+  tracer.close_span(now(), obs::SpanKind::kAdmit, client.value(),
+                    /*success=*/false);
+}
+
+void GameServer::trace_join_denied(ClientId client) {
+  obs::Tracer& tracer = network()->tracer();
+  tracer.record(now(), obs::TraceKind::kClientDenied, client.value(),
+                node_id().value());
+  tracer.close_span(now(), obs::SpanKind::kQueueWait, client.value(),
+                    /*success=*/false);
+  tracer.close_span(now(), obs::SpanKind::kAdmit, client.value(),
+                    /*success=*/false);
 }
 
 bool GameServer::admit_join(const ClientHello& hello, NodeId client_node) {
@@ -133,6 +156,7 @@ bool GameServer::admit_join(const ClientHello& hello, NodeId client_node) {
     // otherwise the client keeps backing off exactly as it would against
     // a full deployment.
     ++stats_.joins_deferred;
+    trace_join_deferred(hello.client);
     send(client_node, JoinDefer{hello.client, config_.admission.defer_retry});
     return false;
   }
@@ -152,6 +176,7 @@ bool GameServer::admit_join(const ClientHello& hello, NodeId client_node) {
         return false;
       }
       ++stats_.joins_deferred;
+      trace_join_deferred(hello.client);
       send(client_node, JoinDefer{hello.client, config_.admission.defer_retry});
       return false;
     case AdmissionState::kHard:
@@ -162,6 +187,7 @@ bool GameServer::admit_join(const ClientHello& hello, NodeId client_node) {
         return false;
       }
       ++stats_.joins_denied;
+      trace_join_denied(hello.client);
       send(client_node, JoinDeny{hello.client, config_.admission.deny_retry});
       return false;
   }
@@ -189,8 +215,15 @@ void GameServer::park_join(const ClientHello& hello, NodeId client_node) {
     // The waiting room itself is bounded; past capacity we are back to the
     // hard refusal (overflow is tallied in SurgeQueue::Stats).
     ++stats_.joins_denied;
+    trace_join_denied(hello.client);
     send(client_node, JoinDeny{hello.client, config_.admission.deny_retry});
     return;
+  }
+  {
+    obs::Tracer& tracer = network()->tracer();
+    tracer.record(now(), obs::TraceKind::kClientQueued, hello.client.value(),
+                  node_id().value(), static_cast<std::int64_t>(cls));
+    tracer.open_span(now(), obs::SpanKind::kQueueWait, hello.client.value());
   }
   send_queue_update(hello.client, client_node,
                     surge_queue_.position_of(hello.client, now()),
@@ -210,6 +243,20 @@ void GameServer::admit_session(ClientId client, NodeId client_node,
     pending_avatars_.erase(it);
   }
   sessions_[client] = session;
+
+  obs::Tracer& tracer = network()->tracer();
+  tracer.record(now(), obs::TraceKind::kClientAdmitted, client.value(),
+                node_id().value(), redirect_seq);
+  if (redirect_seq != 0) {
+    // A resumed session: the client followed a Redirect here, closing the
+    // handoff that redirect_client opened.
+    tracer.close_span(now(), obs::SpanKind::kHandoff, client.value());
+  } else {
+    // A fresh admit (direct or drained from the waiting room): the wait is
+    // over — both spans resolve into their latency histograms.
+    tracer.close_span(now(), obs::SpanKind::kQueueWait, client.value());
+    tracer.close_span(now(), obs::SpanKind::kAdmit, client.value());
+  }
 
   Welcome welcome;
   welcome.client = client;
@@ -310,6 +357,7 @@ void GameServer::flush_surge_queue() {
   // this server is re-granted, the retry lands normally).
   for (const SurgeEntry& entry : surge_queue_.flush(now())) {
     ++stats_.joins_deferred;
+    trace_join_deferred(entry.client);
     send(entry.client_node,
          JoinDefer{entry.client, config_.admission.defer_retry});
   }
@@ -364,11 +412,16 @@ void GameServer::handle_queue_handoff(const QueueHandoff& handoff) {
       // fall back to client-side retry, exactly like a flush would have.
       ++stats_.queue_handoff_rejected;
       ++stats_.joins_deferred;
+      trace_join_deferred(wire.client);
       send(wire.client_node,
            JoinDefer{wire.client, config_.admission.defer_retry});
       continue;
     }
     adopted_any = true;
+    network()->tracer().record(
+        now(), obs::TraceKind::kQueueHandoff, wire.client.value(),
+        handoff.from_server.value(),
+        static_cast<std::int64_t>(node_id().value()));
     send_queue_update(wire.client, wire.client_node,
                       surge_queue_.position_of(wire.client, now()),
                       static_cast<std::uint32_t>(surge_queue_.size()));
@@ -447,6 +500,17 @@ void GameServer::on_message(const Message& message, const Envelope& envelope) {
 void GameServer::handle_hello(const ClientHello& hello,
                               const Envelope& envelope) {
   ++stats_.hellos;
+  {
+    obs::Tracer& tracer = network()->tracer();
+    tracer.record(now(), obs::TraceKind::kClientHello, hello.client.value(),
+                  node_id().value(), hello.resume ? 1 : 0);
+    // One admit span per fresh join attempt, opened at the valve.  A
+    // deferred client's retry opens a new one; open_span keeps the earliest
+    // start for a client already parked in the waiting room.
+    if (!hello.resume) {
+      tracer.open_span(now(), obs::SpanKind::kAdmit, hello.client.value());
+    }
+  }
   if (!admit_join(hello, envelope.src)) return;  // no session was created
   admit_session(hello.client, envelope.src, hello.position,
                 hello.redirect_seq);
@@ -513,6 +577,15 @@ void GameServer::handle_action_core(ClientId client, std::uint8_t kind_byte,
 }
 
 void GameServer::handle_bye(const ClientBye& bye) {
+  obs::Tracer& tracer = network()->tracer();
+  tracer.record(now(), obs::TraceKind::kClientBye, bye.client.value(),
+                node_id().value());
+  tracer.close_span(now(), obs::SpanKind::kQueueWait, bye.client.value(),
+                    /*success=*/false);
+  tracer.close_span(now(), obs::SpanKind::kAdmit, bye.client.value(),
+                    /*success=*/false);
+  tracer.close_span(now(), obs::SpanKind::kHandoff, bye.client.value(),
+                    /*success=*/false);
   surge_queue_.remove(bye.client);  // gave up while waiting
   reset_drain_fairness_if_empty();
   sessions_.erase(bye.client);
@@ -575,6 +648,10 @@ void GameServer::redirect_client(ClientId client, Session& session,
   redirect.redirect_seq = next_redirect_seq_++;
   send(session.client_node, redirect);
   ++stats_.clients_redirected;
+  obs::Tracer& tracer = network()->tracer();
+  tracer.record(now(), obs::TraceKind::kClientRedirected, client.value(),
+                node_id().value(), static_cast<std::int64_t>(to_game.value()));
+  tracer.open_span(now(), obs::SpanKind::kHandoff, client.value());
 }
 
 // ---------------------------------------------------------------------------

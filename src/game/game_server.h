@@ -180,6 +180,11 @@ class GameServer : public ProtocolNode {
   void handle_queue_handoff(const QueueHandoff& handoff);
   /// The admission gate for a fresh (non-resume) join; true ⇒ admit.
   [[nodiscard]] bool admit_join(const ClientHello& hello, NodeId client_node);
+  /// Trace-layer bookkeeping (src/obs/) for a refused join: records the
+  /// deny/defer event and retires the client's open admit/queue-wait spans.
+  /// No-ops when tracing is disabled.
+  void trace_join_deferred(ClientId client);
+  void trace_join_denied(ClientId client);
   /// Creates the session and sends Welcome (the post-gate half of a join).
   void admit_session(ClientId client, NodeId client_node, Vec2 position,
                      std::uint32_t redirect_seq);

@@ -21,6 +21,17 @@ void reserve_for_index(std::vector<T>& table, std::size_t index) {
 
 }  // namespace
 
+Network::Network(std::uint64_t seed) : rng_(seed ^ 0xA5A5A5A5DEADBEEFULL) {
+  // Sim-time-stamp all log output while this network lives (last network
+  // constructed wins; owner matching in clear_clock keeps interleaved
+  // lifetimes safe).
+  Logger::instance().set_clock(this, [](const void* owner) {
+    return static_cast<const Network*>(owner)->now();
+  });
+}
+
+Network::~Network() { Logger::instance().clear_clock(this); }
+
 Network::NodeState& Network::ensure_state(NodeId id) {
   const std::size_t index = id.value();
   if (index >= nodes_.size()) {
@@ -106,6 +117,10 @@ std::size_t Network::send(NodeId src, NodeId dst,
       !attached(dst) ||
       (cfg.drop_probability > 0.0 && rng_.next_bool(cfg.drop_probability));
   if (trace_hash_on_) trace_record(src, dst, envelope.payload, dropped);
+  if (tracer_.records_sends()) {
+    tracer_.record(now(), obs::TraceKind::kSend, src.value(), dst.value(),
+                   static_cast<std::int64_t>(wire), dropped ? 1 : 0);
+  }
   if (dropped) {
     ++record.stats.dropped_messages;
     ++total_dropped_;

@@ -34,6 +34,7 @@
 
 #include "net/event_queue.h"
 #include "net/message.h"
+#include "obs/trace.h"
 #include "util/buffer_pool.h"
 #include "util/ids.h"
 #include "util/rng.h"
@@ -102,8 +103,10 @@ struct LinkStats {
 
 class Network {
  public:
-  explicit Network(std::uint64_t seed = 1)
-      : rng_(seed ^ 0xA5A5A5A5DEADBEEFULL) {}
+  /// Defined in network.cpp: construction also registers this network as
+  /// the Logger's sim-time clock (util/log.h) so log lines carry sim time.
+  explicit Network(std::uint64_t seed = 1);
+  ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -192,6 +195,12 @@ class Network {
   void enable_trace_hash() { trace_hash_on_ = true; }
   [[nodiscard]] std::uint64_t trace_hash() const { return trace_hash_; }
 
+  /// Structured tracing + flight recorder (src/obs/trace.h).  Disabled by
+  /// default; Deployment enables it from Config::obs.  send() feeds the
+  /// ring on the same walk the golden-trace hasher rides.
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const obs::Tracer& tracer() const { return tracer_; }
+
   [[nodiscard]] Rng& rng() { return rng_; }
 
  private:
@@ -247,6 +256,7 @@ class Network {
   std::uint64_t total_dropped_ = 0;
   bool trace_hash_on_ = false;
   std::uint64_t trace_hash_ = 0xcbf29ce484222325ULL;
+  obs::Tracer tracer_;
 };
 
 }  // namespace matrix

@@ -1,0 +1,22 @@
+// Registry collection — one call that walks a finished Deployment and
+// snapshots every scattered stats struct into a named obs::Registry (see
+// registry.h for the naming scheme).  This is the single source the benches'
+// --json reports, quickstart's artifacts, and CI's registry dump all share,
+// so every exporter agrees on names and derivations.
+#pragma once
+
+#include "obs/registry.h"
+
+namespace matrix {
+class Deployment;
+}  // namespace matrix
+
+namespace matrix::obs {
+
+/// Snapshots `deployment` into a Registry.  Non-const because the traffic
+/// breakdown walks mutable link records (sim/metrics.h collect_traffic).
+/// Includes trace.spans.* histograms when the deployment's tracer is
+/// enabled.
+[[nodiscard]] Registry collect_registry(Deployment& deployment);
+
+}  // namespace matrix::obs

@@ -1,0 +1,98 @@
+#include "obs/registry.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/trace.h"
+
+namespace matrix::obs {
+
+namespace {
+
+/// JSON-safe number formatting: integers stay integral, doubles keep enough
+/// precision to round-trip, and non-finite values (which JSON cannot carry)
+/// degrade to 0.
+std::string format_value(double value) {
+  if (!(value == value) || value > 1e308 || value < -1e308) return "0";
+  if (value == static_cast<double>(static_cast<std::int64_t>(value))) {
+    std::ostringstream out;
+    out << static_cast<std::int64_t>(value);
+    return out.str();
+  }
+  std::ostringstream out;
+  out.precision(12);
+  out << value;
+  return out.str();
+}
+
+const char* type_name(MetricType type) {
+  return type == MetricType::kCounter ? "counter" : "gauge";
+}
+
+}  // namespace
+
+void Registry::counter(std::string name, std::uint64_t value,
+                       std::string unit) {
+  metrics_.push_back({std::move(name), MetricType::kCounter,
+                      static_cast<double>(value), std::move(unit)});
+}
+
+void Registry::gauge(std::string name, double value, std::string unit) {
+  metrics_.push_back(
+      {std::move(name), MetricType::kGauge, value, std::move(unit)});
+}
+
+void Registry::histogram(const std::string& name, const LogHistogram& h) {
+  counter(name + ".count", h.count());
+  gauge(name + ".mean_ms", h.mean_ms(), "ms");
+  gauge(name + ".p50_ms", h.percentile_ms(50.0), "ms");
+  gauge(name + ".p99_ms", h.percentile_ms(99.0), "ms");
+  gauge(name + ".max_ms", h.max_ms(), "ms");
+}
+
+bool Registry::has(const std::string& name) const {
+  for (const Metric& m : metrics_) {
+    if (m.name == name) return true;
+  }
+  return false;
+}
+
+double Registry::value(const std::string& name) const {
+  for (const Metric& m : metrics_) {
+    if (m.name == name) return m.value;
+  }
+  return 0.0;
+}
+
+void Registry::write_jsonl(std::ostream& out) const {
+  for (const Metric& m : metrics_) {
+    out << "{\"name\":\"" << m.name << "\",\"type\":\"" << type_name(m.type)
+        << "\",\"value\":" << format_value(m.value) << ",\"unit\":\"" << m.unit
+        << "\"}\n";
+  }
+}
+
+bool Registry::write_jsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_jsonl(out);
+  return static_cast<bool>(out);
+}
+
+void Registry::write_csv(std::ostream& out) const {
+  out << "name,type,value,unit\n";
+  for (const Metric& m : metrics_) {
+    out << m.name << ',' << type_name(m.type) << ',' << format_value(m.value)
+        << ',' << m.unit << '\n';
+  }
+}
+
+bool Registry::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace matrix::obs

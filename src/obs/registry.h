@@ -1,0 +1,59 @@
+// Unified metrics registry (docs/OBSERVABILITY.md, "Registry").
+//
+// One named home for every number the deployment can report: the scattered
+// stats structs (MatrixServer::Stats, Network::EngineStats, pool counters,
+// bot tallies, admission summaries) register here under a dotted-lowercase
+// naming scheme — engine.*, net.*, topology.*, admission.*, pool.*,
+// clients.*, latency.*, trace.spans.* — and export uniformly: JSONL, CSV,
+// or straight into a bench's --json report (bench/bench_common.h).
+//
+// The registry is a POST-RUN artifact: collect_registry (obs/collect.h)
+// walks a finished Deployment and snapshots everything.  Nothing here is on
+// the hot path, so plain std::string/vector are fine.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace matrix::obs {
+
+class LogHistogram;
+
+enum class MetricType : std::uint8_t { kCounter, kGauge };
+
+/// One named value.  Counters are monotonic event tallies; gauges are
+/// instantaneous or derived values (depths, rates, percentiles).
+struct Metric {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  double value = 0.0;
+  std::string unit;  ///< "", "ms", "bytes", "msgs", ...
+};
+
+class Registry {
+ public:
+  void counter(std::string name, std::uint64_t value, std::string unit = "");
+  void gauge(std::string name, double value, std::string unit = "");
+  /// Expands a span histogram into <name>.count/.mean_ms/.p50_ms/.p99_ms/
+  /// .max_ms gauges — the uniform shape every latency metric exports as.
+  void histogram(const std::string& name, const LogHistogram& h);
+
+  [[nodiscard]] const std::vector<Metric>& metrics() const { return metrics_; }
+  [[nodiscard]] bool has(const std::string& name) const;
+  /// Value of `name`, or 0.0 if absent.
+  [[nodiscard]] double value(const std::string& name) const;
+
+  /// One {"name":...,"type":...,"value":...,"unit":...} object per line.
+  void write_jsonl(std::ostream& out) const;
+  bool write_jsonl(const std::string& path) const;
+  /// Header "name,type,value,unit" then one row per metric.
+  void write_csv(std::ostream& out) const;
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace matrix::obs

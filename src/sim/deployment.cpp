@@ -46,6 +46,18 @@ Deployment::Deployment(DeploymentOptions options)
       rng_(options_.seed * 0x9E3779B97F4A7C15ULL + 1) {
   network_.set_default_link(options_.wan);
 
+  // Observability (src/obs/): enable the tracer before any node attaches so
+  // the flight recorder sees the deployment's whole life.  Recording is
+  // passive — it sends nothing and draws no RNG — so traced runs stay
+  // bit-identical to untraced ones (tests/determinism_test.cpp pins this).
+  if (options_.config.obs.trace_enabled) {
+    obs::TraceOptions trace;
+    trace.ring_capacity = options_.config.obs.ring_capacity;
+    trace.span_capacity = options_.config.obs.span_capacity;
+    trace.record_sends = options_.config.obs.record_sends;
+    network_.tracer().enable(trace);
+  }
+
   coordinator_ = std::make_unique<Coordinator>(options_.config);
   const NodeId mc_node = network_.attach(coordinator_.get(), options_.infra_node);
   pool_ = std::make_unique<ResourcePool>();

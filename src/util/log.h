@@ -3,11 +3,20 @@
 // The simulator is single-threaded, so the logger is deliberately simple: a
 // global level, a stream sink, and printf-free formatting via ostream.  Tests
 // set the level to kOff; the hotspot example sets kInfo to narrate splits.
+//
+// Sim-time stamping: a Network registers itself as the logger's clock while
+// it lives, so every line carries the simulated instant it was written at
+// ("[12.500000] ...") and log output interleaves meaningfully with trace
+// dumps (src/obs/).  The stamp is integer microseconds formatted as fixed
+// seconds — no floating point, so output is bit-identical across platforms.
 #pragma once
 
+#include <cstdio>
 #include <iostream>
 #include <sstream>
 #include <string_view>
+
+#include "util/sim_time.h"
 
 namespace matrix {
 
@@ -26,9 +35,32 @@ class Logger {
 
   void set_sink(std::ostream* sink) { sink_ = sink; }
 
+  /// Sim-time source for the stamp prefix.  `owner` disambiguates nested or
+  /// interleaved Network lifetimes: clear_clock only unregisters if `owner`
+  /// still holds the clock, so a short-lived inner Network cannot strip an
+  /// outer one's registration on destruction.
+  using ClockFn = SimTime (*)(const void* owner);
+  void set_clock(const void* owner, ClockFn fn) {
+    clock_owner_ = owner;
+    clock_ = fn;
+  }
+  void clear_clock(const void* owner) {
+    if (clock_owner_ != owner) return;
+    clock_owner_ = nullptr;
+    clock_ = nullptr;
+  }
+
   void write(LogLevel level, std::string_view component,
              const std::string& message) {
     if (!enabled(level) || sink_ == nullptr) return;
+    if (clock_ != nullptr) {
+      const std::int64_t us = clock_(clock_owner_).us();
+      char stamp[32];
+      std::snprintf(stamp, sizeof(stamp), "[%lld.%06lld] ",
+                    static_cast<long long>(us / 1'000'000),
+                    static_cast<long long>(us % 1'000'000));
+      *sink_ << stamp;
+    }
     *sink_ << "[" << level_name(level) << "] " << component << ": " << message
            << '\n';
   }
@@ -48,6 +80,8 @@ class Logger {
 
   LogLevel level_ = LogLevel::kWarn;
   std::ostream* sink_ = &std::cerr;
+  const void* clock_owner_ = nullptr;
+  ClockFn clock_ = nullptr;
 };
 
 /// Streams `expr` into the global logger if `level` is enabled.

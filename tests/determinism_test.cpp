@@ -162,6 +162,23 @@ TEST(DeterminismTest, HotspotScenarioMatchesGoldenTrace) {
       << "Fig. 2 hotspot trace diverged from the pinned golden hash.";
 }
 
+TEST(DeterminismTest, TracingEnabledIsPassive) {
+  // The obs layer's passivity proof (docs/OBSERVABILITY.md): with structured
+  // tracing ENABLED — flight-recorder ring recording every send, span
+  // pairing live at every hook — the full send trace is byte-identical to
+  // the pinned golden hash.  Recording writes only to preallocated obs
+  // storage; it sends nothing, draws no RNG, and schedules no events.
+  DeploymentOptions options = golden_overload_options();
+  options.config.obs.trace_enabled = true;
+  OverloadScenarioOptions scenario;
+  const std::uint64_t hash =
+      trace_hash_of(std::move(options), scenario.duration, [&](Deployment& d) {
+        schedule_overload_scenario(d, scenario);
+      });
+  EXPECT_EQ(hash, kGoldenOverload)
+      << "Tracing perturbed the run: the obs layer must be passive.";
+}
+
 TEST(DeterminismTest, SameSeedSameTraceDifferentSeedDifferentTrace) {
   // Un-pinned sanity: two runs of one seed agree bit-for-bit; a different
   // seed produces a different trace (the hash actually sees the traffic).

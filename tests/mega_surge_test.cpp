@@ -9,8 +9,11 @@
 // (payload buffers recycling, event heap deep enough to have earned it).
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "sim/deployment.h"
 #include "sim/scenario.h"
+#include "test_helpers.h"
 
 namespace matrix {
 namespace {
@@ -19,7 +22,12 @@ using namespace time_literals;
 
 DeploymentOptions mega_options() {
   // Shared with bench_engine_throughput — see mega_surge_deployment_options.
-  return mega_surge_deployment_options();
+  DeploymentOptions options = mega_surge_deployment_options();
+  // This test doubles as the obs layer's scale proof: tracing runs WITH the
+  // 10k-client crowd (flight recorder riding every send, spans pairing every
+  // lifecycle event) and the run must still fit the CTest budget.
+  options.config.obs.trace_enabled = true;
+  return options;
 }
 
 TEST(MegaSurgeTest, TenThousandClientsPlayUnderCTestBudget) {
@@ -27,6 +35,7 @@ TEST(MegaSurgeTest, TenThousandClientsPlayUnderCTestBudget) {
   ASSERT_GE(mega_surge_offered_clients(scenario), 10'000u);
 
   Deployment deployment(mega_options());
+  TraceDumpOnFailure dump_guard(deployment.network());
   schedule_mega_surge_scenario(deployment, scenario);
   deployment.run_until(scenario.duration);
 
@@ -54,6 +63,28 @@ TEST(MegaSurgeTest, TenThousandClientsPlayUnderCTestBudget) {
   EXPECT_GT(static_cast<double>(engine.buffers_reused) /
                 static_cast<double>(engine.buffers_acquired),
             0.90);
+
+  // ---- observability (src/obs/) at scale -----------------------------------
+  const obs::Tracer& tracer = net.tracer();
+  ASSERT_TRUE(tracer.enabled());
+  // The firehose actually recorded (every send rides the ring) and span
+  // pairing measured the crowd's admissions without dropping opens.
+  EXPECT_GT(tracer.events_recorded(), net.total_messages());
+  EXPECT_EQ(tracer.span_drops(), 0u);
+  EXPECT_GE(tracer.histogram(obs::SpanKind::kAdmit).count(), 9'500u);
+
+  // Blackhole invariant (ROADMAP item 4): every hello span closed with
+  // PLAYING, deny, defer, or bye — nobody is parked in limbo.  On violation
+  // the guard above dumps the flight recorder for the offending clients.
+  EXPECT_EQ(tracer.open_span_count(obs::SpanKind::kAdmit), 0u)
+      << "clients blackholed: "
+      << tracer.open_span_keys(obs::SpanKind::kAdmit).size();
+
+  // The flight recorder dumps as JSONL (the replay-debugging artifact).
+  std::ostringstream jsonl;
+  tracer.dump_jsonl(jsonl);
+  EXPECT_FALSE(jsonl.str().empty());
+  EXPECT_NE(jsonl.str().find("\"kind\":\"send\""), std::string::npos);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 
 #include "sim/metrics.h"
 #include "sim/scenario.h"
+#include "test_helpers.h"
 
 namespace matrix {
 namespace {
@@ -72,7 +73,10 @@ TEST(OverloadScenarioTest, OffersMoreThanCapacity) {
 }
 
 TEST(OverloadScenarioTest, AdmissionShedsExcessAtTheValve) {
-  Deployment deployment(overload_options(true));
+  DeploymentOptions options = overload_options(true);
+  options.config.obs.trace_enabled = true;  // span-backed invariants below
+  Deployment deployment(std::move(options));
+  TraceDumpOnFailure dump_guard(deployment.network());
   const OverloadScenarioOptions scenario = overload_scenario();
   schedule_overload_scenario(deployment, scenario);
   deployment.run_until(scenario.duration);
@@ -126,6 +130,21 @@ TEST(OverloadScenarioTest, AdmissionShedsExcessAtTheValve) {
   // Response latency of admitted clients did not collapse.
   const LatencySummary latency = collect_latency(deployment);
   EXPECT_LT(latency.self_ms.percentile(99.0), 500.0);
+
+  // Blackhole invariant (ROADMAP item 4), from trace data: every hello span
+  // closed with PLAYING, deny, defer, or bye.  The surge queue is disabled
+  // here, so NOTHING may be left parked — any open admit span is a client
+  // the valve swallowed.  The dump guard above prints the flight recorder
+  // if this (or anything else in the test) fails.
+  const obs::Tracer& tracer = deployment.network().tracer();
+  ASSERT_TRUE(tracer.enabled());
+  EXPECT_EQ(tracer.open_span_count(obs::SpanKind::kAdmit), 0u)
+      << "clients blackholed: "
+      << tracer.open_span_keys(obs::SpanKind::kAdmit).size();
+  // The span-pairing view agrees with the admission tallies: admits and
+  // refusals both actually happened in this run.
+  EXPECT_GT(tracer.histogram(obs::SpanKind::kAdmit).count(), 0u);
+  EXPECT_GT(tracer.events_recorded(), 0u);
 }
 
 TEST(OverloadScenarioTest, WithoutAdmissionNothingIsShed) {

@@ -1,0 +1,159 @@
+// sim/report.h CSV writers: step-grid alignment, failure modes, and empty
+// inputs.  These writers feed every plot the benches drop to disk, so their
+// grid semantics (value_at step interpolation, 0 before the first point) are
+// pinned here rather than discovered in a broken figure.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/report.h"
+
+namespace matrix {
+namespace {
+
+/// Reads a whole file; empty string if unreadable.
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Splits file contents into lines (no trailing empty line).
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+class ReportTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const std::string& path : cleanup_) std::remove(path.c_str());
+  }
+
+  std::string temp_path(const std::string& name) {
+    const std::string path =
+        ::testing::TempDir() + "matrix_report_test_" + name;
+    cleanup_.push_back(path);
+    return path;
+  }
+
+  std::vector<std::string> cleanup_;
+};
+
+TEST_F(ReportTest, TimeseriesGridAlignsRaggedSeries) {
+  // Two series sampled at different (ragged) instants; the writer must
+  // step-sample both onto the same fixed grid.
+  TimeSeries a("alpha");
+  a.record(0.0, 1.0);
+  a.record(2.5, 3.0);
+  TimeSeries b("beta");
+  b.record(1.2, 10.0);
+
+  const std::string path = temp_path("grid.csv");
+  ASSERT_TRUE(write_timeseries_csv(path, {&a, &b}, /*t_end=*/4.0,
+                                   /*dt=*/1.0));
+
+  const auto rows = lines_of(slurp(path));
+  ASSERT_EQ(rows.size(), 6u);  // header + t = 0,1,2,3,4
+  EXPECT_EQ(rows[0], "t,alpha,beta");
+  // Step semantics: value at or before t; beta is 0 before its first point.
+  EXPECT_EQ(rows[1], "0,1,0");    // t=0: alpha=1, beta not yet
+  EXPECT_EQ(rows[2], "1,1,0");    // t=1: beta's 1.2 s point is in the future
+  EXPECT_EQ(rows[3], "2,1,10");   // t=2: beta stepped to 10
+  EXPECT_EQ(rows[4], "3,3,10");   // t=3: alpha stepped to 3 at 2.5 s
+  EXPECT_EQ(rows[5], "4,3,10");
+}
+
+TEST_F(ReportTest, TimeseriesGridMatchesValueAt) {
+  // The rows are exactly value_at sampled on the grid — no off-by-one in
+  // the loop bounds (t_end itself is included).
+  TimeSeries s("s");
+  s.record(0.4, 2.0);
+  s.record(1.6, 5.0);
+
+  const std::string path = temp_path("value_at.csv");
+  ASSERT_TRUE(write_timeseries_csv(path, {&s}, /*t_end=*/2.0, /*dt=*/0.5));
+
+  const auto rows = lines_of(slurp(path));
+  ASSERT_EQ(rows.size(), 6u);  // header + 0, 0.5, 1, 1.5, 2
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const double t = 0.5 * static_cast<double>(i - 1);
+    std::ostringstream expected;
+    expected << t << "," << s.value_at(t);
+    EXPECT_EQ(rows[i], expected.str()) << "row " << i;
+  }
+}
+
+TEST_F(ReportTest, TimeseriesUnopenablePathReturnsFalse) {
+  TimeSeries s("s");
+  s.record(0.0, 1.0);
+  EXPECT_FALSE(write_timeseries_csv("/nonexistent-dir/x.csv", {&s}, 1.0));
+}
+
+TEST_F(ReportTest, TimeseriesEmptyInputsStillWriteAGrid) {
+  // No series at all: header is just "t", rows are bare grid points.
+  const std::string no_series = temp_path("none.csv");
+  ASSERT_TRUE(write_timeseries_csv(no_series, {}, /*t_end=*/1.0, /*dt=*/1.0));
+  auto rows = lines_of(slurp(no_series));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], "t");
+  EXPECT_EQ(rows[1], "0");
+  EXPECT_EQ(rows[2], "1");
+
+  // A series with no points samples as 0 everywhere.
+  TimeSeries empty("empty");
+  const std::string empty_series = temp_path("empty.csv");
+  ASSERT_TRUE(write_timeseries_csv(empty_series, {&empty}, 1.0, 1.0));
+  rows = lines_of(slurp(empty_series));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], "t,empty");
+  EXPECT_EQ(rows[1], "0,0");
+  EXPECT_EQ(rows[2], "1,0");
+}
+
+TEST_F(ReportTest, PercentilesWritesFixedRows) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+
+  const std::string path = temp_path("pct.csv");
+  ASSERT_TRUE(write_percentiles_csv(path, h));
+
+  const auto rows = lines_of(slurp(path));
+  ASSERT_EQ(rows.size(), 12u);  // header + 11 fixed percentiles
+  EXPECT_EQ(rows[0], "percentile,value");
+  // Spot-check the anchors against the histogram itself.
+  std::ostringstream p50;
+  p50 << 50.0 << "," << h.percentile(50.0);
+  EXPECT_EQ(rows[5], p50.str());
+  std::ostringstream p100;
+  p100 << 100.0 << "," << h.percentile(100.0);
+  EXPECT_EQ(rows[11], p100.str());
+}
+
+TEST_F(ReportTest, PercentilesEmptyHistogramWritesZeros) {
+  Histogram h;
+  const std::string path = temp_path("pct_empty.csv");
+  ASSERT_TRUE(write_percentiles_csv(path, h));
+  const auto rows = lines_of(slurp(path));
+  ASSERT_EQ(rows.size(), 12u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].substr(rows[i].find(',') + 1), "0") << "row " << i;
+  }
+}
+
+TEST_F(ReportTest, PercentilesUnopenablePathReturnsFalse) {
+  Histogram h;
+  h.add(1.0);
+  EXPECT_FALSE(write_percentiles_csv("/nonexistent-dir/x.csv", h));
+}
+
+}  // namespace
+}  // namespace matrix

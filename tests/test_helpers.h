@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +20,43 @@
 #include "net/network.h"
 
 namespace matrix {
+
+/// Flight-recorder dump on assertion failure (src/obs/): construct one at
+/// the top of a test that runs with tracing enabled, and if the test fails,
+/// the destructor dumps the network's recent trace events as JSONL to
+/// stderr — the replay-debugging breadcrumb the ROADMAP's invariants
+/// harness calls for.  A no-op when the test passes or tracing is off.
+class TraceDumpOnFailure {
+ public:
+  explicit TraceDumpOnFailure(const Network& network, std::size_t max_events = 200)
+      : network_(network), max_events_(max_events) {}
+
+  TraceDumpOnFailure(const TraceDumpOnFailure&) = delete;
+  TraceDumpOnFailure& operator=(const TraceDumpOnFailure&) = delete;
+
+  ~TraceDumpOnFailure() {
+    if (!::testing::Test::HasFailure()) return;
+    const obs::Tracer& tracer = network_.tracer();
+    if (!tracer.enabled()) return;
+    const auto events = tracer.ring_snapshot();
+    const std::size_t first =
+        events.size() > max_events_ ? events.size() - max_events_ : 0;
+    std::cerr << "--- flight recorder (last " << (events.size() - first)
+              << " of " << tracer.events_recorded() << " events) ---\n";
+    for (std::size_t i = first; i < events.size(); ++i) {
+      const obs::TraceEvent& e = events[i];
+      std::cerr << "{\"t_us\":" << e.at.us() << ",\"kind\":\""
+                << obs::trace_kind_name(e.kind) << "\",\"subject\":"
+                << e.subject << ",\"actor\":" << e.actor << ",\"a\":" << e.a
+                << ",\"b\":" << e.b << "}\n";
+    }
+    std::cerr << "--- end flight recorder ---\n";
+  }
+
+ private:
+  const Network& network_;
+  std::size_t max_events_;
+};
 
 /// Records every decoded message; can send arbitrary messages on demand.
 class CaptureNode : public ProtocolNode {
