@@ -25,6 +25,7 @@ import sys
 CLIENT_KINDS = {
     "client_hello", "client_admitted", "client_denied", "client_deferred",
     "client_queued", "client_redirected", "client_bye", "queue_handoff",
+    "queue_handoff_sent", "queue_handoff_drop",
 }
 SERVER_KINDS = {
     "split_requested", "pool_granted", "pool_denied", "pool_arbitrated",

@@ -96,7 +96,9 @@ bool AdmissionController::observe(SimTime now,
   // ...and only step down (one level at a time) once that window reaches
   // recover_min and the dwell time since the last change has passed.
   const bool dwell_ok = !ever_transitioned_ || now - last_transition_ >= config_.dwell;
-  if (dwell_ok && now - calm_since_ >= config_.recover_min) {
+  const bool recovered = config_.fault_skip_recover_min ||
+                         now - calm_since_ >= config_.recover_min;
+  if (dwell_ok && recovered) {
     transition(now, static_cast<AdmissionState>(
                         static_cast<std::uint8_t>(state_) - 1));
     return true;

@@ -201,6 +201,14 @@ struct AdmissionConfig {
   /// exempt from both: a saturated server closes the valve immediately.
   SimTime recover_min = SimTime::from_sec(5.0);
 
+  /// TEST-ONLY fault injection (docs/TESTING.md): relax the valve as soon
+  /// as the dwell passes, ignoring recover_min — the hysteresis bug the
+  /// timeline invariant (admission_timeline_valid) exists to catch.  The
+  /// validator keeps judging against the REAL recover_min, so enabling
+  /// this makes lifetime_timeline_valid() report false.  Never set outside
+  /// tests/fuzz_test.cpp.
+  bool fault_skip_recover_min = false;
+
   // ---- client guidance ------------------------------------------------------
   /// Retry hint carried by JoinDefer (SOFT) and JoinDeny (HARD).
   SimTime defer_retry = SimTime::from_sec(2.0);
@@ -235,6 +243,38 @@ struct ObsConfig {
   std::size_t span_capacity = 1 << 15;
   /// Record a trace event for every Network::send (the firehose).
   bool record_sends = true;
+};
+
+/// TEST-ONLY fault injection (docs/TESTING.md).  Each knob makes one layer
+/// misbehave in a way that violates exactly one class of trace invariant,
+/// so tests/fuzz_test.cpp can prove the invariants harness
+/// (src/fuzz/invariants.h) actually catches that class of bug — a fuzzer
+/// that has never been shown to fail proves nothing.  All knobs default
+/// off, in which case behaviour is bit-identical to a Config without this
+/// struct.  Never enable outside tests.
+struct FaultConfig {
+  /// Swallow every Nth gated fresh join at the valve: no JoinDefer/JoinDeny
+  /// reply, no waiting-room park — the hello simply black-holes.  Violates
+  /// the blackhole invariant (and leaks the client's admit span).
+  /// 0 disables.
+  std::uint32_t swallow_gated_join_every = 0;
+  /// Drop the QueueHandoff message on split/reclaim instead of sending it:
+  /// the extracted waiting-room entries vanish in transit.  Violates queue
+  /// conservation (handoff sent, never adopted/deferred/dropped).
+  bool drop_queue_handoff = false;
+  /// Reset enqueued_at to the adoption instant when adopting a handed-off
+  /// queue entry: the accrued age is lost in transit.  Violates age
+  /// conservation across handoff.
+  bool reset_handoff_age = false;
+  /// Erase the first session in each shed range without sending a
+  /// Redirect: the trace says the client is playing here, the server no
+  /// longer has the session.  Violates client-count conservation.
+  bool leak_session_on_shed = false;
+
+  [[nodiscard]] bool any() const {
+    return swallow_gated_join_every != 0 || drop_queue_handoff ||
+           reset_handoff_age || leak_session_on_shed;
+  }
 };
 
 struct Config {
@@ -292,6 +332,9 @@ struct Config {
 
   // ---- observability (src/obs/) ---------------------------------------------
   ObsConfig obs;
+
+  // ---- test-only fault injection (tests/fuzz_test.cpp) ----------------------
+  FaultConfig fault;
 
   // ---- reporting cadence ----------------------------------------------------
   /// Game server → Matrix server load report interval.

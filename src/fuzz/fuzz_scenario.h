@@ -1,0 +1,90 @@
+// Randomized scenario fuzzer (docs/TESTING.md).
+//
+// One 64-bit seed deterministically expands into a complete scenario — the
+// deployment (grid size, pool depth, link latencies, service rates), the
+// Config knobs (admission valve, waiting room, global admission, policy,
+// observability ring sizes), and the crowd (ramp / flash / diurnal wave mix,
+// crest sizes, VIP share, churn departures).  The run is then driven to
+// rest and every trace invariant (src/fuzz/invariants.h) is checked.
+//
+// Determinism is the contract that makes a red run actionable: the same
+// seed always produces byte-identical trace output, so any violation found
+// by the CI sweep replays locally with `matrix_fuzz --seed N`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fuzz/invariants.h"
+#include "sim/deployment.h"
+
+namespace matrix::fuzz {
+
+/// One scheduled arrival wave of the fuzzed crowd.
+struct FuzzWave {
+  SimTime at;
+  std::size_t count = 0;
+  Vec2 center;
+  double spread = 50.0;
+  double vip_fraction = 0.0;
+  /// Background waves spawn uniformly over the world instead of at center.
+  bool background = false;
+};
+
+/// One scheduled churn departure.
+struct FuzzDeparture {
+  SimTime at;
+  std::size_t count = 0;
+  /// Depart nearest this hotspot first (background churn when unset).
+  std::optional<Vec2> near;
+};
+
+/// The fully-expanded scenario for one seed.  Everything a run needs is
+/// here — inspect it (describe()) to see what a seed actually exercises.
+struct FuzzPlan {
+  std::uint64_t seed = 0;
+  DeploymentOptions deployment;
+  std::vector<FuzzWave> waves;
+  std::vector<FuzzDeparture> departures;
+  SimTime duration;
+  /// Crowd size at the crest (all waves summed).
+  std::size_t offered_clients = 0;
+
+  /// One-line human summary of the scenario shape.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Expands `seed` into a scenario under the given load policy.  Pure: the
+/// same (seed, policy) always yields the same plan.
+[[nodiscard]] FuzzPlan make_fuzz_plan(std::uint64_t seed,
+                                      LoadPolicyKind policy);
+
+struct FuzzRunOptions {
+  /// Applied to the plan's DeploymentOptions before the deployment is
+  /// built — the hook mutation tests use to arm Config::fault knobs or
+  /// force a subsystem on.
+  std::function<void(DeploymentOptions&)> mutate;
+  /// Capture the full flight-recorder stream as JSONL into
+  /// FuzzResult::trace_jsonl (for replay comparison and failure dumps).
+  bool capture_trace = false;
+};
+
+struct FuzzResult {
+  FuzzPlan plan;
+  InvariantReport report;
+  /// quiesce() went quiet within its budget.  A false here with a clean
+  /// report still means something is stuck — the caller should treat it as
+  /// a failure (check_deployment will usually have said why).
+  bool quiesced = false;
+  /// Flight-recorder JSONL (oldest first) when capture_trace was set.
+  std::string trace_jsonl;
+};
+
+/// Builds the plan, runs it, quiesces, and checks every invariant.
+[[nodiscard]] FuzzResult run_fuzz_case(std::uint64_t seed,
+                                       LoadPolicyKind policy,
+                                       const FuzzRunOptions& options = {});
+
+}  // namespace matrix::fuzz

@@ -160,6 +160,13 @@ bool GameServer::admit_join(const ClientHello& hello, NodeId client_node) {
     send(client_node, JoinDefer{hello.client, config_.admission.defer_retry});
     return false;
   }
+  if (config_.fault.swallow_gated_join_every != 0 &&
+      effective_admission_state() != AdmissionState::kNormal &&
+      ++fault_gated_seen_ % config_.fault.swallow_gated_join_every == 0) {
+    // TEST-ONLY: the gated hello black-holes — no reply, no park, no trace
+    // resolution.  The blackhole invariant must catch this.
+    return false;
+  }
   const bool waiting_room = config_.admission.priority.queue_enabled;
   switch (effective_admission_state()) {
     case AdmissionState::kNormal:
@@ -377,6 +384,7 @@ void GameServer::send_queue_handoff(std::vector<SurgeEntry> entries,
   handoff.from_server = id_;
   handoff.to_game = to_game;
   handoff.entries.reserve(entries.size());
+  obs::Tracer& tracer = network()->tracer();
   for (const SurgeEntry& entry : entries) {
     QueueHandoffEntry wire;
     wire.client = entry.client;
@@ -385,7 +393,16 @@ void GameServer::send_queue_handoff(std::vector<SurgeEntry> entries,
     wire.cls = static_cast<std::uint8_t>(entry.cls);
     wire.enqueued_at = entry.enqueued_at;
     handoff.entries.push_back(wire);
+    // One sent event per entry: the conservation invariant
+    // (src/fuzz/invariants.cpp) matches each against an adopt / defer /
+    // duplicate-drop at the destination, and b carries the accrued-age
+    // baseline the adopt-side event must reproduce.
+    tracer.record(now(), obs::TraceKind::kQueueHandoffSent,
+                  entry.client.value(), node_id().value(),
+                  static_cast<std::int64_t>(to_game.value()),
+                  entry.enqueued_at.us());
   }
+  if (config_.fault.drop_queue_handoff) return;  // TEST-ONLY: entries vanish
   port_->transfer_queue(handoff);
   ++stats_.queue_handoffs_sent;
 }
@@ -397,6 +414,9 @@ void GameServer::handle_queue_handoff(const QueueHandoff& handoff) {
     // was already admitted): never double-park, never demote a session.
     if (sessions_.count(wire.client) != 0 ||
         surge_queue_.contains(wire.client)) {
+      network()->tracer().record(
+          now(), obs::TraceKind::kQueueHandoffDrop, wire.client.value(),
+          node_id().value(), sessions_.count(wire.client) != 0 ? 1 : 2);
       continue;
     }
     SurgeEntry entry;
@@ -405,6 +425,9 @@ void GameServer::handle_queue_handoff(const QueueHandoff& handoff) {
     entry.position = wire.position;
     entry.cls = priority_class_from_handoff_wire(wire.cls);
     entry.enqueued_at = wire.enqueued_at;
+    if (config_.fault.reset_handoff_age) {
+      entry.enqueued_at = now();  // TEST-ONLY: accrued age lost in transit
+    }
     const bool can_adopt = config_.admission.priority.queue_enabled &&
                            !authority_.empty() && surge_queue_.adopt(entry);
     if (!can_adopt) {
@@ -421,7 +444,8 @@ void GameServer::handle_queue_handoff(const QueueHandoff& handoff) {
     network()->tracer().record(
         now(), obs::TraceKind::kQueueHandoff, wire.client.value(),
         handoff.from_server.value(),
-        static_cast<std::int64_t>(node_id().value()));
+        static_cast<std::int64_t>(node_id().value()),
+        entry.enqueued_at.us());
     send_queue_update(wire.client, wire.client_node,
                       surge_queue_.position_of(wire.client, now()),
                       static_cast<std::uint32_t>(surge_queue_.size()));
@@ -578,8 +602,12 @@ void GameServer::handle_action_core(ClientId client, std::uint8_t kind_byte,
 
 void GameServer::handle_bye(const ClientBye& bye) {
   obs::Tracer& tracer = network()->tracer();
+  // a records whether the bye found a live session: a bye that finds none
+  // where the trace says one lives means the session vanished untraced
+  // (every legitimate erasure — redirect, shed, bye — records an event).
   tracer.record(now(), obs::TraceKind::kClientBye, bye.client.value(),
-                node_id().value());
+                node_id().value(),
+                sessions_.count(bye.client) != 0 ? 1 : 0);
   tracer.close_span(now(), obs::SpanKind::kQueueWait, bye.client.value(),
                     /*success=*/false);
   tracer.close_span(now(), obs::SpanKind::kAdmit, bye.client.value(),
@@ -720,8 +748,17 @@ void GameServer::handle_map_range(const MapRange& range) {
 
   // 2. Clients standing in the shed range are handed off.
   std::uint32_t redirected = 0;
+  bool fault_leaked = false;
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if (range.reclaim || range.shed_range.contains(it->second.position)) {
+      if (config_.fault.leak_session_on_shed && !fault_leaked) {
+        // TEST-ONLY: drop the session without a Redirect — the trace last
+        // saw this client admitted here, the server forgot it.  The
+        // client-count conservation invariant must catch this.
+        fault_leaked = true;
+        it = sessions_.erase(it);
+        continue;
+      }
       redirect_client(it->first, it->second, range.shed_to_game,
                       range.shed_to_server);
       it = sessions_.erase(it);

@@ -308,6 +308,10 @@ class GameServer : public ProtocolNode {
   std::uint64_t drain_vip_ = 0;
   std::uint64_t drain_total_ = 0;
 
+  /// Gated fresh joins seen — only advanced when the TEST-ONLY
+  /// Config::fault.swallow_gated_join_every knob is armed.
+  std::uint64_t fault_gated_seen_ = 0;
+
   Stats stats_;
 };
 

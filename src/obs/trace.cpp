@@ -30,6 +30,8 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kDirectiveBroadcast: return "directive_broadcast";
     case TraceKind::kDirectiveApplied: return "directive_applied";
     case TraceKind::kQueueHandoff: return "queue_handoff";
+    case TraceKind::kQueueHandoffSent: return "queue_handoff_sent";
+    case TraceKind::kQueueHandoffDrop: return "queue_handoff_drop";
     case TraceKind::kCount: break;
   }
   return "?";

@@ -49,7 +49,8 @@ enum class TraceKind : std::uint8_t {
   kClientDeferred,      ///< subject=client, actor=game node, a=defer reason
   kClientQueued,        ///< subject=client, actor=game node, a=priority class
   kClientRedirected,    ///< subject=client, actor=old game node, a=new game node
-  kClientBye,           ///< subject=client, actor=game node
+  kClientBye,           ///< subject=client, actor=game node,
+                        ///< a=1 a live session was found (0: none held)
 
   // ---- partition lifecycle ------------------------------------------------
   kSplitRequested,      ///< subject=server, a=proactive flag, b=need score
@@ -67,7 +68,13 @@ enum class TraceKind : std::uint8_t {
   kAdmissionTransition, ///< subject=server, a=new state, b=old state
   kDirectiveBroadcast,  ///< subject=server targeted, a=floor state
   kDirectiveApplied,    ///< subject=server, a=floor state
-  kQueueHandoff,        ///< subject=client, actor=source game node, a=dst node
+  kQueueHandoff,        ///< adopted: subject=client, actor=source server,
+                        ///< a=adopting game node, b=original enqueued_at µs
+  kQueueHandoffSent,    ///< subject=client, actor=source game node,
+                        ///< a=dst game node, b=enqueued_at µs
+  kQueueHandoffDrop,    ///< duplicate-race skip at the destination:
+                        ///< subject=client, actor=game node,
+                        ///< a=1 already has session / 2 already queued
 
   kCount,
 };

@@ -8,9 +8,14 @@
 // falls back to JoinDeny only when the room itself overflows.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <optional>
+#include <set>
+
 #include "control/surge_queue.h"
 #include "sim/metrics.h"
 #include "sim/scenario.h"
+#include "util/rng.h"
 
 namespace matrix {
 namespace {
@@ -426,6 +431,141 @@ TEST(SurgeScenarioTest, QueueDisabledMatchesDeferRetryPath) {
   EXPECT_GT(summary.joins_deferred + summary.joins_denied, 0u);
   for (const BotClient* bot : deployment.bots()) {
     EXPECT_EQ(bot->metrics().queue_updates, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Age conservation across handoff round-trips (property test)
+// ---------------------------------------------------------------------------
+
+// The fuzzer's age-conservation invariant checks this property end-to-end
+// through the trace; this is the same property checked directly at the data
+// structure, over randomized class mixes and extraction geometry: however
+// entries move between waiting rooms (extract_range → adopt, extract_all →
+// adopt), their identity, class, and accrued age survive, nothing is lost
+// or duplicated, and drain rank keeps following TRUE age.
+TEST(SurgeQueuePropertyTest, HandoffRoundTripsConserveAgeClassAndMembership) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    SurgePriorityConfig config = queue_config();
+    config.queue_capacity = 128;
+    SurgeQueue source(config);
+
+    // A random mix of classes, positions, and arrival times.
+    struct Original {
+      PriorityClass cls;
+      SimTime enqueued_at;
+    };
+    std::map<std::uint64_t, Original> originals;
+    const std::size_t count = static_cast<std::size_t>(rng.next_in(20, 60));
+    SimTime now;
+    for (std::uint64_t client = 1; client <= count; ++client) {
+      now = now + SimTime::from_ms(rng.next_in(0, 800));
+      const auto cls = static_cast<PriorityClass>(rng.next_below(3));
+      const Vec2 position{rng.next_double_in(0.0, 1000.0),
+                          rng.next_double_in(0.0, 1000.0)};
+      ASSERT_TRUE(source.enqueue(now, ClientId(client), NodeId(client),
+                                 position, cls));
+      originals[client] = {cls, now};
+    }
+
+    // Shed a random sub-range to another server's waiting room.
+    now = now + SimTime::from_sec(rng.next_double_in(1.0, 30.0));
+    const Rect shed_range(rng.next_double_in(0.0, 500.0),
+                          rng.next_double_in(0.0, 500.0),
+                          rng.next_double_in(500.0, 1000.0),
+                          rng.next_double_in(500.0, 1000.0));
+    const std::vector<SurgeEntry> extracted =
+        source.extract_range(shed_range, now);
+    EXPECT_EQ(source.stats().handed_off, extracted.size());
+
+    SurgeQueue destination(config);
+    for (const SurgeEntry& entry : extracted) {
+      ASSERT_TRUE(destination.adopt(entry));
+    }
+    EXPECT_EQ(destination.stats().adopted, extracted.size());
+
+    // Later the destination itself reclaims: everything bounces back.
+    now = now + SimTime::from_sec(rng.next_double_in(1.0, 30.0));
+    SurgeQueue final_home(config);
+    for (const SurgeEntry& entry : destination.extract_all(now)) {
+      ASSERT_TRUE(final_home.adopt(entry));
+    }
+
+    // Conservation: the two surviving queues partition the original
+    // population exactly — every client in exactly one room, carrying its
+    // original class and its ORIGINAL enqueue time (accrued age intact).
+    now = now + SimTime::from_sec(rng.next_double_in(0.0, 30.0));
+    std::size_t survivors = 0;
+    for (const SurgeQueue* queue : {&source, &final_home}) {
+      for (const SurgeEntry* entry : queue->ordered(now)) {
+        const auto it = originals.find(entry->client.value());
+        ASSERT_NE(it, originals.end()) << "seed " << seed;
+        EXPECT_EQ(entry->cls, it->second.cls) << "seed " << seed;
+        EXPECT_EQ(entry->enqueued_at, it->second.enqueued_at)
+            << "seed " << seed << " client " << entry->client
+            << " lost accrued age across the round trip";
+        ++survivors;
+      }
+      EXPECT_FALSE(queue->contains(ClientId(count + 1)));
+    }
+    EXPECT_EQ(survivors, count) << "seed " << seed;
+
+    // Drain-rank follows true age: popping the round-tripped room yields
+    // entries in (effective class at now, original enqueue time) order.
+    auto rank = [](PriorityClass cls) {
+      return static_cast<std::uint8_t>(cls);
+    };
+    PriorityClass last_cls = PriorityClass::kResume;
+    SimTime last_at = SimTime::from_us(-1);
+    bool first = true;
+    while (const std::optional<SurgeEntry> popped = final_home.pop(now)) {
+      const PriorityClass effective =
+          final_home.effective_class_at(*popped, now);
+      if (!first) {
+        ASSERT_TRUE(rank(effective) > rank(last_cls) ||
+                    (effective == last_cls && popped->enqueued_at >= last_at))
+            << "seed " << seed << ": drain order ignored true age";
+      }
+      first = false;
+      last_cls = effective;
+      last_at = popped->enqueued_at;
+    }
+  }
+}
+
+TEST(SurgeQueuePropertyTest, ExtractRangeTakesExactlyTheContainedEntries) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 977);
+    SurgePriorityConfig config = queue_config();
+    config.queue_capacity = 128;
+    SurgeQueue queue(config);
+
+    std::map<std::uint64_t, Vec2> positions;
+    const std::size_t count = static_cast<std::size_t>(rng.next_in(10, 40));
+    for (std::uint64_t client = 1; client <= count; ++client) {
+      const Vec2 position{rng.next_double_in(0.0, 1000.0),
+                          rng.next_double_in(0.0, 1000.0)};
+      ASSERT_TRUE(queue.enqueue(1_sec, ClientId(client), NodeId(client),
+                                position, PriorityClass::kNormal));
+      positions[client] = position;
+    }
+
+    const Rect range(250.0, 250.0, 750.0, 750.0);
+    const std::vector<SurgeEntry> extracted = queue.extract_range(range, 2_sec);
+
+    std::set<std::uint64_t> taken;
+    for (const SurgeEntry& entry : extracted) {
+      taken.insert(entry.client.value());
+      EXPECT_TRUE(range.contains(entry.position)) << "seed " << seed;
+    }
+    EXPECT_EQ(taken.size(), extracted.size()) << "duplicated entries";
+    for (const auto& [client, position] : positions) {
+      EXPECT_EQ(taken.count(client) != 0, range.contains(position))
+          << "seed " << seed << " client " << client;
+      EXPECT_EQ(queue.contains(ClientId(client)), !range.contains(position))
+          << "seed " << seed << " client " << client;
+    }
   }
 }
 
