@@ -90,6 +90,7 @@ class MatrixPort {
   using AdmissionHandler = std::function<void(const AdmissionUpdate&)>;
   using DirectiveHandler = std::function<void(const AdmissionDirective&)>;
   using QueueHandoffHandler = std::function<void(const QueueHandoff&)>;
+  using HeartbeatHandler = std::function<void(const McHeartbeat&)>;
 
   /// A remote event relevant to this server's partition (range-verified by
   /// the Matrix server before delivery).
@@ -119,6 +120,11 @@ class MatrixPort {
   /// Parked joins handed off from another server's surge queue.
   void on_queue_handoff(QueueHandoffHandler handler) {
     queue_handoff_ = std::move(handler);
+  }
+  /// A coordinator liveness beat, relayed by the co-located Matrix server
+  /// (control-plane failsafe; only sent when Config::failsafe.enabled).
+  void on_heartbeat(HeartbeatHandler handler) {
+    heartbeat_ = std::move(handler);
   }
 
   /// Routes a decoded message to the registered callback.  Returns true if
@@ -157,6 +163,10 @@ class MatrixPort {
       if (queue_handoff_) queue_handoff_(*handoff);
       return true;
     }
+    if (const auto* beat = std::get_if<McHeartbeat>(&message)) {
+      if (heartbeat_) heartbeat_(*beat);
+      return true;
+    }
     return false;
   }
 
@@ -188,6 +198,7 @@ class MatrixPort {
   AdmissionHandler admission_;
   DirectiveHandler directive_;
   QueueHandoffHandler queue_handoff_;
+  HeartbeatHandler heartbeat_;
 };
 
 }  // namespace matrix

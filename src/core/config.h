@@ -221,6 +221,40 @@ struct AdmissionConfig {
   GlobalAdmissionConfig global;
 };
 
+/// Knobs for the control-plane failsafe (src/control/control_plane.h):
+/// every matrix/game server runs a heartbeat-driven state machine that
+/// degrades NORMAL → HOLD → FALLBACK as coordinator heartbeats go stale,
+/// so a dead or partitioned MC can never keep steering valves and pool
+/// grants through a directive it broadcast before it died.  Disabled by
+/// default: no heartbeats are sent, no ticks are scheduled, and behaviour
+/// (including every golden-trace hash) is bit-identical to a pre-failsafe
+/// deployment.
+struct FailsafeConfig {
+  bool enabled = false;
+
+  /// Coordinator → matrix-server McHeartbeat cadence (matrix servers relay
+  /// each beat to their game server, so both ends share one freshness
+  /// clock).
+  SimTime heartbeat_interval = SimTime::from_sec(1.0);
+
+  /// Heartbeat silence at which a server enters HOLD: the current
+  /// directive/pool view is frozen — still in force, but no longer a basis
+  /// for new pool-grant-seeking decisions (DirectivePolicy need drops to
+  /// zero, proactive splits stop).
+  SimTime tau1 = SimTime::from_sec(3.0);
+
+  /// Heartbeat silence at which a server enters FALLBACK: deterministic
+  /// local-only behaviour.  The frozen directive is dropped (local valve
+  /// and local token rate take back over), splits that would need a pool
+  /// grant are suppressed, and reclaim turns conservative (only an empty
+  /// child is merged back).  Must be > tau1.
+  SimTime tau2 = SimTime::from_sec(8.0);
+
+  /// Cadence of the local staleness check while enabled.  Bounds how late
+  /// after tau1/tau2 a transition can fire.
+  SimTime check_interval = SimTime::from_ms(500);
+};
+
 namespace obs {
 /// Process-level default for ObsConfig::trace_enabled: reads the
 /// MATRIX_TRACE environment variable once (defined in src/obs/trace.cpp).
@@ -270,10 +304,18 @@ struct FaultConfig {
   /// Redirect: the trace says the client is playing here, the server no
   /// longer has the session.  Violates client-count conservation.
   bool leak_session_on_shed = false;
+  /// Re-apply every coordinator directive a second time through the
+  /// control plane, bypassing its staleness rejection — the classic
+  /// stale-directive bug the epoch/seq monotonicity invariant
+  /// (kInvControlMonotonic) exists to catch: the same (epoch, seq) acts
+  /// twice, so the per-server control-applied stream stops strictly
+  /// increasing.
+  bool stale_directive_replay = false;
 
   [[nodiscard]] bool any() const {
     return swallow_gated_join_every != 0 || drop_queue_handoff ||
-           reset_handoff_age || leak_session_on_shed;
+           reset_handoff_age || leak_session_on_shed ||
+           stale_directive_replay;
   }
 };
 
@@ -326,6 +368,9 @@ struct Config {
 
   // ---- admission & overload protection (src/control/) ----------------------
   AdmissionConfig admission;
+
+  // ---- control-plane failsafe (src/control/control_plane.h) -----------------
+  FailsafeConfig failsafe;
 
   // ---- pluggable load-policy layer (src/policy/) ----------------------------
   PolicyConfig policy;

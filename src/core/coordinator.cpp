@@ -75,6 +75,29 @@ void Coordinator::maybe_broadcast_directives(bool force) {
   directive_in_force_ = active;
 }
 
+void Coordinator::start_heartbeats() {
+  broadcast_heartbeat();
+  schedule_heartbeat();
+}
+
+void Coordinator::broadcast_heartbeat() {
+  for (const auto& entry : map_.entries()) {
+    send(entry.matrix_node, McHeartbeat{node_id(), generation_,
+                                        ++heartbeat_seq_});
+    ++heartbeats_broadcast_;
+  }
+}
+
+void Coordinator::schedule_heartbeat() {
+  network()->events().schedule_after(
+      config_.failsafe.heartbeat_interval, [this] {
+        // A killed/failed-over MC is detached; its silence is the signal.
+        if (!network()->attached(node_id())) return;
+        broadcast_heartbeat();
+        schedule_heartbeat();
+      });
+}
+
 void Coordinator::broadcast_pool_pressure() {
   if (pool_status_.total == 0) return;  // nothing heard from the pool yet
   for (const auto& entry : map_.entries()) {
@@ -106,6 +129,14 @@ void Coordinator::register_server(const ServerRegister& reg) {
   // its first join rather than after the next broadcast round.
   if (config_.admission.global.enabled && global_admission_.active()) {
     send_directive(reg.server, reg.matrix_node);
+  }
+  // ...and one immediate heartbeat, so a freshly (re-)registered server's
+  // failsafe plane starts from "MC fresh" instead of waiting out the next
+  // broadcast tick (control-plane failsafe).
+  if (config_.failsafe.enabled) {
+    send(reg.matrix_node, McHeartbeat{node_id(), generation_,
+                                      ++heartbeat_seq_});
+    ++heartbeats_broadcast_;
   }
 }
 

@@ -64,6 +64,21 @@ class Coordinator : public ProtocolNode {
   [[nodiscard]] std::uint64_t directives_broadcast() const {
     return directives_broadcast_;
   }
+  [[nodiscard]] std::uint64_t heartbeats_broadcast() const {
+    return heartbeats_broadcast_;
+  }
+
+  // ---- control-plane failsafe (src/control/control_plane.h) ----------------
+  /// MC incarnation this coordinator announces and heartbeats under.  Set
+  /// by the Deployment before attach; same counter as McAnnounce.generation.
+  void set_generation(std::uint64_t generation) { generation_ = generation; }
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
+  /// Starts the periodic McHeartbeat broadcast (only called when
+  /// Config::failsafe.enabled).  The loop stops itself once this
+  /// coordinator is detached from the network (killed or failed over) —
+  /// a dead MC must fall silent, that silence IS the failure signal.
+  void start_heartbeats();
 
   /// Builds (but does not send) all tables — exposed for the coordinator
   /// microbenchmark, which measures pure recompute cost vs. server count.
@@ -81,6 +96,8 @@ class Coordinator : public ProtocolNode {
   /// server when one is due (`force` after a floor change / rescind).
   void maybe_broadcast_directives(bool force);
   void send_directive(ServerId server, NodeId matrix_node);
+  void broadcast_heartbeat();
+  void schedule_heartbeat();
 
   Config config_;
   PartitionMap map_;
@@ -101,6 +118,11 @@ class Coordinator : public ProtocolNode {
   /// True while the last broadcast round carried an active directive —
   /// lets a relax-to-NORMAL send one final rescinding round.
   bool directive_in_force_ = false;
+
+  // Control-plane failsafe (src/control/control_plane.h).
+  std::uint64_t generation_ = 0;
+  std::uint64_t heartbeat_seq_ = 0;
+  std::uint64_t heartbeats_broadcast_ = 0;
 };
 
 }  // namespace matrix

@@ -25,6 +25,7 @@ void MatrixServer::activate_root(const Rect& range,
   clear_pool_denial_episode();
   admission_.reset(now());
   reset_directive();
+  start_failsafe(now());
   register_with_mc();
   push_range_to_game(Rect{}, NodeId{}, ServerId{}, /*reclaim=*/false);
 }
@@ -66,20 +67,26 @@ void MatrixServer::on_message(const Message& message, const Envelope& env) {
     observe_admission(last_report_.client_count, last_report_.queue_length,
                       last_report_.waiting_count);
   } else if (const auto* pressure = std::get_if<PoolPressure>(&message)) {
-    pool_idle_fraction_ =
-        pressure->total > 0 ? static_cast<double>(pressure->idle) /
-                                  static_cast<double>(pressure->total)
-                            : -1.0;
-    // A spare is idle again: the doubled wait describes a pool that no
-    // longer exists, so allow a prompt retry — but keep the streak.  The
-    // pool broadcasts occupancy on every change (including grants to other
-    // servers that leave idle > 0); if the freed spare is snatched before
-    // our retry lands, the next denial must keep doubling from where the
-    // episode left off.  Only a calm report or a grant ends the episode
-    // (policy/denial_episode.h; regression-pinned in policy_test.cpp).
-    if (pressure->idle > 0 && denial_episode_.idle_allows_prompt_retry()) {
-      cooldown_until_ =
-          std::min(cooldown_until_, now() + config_.topology_cooldown);
+    // While the failsafe is degraded the pool view stays FROZEN: a pressure
+    // broadcast that limped in from a possibly-dead MC must not steer the
+    // valve.  (Failsafe off ⇒ always applied, the historical behaviour.)
+    if (control_plane_.admit(now(), {ControlKind::kPoolPressure, 0, 0}) ==
+        ControlVerdict::kApply) {
+      pool_idle_fraction_ =
+          pressure->total > 0 ? static_cast<double>(pressure->idle) /
+                                    static_cast<double>(pressure->total)
+                              : -1.0;
+      // A spare is idle again: the doubled wait describes a pool that no
+      // longer exists, so allow a prompt retry — but keep the streak.  The
+      // pool broadcasts occupancy on every change (including grants to other
+      // servers that leave idle > 0); if the freed spare is snatched before
+      // our retry lands, the next denial must keep doubling from where the
+      // episode left off.  Only a calm report or a grant ends the episode
+      // (policy/denial_episode.h; regression-pinned in policy_test.cpp).
+      if (pressure->idle > 0 && denial_episode_.idle_allows_prompt_retry()) {
+        cooldown_until_ =
+            std::min(cooldown_until_, now() + config_.topology_cooldown);
+      }
     }
     if (active_) {
       observe_admission(last_report_.client_count, last_report_.queue_length,
@@ -87,6 +94,8 @@ void MatrixServer::on_message(const Message& message, const Envelope& env) {
     }
   } else if (const auto* directive = std::get_if<AdmissionDirective>(&message)) {
     handle_admission_directive(*directive);
+  } else if (const auto* beat = std::get_if<McHeartbeat>(&message)) {
+    handle_mc_heartbeat(*beat);
   } else if (const auto* adopt = std::get_if<Adopt>(&message)) {
     handle_adopt(*adopt);
   } else if (const auto* table = std::get_if<OverlapTableMsg>(&message)) {
@@ -122,18 +131,24 @@ void MatrixServer::on_message(const Message& message, const Envelope& env) {
     send(handoff->to_game, *handoff);
   } else if (const auto* announce = std::get_if<McAnnounce>(&message)) {
     // Coordinator fail-over: adopt the new MC and re-register so it can
-    // rebuild the partition map from our (authoritative) local range.
-    if (announce->generation < mc_generation_) return;  // stale announce
-    mc_generation_ = announce->generation;
+    // rebuild the partition map from our (authoritative) local range.  The
+    // control plane rejects a superseded generation and — on a newer one —
+    // flips the epoch atomically: every per-kind seq counter resets in the
+    // same admit() call, so no directive numbered by the dead MC can ever
+    // outrank its successor's.
+    if (control_plane_.admit(now(),
+                             {ControlKind::kAnnounce, announce->generation,
+                              0}) != ControlVerdict::kApply) {
+      return;  // stale announce
+    }
     wiring_.mc_node = announce->mc_node;
     pending_lookups_.clear();         // in-flight lookups died with the MC
     pending_owner_queries_.clear();
     // The old MC's directive died with it: drop the floor (the standby
-    // re-clamps within a digest round if pressure persists) and restart
-    // the seq space its successor will number from 1.
+    // re-clamps within a digest round if pressure persists); its successor
+    // numbers directives from 1 in the new epoch.
     const AdmissionState before = effective_admission_state();
     reset_directive();
-    directive_seq_seen_ = 0;
     if (active_ && config_.admission.enabled &&
         effective_admission_state() != before) {
       push_admission_to_game();
@@ -350,8 +365,23 @@ void MatrixServer::observe_admission(std::uint32_t clients,
 void MatrixServer::handle_admission_directive(
     const AdmissionDirective& directive) {
   if (!config_.admission.enabled || !config_.admission.global.enabled) return;
-  if (directive.seq <= directive_seq_seen_) return;  // reordered/stale
-  directive_seq_seen_ = directive.seq;
+  // One staleness rule, one place: reordered/stale seqs (and, with the
+  // failsafe degraded, anything from an untrusted MC) die here.
+  if (control_plane_.admit(now(), {ControlKind::kDirective, 0,
+                                   directive.seq}) != ControlVerdict::kApply) {
+    return;
+  }
+  apply_admission_directive(directive);
+  if (config_.fault.stale_directive_replay &&
+      control_plane_.admit(now(), {ControlKind::kDirective, 0,
+                                   directive.seq}) == ControlVerdict::kApply) {
+    // Planted bug (docs/TESTING.md): the same directive acts twice.
+    apply_admission_directive(directive);
+  }
+}
+
+void MatrixServer::apply_admission_directive(
+    const AdmissionDirective& directive) {
   const AdmissionState before = effective_admission_state();
   directive_active_ = directive.active;
   directive_floor_ = directive.active
@@ -385,6 +415,59 @@ void MatrixServer::reset_directive() {
     rescind.active = false;
     send(wiring_.game_node, rescind);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane failsafe (src/control/control_plane.h)
+// ---------------------------------------------------------------------------
+
+void MatrixServer::handle_mc_heartbeat(const McHeartbeat& beat) {
+  if (!config_.failsafe.enabled) return;
+  if (control_plane_.admit(now(), {ControlKind::kHeartbeat, beat.generation,
+                                   beat.seq}) != ControlVerdict::kApply) {
+    return;
+  }
+  if (!active_) return;
+  // Relay the beat to our game server: the pair shares one freshness clock,
+  // so the game's own failsafe machine degrades (and recovers) in step.
+  send(wiring_.game_node, beat);
+  ++stats_.heartbeats_relayed;
+}
+
+void MatrixServer::start_failsafe(SimTime at) {
+  control_plane_.bind(&network()->tracer(), node_id().value());
+  if (!config_.failsafe.enabled) return;
+  control_plane_.start(at);
+  schedule_failsafe_tick();
+}
+
+void MatrixServer::schedule_failsafe_tick() {
+  const std::uint64_t epoch = activation_epoch_;
+  network()->events().schedule_after(
+      config_.failsafe.check_interval, [this, epoch] {
+        if (!active_ || activation_epoch_ != epoch) return;
+        const bool was_fallback = control_plane_.fallback();
+        if (control_plane_.tick(now()) && !was_fallback &&
+            control_plane_.fallback()) {
+          on_failsafe_degraded();
+        }
+        schedule_failsafe_tick();
+      });
+}
+
+void MatrixServer::on_failsafe_degraded() {
+  // FALLBACK entry: deterministic local-only behaviour.  The frozen
+  // directive is dropped — reset_directive() also relays a rescind so the
+  // game server restores its local token rate — and the local valve takes
+  // back over.  Split/reclaim conservatism is enforced in maybe_split /
+  // maybe_reclaim.
+  const AdmissionState before = effective_admission_state();
+  reset_directive();
+  if (active_ && config_.admission.enabled &&
+      effective_admission_state() != before) {
+    push_admission_to_game();
+  }
+  MATRIX_INFO("matrix", name() << " failsafe -> FALLBACK (MC silent)");
 }
 
 void MatrixServer::clear_pool_denial_episode() {
@@ -439,11 +522,15 @@ LoadView MatrixServer::build_load_view() const {
   view.directive_active = directive_active_;
   view.directive_pressure = directive_pressure_;
   view.directive_waiting_total = directive_waiting_total_;
+  view.failsafe = static_cast<std::uint8_t>(control_plane_.state());
   return view;
 }
 
 void MatrixServer::maybe_split() {
   if (!can_change_topology()) return;
+  // FALLBACK forbids decisions that need a pool grant: a split's child must
+  // register with the MC to become routable, and the MC is presumed dead.
+  if (control_plane_.fallback()) return;
   const LoadView view = build_load_view();
   const SplitDecision decision = policy_->decide_split(view);
   if (!decision.split) return;
@@ -544,6 +631,7 @@ void MatrixServer::handle_adopt(const Adopt& adopt) {
   MATRIX_INFO("matrix", name() << " adopted range " << range_ << " from S"
                                << parent_.value());
 
+  start_failsafe(now());
   register_with_mc();
   push_range_to_game(Rect{}, NodeId{}, ServerId{}, /*reclaim=*/false);
   schedule_heartbeat();
@@ -588,6 +676,14 @@ void MatrixServer::maybe_reclaim() {
   child_view.client_count = child.last_clients;
   child_view.child_count = child.last_children;
   child_view.load_known = child.load_known;
+  // FALLBACK reclaims conservatively: only a provably EMPTY child is merged
+  // back.  A populated merge mid-outage would concentrate load with no MC
+  // to re-split it across the deployment afterwards.
+  if (control_plane_.fallback() &&
+      (!child.load_known || child.last_clients != 0 ||
+       child.last_children != 0)) {
+    return;
+  }
   if (!policy_->decide_reclaim(build_load_view(), child_view).reclaim) return;
   reclaim_pending_ = true;
   reclaim_started_at_ = now();

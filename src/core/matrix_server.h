@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "control/admission.h"
+#include "control/control_plane.h"
 #include "core/config.h"
 #include "core/overlap.h"
 #include "core/protocol_node.h"
@@ -73,7 +74,9 @@ class MatrixServer : public ProtocolNode {
   };
 
   MatrixServer(ServerId id, Config config)
-      : id_(id), config_(std::move(config)) {}
+      : id_(id), config_(std::move(config)) {
+    control_plane_.set_fault_accept_stale(config_.fault.stale_directive_replay);
+  }
 
   void wire(const Wiring& wiring) { wiring_ = wiring; }
 
@@ -126,6 +129,8 @@ class MatrixServer : public ProtocolNode {
     std::uint64_t admission_updates = 0;
     /// Coordinator directives accepted (stale seqs excluded).
     std::uint64_t directives_received = 0;
+    /// McHeartbeats accepted and relayed to the game server (failsafe on).
+    std::uint64_t heartbeats_relayed = 0;
     /// Load digests sent to the MC (global admission enabled only).
     std::uint64_t digests_sent = 0;
     /// Surge-queue depth ("waiting room", src/control/surge_queue.h) from
@@ -162,6 +167,17 @@ class MatrixServer : public ProtocolNode {
     return directive_floor_;
   }
   [[nodiscard]] bool directive_active() const { return directive_active_; }
+
+  /// The unified control-update ingestion path + failsafe machine
+  /// (src/control/control_plane.h).  Every coordinator-originated state
+  /// flip — announce, heartbeat, directive, pool pressure — passes through
+  /// its admit() before this server acts on it.
+  [[nodiscard]] const ControlPlane& control_plane() const {
+    return control_plane_;
+  }
+  [[nodiscard]] FailsafeState failsafe_state() const {
+    return control_plane_.state();
+  }
 
   /// The load policy steering split/reclaim/grant decisions (src/policy/).
   [[nodiscard]] const LoadPolicy& policy() const { return *policy_; }
@@ -219,7 +235,14 @@ class MatrixServer : public ProtocolNode {
   void push_admission_to_game();
   void clear_pool_denial_episode();
   void handle_admission_directive(const AdmissionDirective& directive);
+  void apply_admission_directive(const AdmissionDirective& directive);
   void reset_directive();
+
+  // control-plane failsafe (src/control/control_plane.h)
+  void handle_mc_heartbeat(const McHeartbeat& beat);
+  void start_failsafe(SimTime at);
+  void schedule_failsafe_tick();
+  void on_failsafe_degraded();
 
   // split / reclaim machinery (decisions delegated to policy_)
   void maybe_split();
@@ -261,7 +284,6 @@ class MatrixServer : public ProtocolNode {
   // the directive floor composes with the local valve, strictest wins.
   AdmissionState directive_floor_ = AdmissionState::kNormal;
   bool directive_active_ = false;
-  std::uint64_t directive_seq_seen_ = 0;
   /// Pressure score / deployment-wide waiting total carried by the latest
   /// accepted directive (LoadView inputs for the policy).
   double directive_pressure_ = 0.0;
@@ -279,7 +301,6 @@ class MatrixServer : public ProtocolNode {
   bool being_reclaimed_ = false;   ///< child side: shedding everything
   std::uint64_t topology_epoch_ = 0;
   std::uint64_t activation_epoch_ = 0;  ///< guards stale heartbeat timers
-  std::uint64_t mc_generation_ = 0;     ///< latest MC incarnation seen
 
   // Pending non-proximal packets awaiting MC point lookups.
   std::uint32_t next_lookup_seq_ = 1;
@@ -289,6 +310,11 @@ class MatrixServer : public ProtocolNode {
   std::map<std::uint32_t, OwnerQuery> pending_owner_queries_;
 
   AdmissionController admission_{config_.admission, config_.overload_clients};
+
+  /// Unified control-update ingestion + failsafe machine.  Replaces the
+  /// old scattered directive_seq_seen_ / mc_generation_ counters; the MC
+  /// epoch and every per-kind seq live in exactly one place.
+  ControlPlane control_plane_{config_.failsafe};
 
   /// Pluggable decision layer (src/policy/); ClassicPolicy by default.
   std::unique_ptr<LoadPolicy> policy_ = make_load_policy(config_);

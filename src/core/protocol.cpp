@@ -46,6 +46,7 @@ enum class MsgType : std::uint8_t {
   kLoadDigest,
   kAdmissionDirective,
   kQueueHandoff,
+  kMcHeartbeat,
 };
 
 void put(ByteWriter& w, Vec2 v) {
@@ -531,6 +532,19 @@ McAnnounce decode_mc_announce(ByteReader& r) {
   return m;
 }
 
+void encode_body(ByteWriter& w, const McHeartbeat& m) {
+  w.id(m.mc_node);
+  w.u64(m.generation);
+  w.u64(m.seq);
+}
+McHeartbeat decode_mc_heartbeat(ByteReader& r) {
+  McHeartbeat m;
+  m.mc_node = r.id<NodeId>();
+  m.generation = r.u64();
+  m.seq = r.u64();
+  return m;
+}
+
 void encode_body(ByteWriter& w, const JoinDeny& m) {
   w.id(m.client);
   put(w, m.retry_after);
@@ -706,6 +720,7 @@ constexpr MsgType type_tag() {
   else if constexpr (std::is_same_v<T, LoadDigest>) return MsgType::kLoadDigest;
   else if constexpr (std::is_same_v<T, AdmissionDirective>) return MsgType::kAdmissionDirective;
   else if constexpr (std::is_same_v<T, QueueHandoff>) return MsgType::kQueueHandoff;
+  else if constexpr (std::is_same_v<T, McHeartbeat>) return MsgType::kMcHeartbeat;
 }
 
 }  // namespace
@@ -795,7 +810,7 @@ void encode_one_into(ByteWriter& writer, const Body& body) {
   X(PointOwner) X(PoolAcquire) X(PoolGrant) X(PoolDeny) X(PoolRelease)       \
   X(McAnnounce) X(JoinDeny) X(JoinDefer) X(AdmissionUpdate) X(PoolStatus)    \
   X(PoolPressure) X(QueueUpdate) X(LoadDigest) X(AdmissionDirective)         \
-  X(QueueHandoff)
+  X(QueueHandoff) X(McHeartbeat)
 
 #define MATRIX_INSTANTIATE_ENCODE(T) \
   template void encode_one_into<T>(ByteWriter&, const T&);
@@ -929,6 +944,7 @@ std::optional<Message> decode_message(std::span<const std::uint8_t> bytes) {
     case MsgType::kLoadDigest: m = decode_load_digest(r); break;
     case MsgType::kAdmissionDirective: m = decode_admission_directive(r); break;
     case MsgType::kQueueHandoff: m = decode_queue_handoff(r); break;
+    case MsgType::kMcHeartbeat: m = decode_mc_heartbeat(r); break;
     default: return std::nullopt;
   }
   if (!r.ok()) return std::nullopt;
@@ -977,6 +993,7 @@ const char* message_name(const Message& message) {
         else if constexpr (std::is_same_v<T, LoadDigest>) return "LoadDigest";
         else if constexpr (std::is_same_v<T, AdmissionDirective>) return "AdmissionDirective";
         else if constexpr (std::is_same_v<T, QueueHandoff>) return "QueueHandoff";
+        else if constexpr (std::is_same_v<T, McHeartbeat>) return "McHeartbeat";
         else return "Unknown";
       },
       message);

@@ -446,6 +446,20 @@ struct McAnnounce {
   std::uint64_t generation = 0;  ///< monotonically increasing MC incarnation
 };
 
+/// Periodic coordinator liveness beacon (control-plane failsafe,
+/// src/control/control_plane.h).  Broadcast to every registered matrix
+/// server at Config::failsafe.heartbeat_interval — and relayed by each
+/// matrix server to its game server — ONLY while the failsafe is enabled,
+/// so default deployments put no extra bytes on the wire.  `generation`
+/// carries the MC epoch (same counter as McAnnounce.generation); `seq`
+/// strictly increases within a generation so a delayed beat can never
+/// rewind the freshness clock.
+struct McHeartbeat {
+  NodeId mc_node;
+  std::uint64_t generation = 0;
+  std::uint64_t seq = 0;
+};
+
 // ---------------------------------------------------------------------------
 // Envelope-level message
 // ---------------------------------------------------------------------------
@@ -459,7 +473,8 @@ using Message =
                  OverlapTableMsg, PointLookup, PointOwner, PoolAcquire,
                  PoolGrant, PoolDeny, PoolRelease, McAnnounce, JoinDeny,
                  JoinDefer, AdmissionUpdate, PoolStatus, PoolPressure,
-                 QueueUpdate, LoadDigest, AdmissionDirective, QueueHandoff>;
+                 QueueUpdate, LoadDigest, AdmissionDirective, QueueHandoff,
+                 McHeartbeat>;
 
 /// Serializes `message` (1 type byte + body).
 [[nodiscard]] std::vector<std::uint8_t> encode_message(const Message& message);

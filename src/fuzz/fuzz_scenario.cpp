@@ -37,6 +37,20 @@ std::string FuzzPlan::describe() const {
   out << " offered=" << offered_clients << " waves=" << waves.size()
       << " departures=" << departures.size() << " duration="
       << duration.sec() << "s";
+  if (config.failsafe.enabled) {
+    out << " failsafe=on";
+    if (chaos.kill_at.us() != 0) {
+      out << " mc-kill@" << chaos.kill_at.sec() << "s";
+      if (chaos.revive_at.us() != 0) {
+        out << " revive@" << chaos.revive_at.sec() << "s";
+      }
+    }
+    if (chaos.degrade_at.us() != 0) {
+      out << " ctl-degrade@" << chaos.degrade_at.sec() << "s-"
+          << chaos.heal_at.sec() << "s drop="
+          << chaos.degraded.drop_probability;
+    }
+  }
   return out.str();
 }
 
@@ -223,6 +237,50 @@ FuzzPlan make_fuzz_plan(std::uint64_t seed, LoadPolicyKind policy) {
       pow2_at_least((plan.offered_clients * 160 + 16384) * mult);
   obs.span_capacity = pow2_at_least(plan.offered_clients * 8 + 1024);
 
+  // ---- control-plane chaos (src/control/control_plane.h) -------------------
+  // Drawn LAST, so every earlier stream (topology, knobs, crowd, obs) is
+  // byte-identical to the pre-chaos corpus: old seeds keep their shapes.
+  if (rng.next_bool(0.35)) {
+    config.failsafe.enabled = true;
+    FuzzChaos& chaos = plan.chaos;
+    const double duration_sec = plan.duration.sec();
+    const double tau2_sec = config.failsafe.tau2.sec();
+    if (rng.next_bool(0.6)) {
+      // Hard outage: the MC process dies mid-run; 70% of the time a standby
+      // revives after the failsafe has had time to reach FALLBACK.
+      chaos.kill_at = SimTime::from_sec(
+          rng.next_double_in(duration_sec * 0.25, duration_sec * 0.5));
+      if (rng.next_bool(0.7)) {
+        chaos.revive_at =
+            chaos.kill_at + SimTime::from_sec(rng.next_double_in(
+                                tau2_sec + 3.0, tau2_sec + 15.0));
+      }
+    } else {
+      // Partition / lossy window: the MC lives, its links do not.  Half the
+      // windows black-hole everything (a clean partition), half drop or
+      // delay a fraction — the reordered/delayed control path that
+      // stale-seq/stale-epoch admission exists for.
+      chaos.degrade_at = SimTime::from_sec(
+          rng.next_double_in(duration_sec * 0.25, duration_sec * 0.5));
+      chaos.heal_at =
+          chaos.degrade_at + SimTime::from_sec(rng.next_double_in(
+                                 tau2_sec + 3.0, tau2_sec + 15.0));
+      chaos.degraded = plan.deployment.lan;
+      if (rng.next_bool(0.5)) {
+        chaos.degraded.drop_probability = 1.0;
+      } else {
+        chaos.degraded.drop_probability = rng.next_double_in(0.2, 0.8);
+        chaos.degraded.latency = SimTime::from_ms(
+            rng.next_double_in(20.0, 300.0));
+      }
+    }
+  } else if (rng.next_bool(0.25)) {
+    // Failsafe armed with NO chaos: heartbeats stay fresh the whole run, so
+    // the plane must remain a behavioural no-op (every invariant of a
+    // healthy run still has to hold).
+    config.failsafe.enabled = true;
+  }
+
   return plan;
 }
 
@@ -235,20 +293,31 @@ FuzzResult run_fuzz_case(std::uint64_t seed, LoadPolicyKind policy,
   if (options.mutate) options.mutate(deployment_options);
 
   Deployment deployment(deployment_options);
-  Scenario scenario(deployment);
+  // The plan expands onto the shared fluent builder (sim/scenario.h) — the
+  // same scheduling surface the canned and chaos scenarios use, so a fuzzed
+  // run and a hand-written one differ only in where the numbers came from.
+  ScenarioSpec spec;
   for (const FuzzWave& wave : result.plan.waves) {
     if (wave.background) {
-      scenario.add_background_bots(wave.at, wave.count);
-    } else if (wave.vip_fraction > 0.0) {
-      scenario.add_surge_bots(wave.at, wave.count, wave.center, wave.spread,
-                              wave.vip_fraction);
+      spec.background(wave.at, wave.count);
     } else {
-      scenario.add_hotspot_bots(wave.at, wave.count, wave.center, wave.spread);
+      spec.flash(wave.at, wave.count, wave.center, wave.spread,
+                 wave.vip_fraction);
     }
   }
   for (const FuzzDeparture& departure : result.plan.departures) {
-    scenario.remove_bots_at(departure.at, departure.count, departure.near);
+    spec.depart(departure.at, departure.count, departure.near);
   }
+  const FuzzChaos& chaos = result.plan.chaos;
+  if (chaos.kill_at.us() != 0) {
+    spec.kill_mc(chaos.kill_at);
+    if (chaos.revive_at.us() != 0) spec.revive_mc(chaos.revive_at);
+  }
+  if (chaos.degrade_at.us() != 0) {
+    spec.degrade_control_links(chaos.degrade_at, chaos.degraded);
+    spec.degrade_control_links(chaos.heal_at, result.plan.deployment.lan);
+  }
+  spec.run_for(result.plan.duration).schedule(deployment);
 
   deployment.run_until(result.plan.duration);
 
@@ -258,12 +327,14 @@ FuzzResult run_fuzz_case(std::uint64_t seed, LoadPolicyKind policy,
   // HERE — before the teardown byes at quiesce would mask it.
   InvariantOptions mid_options;
   mid_options.expect_quiesced = false;
+  mid_options.lossy_control_links = chaos.lossy();
   const InvariantReport mid_report = check_deployment(deployment, mid_options);
 
   result.quiesced = quiesce(deployment);
 
   InvariantOptions invariant_options;
   invariant_options.expect_quiesced = true;
+  invariant_options.lossy_control_links = chaos.lossy();
   result.report = check_deployment(deployment, invariant_options);
 
   // Fold mid-run findings in (details prefixed so a red run says when the

@@ -41,6 +41,31 @@ struct FuzzDeparture {
   std::optional<Vec2> near;
 };
 
+/// Control-plane chaos scheduled for one seed (control-plane failsafe,
+/// src/control/control_plane.h).  Only armed on plans that also enable
+/// Config::failsafe.
+struct FuzzChaos {
+  /// Coordinator killed here; zero = no outage.
+  SimTime kill_at{};
+  /// Standby (next generation) revived here; zero = dead for the rest.
+  SimTime revive_at{};
+  /// MC↔Matrix links swap to `degraded` over [degrade_at, heal_at);
+  /// degrade_at zero = no window.
+  SimTime degrade_at{};
+  SimTime heal_at{};
+  LinkConfig degraded;
+
+  [[nodiscard]] bool any() const {
+    return kill_at.us() != 0 || degrade_at.us() != 0;
+  }
+  /// True when control messages can be LOST (not merely delayed or cut off
+  /// from a dead MC) — the condition for the weakened invariant set
+  /// (InvariantOptions::lossy_control_links).
+  [[nodiscard]] bool lossy() const {
+    return degrade_at.us() != 0 && degraded.drop_probability > 0.0;
+  }
+};
+
 /// The fully-expanded scenario for one seed.  Everything a run needs is
 /// here — inspect it (describe()) to see what a seed actually exercises.
 struct FuzzPlan {
@@ -48,6 +73,7 @@ struct FuzzPlan {
   DeploymentOptions deployment;
   std::vector<FuzzWave> waves;
   std::vector<FuzzDeparture> departures;
+  FuzzChaos chaos;
   SimTime duration;
   /// Crowd size at the crest (all waves summed).
   std::size_t offered_clients = 0;

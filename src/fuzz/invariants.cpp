@@ -91,6 +91,39 @@ std::string client_detail(std::uint64_t client, const ClientTrack& track,
   return out.str();
 }
 
+/// Last applied control update per (node, ControlKind) — the watermark the
+/// control-monotonic invariant checks kControlApplied events against.
+struct ControlTrack {
+  bool seen = false;
+  std::int64_t epoch = 0;
+  std::int64_t seq = 0;
+};
+
+/// Legal failsafe edges (control_plane.h): NORMAL→HOLD, HOLD→FALLBACK,
+/// HOLD→NORMAL, FALLBACK→NORMAL.
+bool failsafe_edge_legal(std::int64_t from, std::int64_t to) {
+  return (from == 0 && to == 1) || (from == 1 && to == 2) ||
+         (from == 1 && to == 0) || (from == 2 && to == 0);
+}
+
+/// Lossy-control-links mode: drop the conservation invariants that assume
+/// reliable delivery, keep the state-machine ones (see InvariantOptions).
+void strip_delivery_invariants(InvariantReport& report) {
+  const auto suppressed = [](const std::string& name) {
+    return name == kInvBlackhole || name == kInvClientConservation ||
+           name == kInvQueueConservation || name == kInvAgeConservation;
+  };
+  std::vector<InvariantViolation> kept;
+  for (InvariantViolation& violation : report.violations) {
+    if (!suppressed(violation.invariant)) kept.push_back(std::move(violation));
+  }
+  report.violations = std::move(kept);
+  for (auto it = report.fired_counts.begin();
+       it != report.fired_counts.end();) {
+    it = suppressed(it->first) ? report.fired_counts.erase(it) : ++it;
+  }
+}
+
 }  // namespace
 
 InvariantReport check_trace(const std::vector<obs::TraceEvent>& events,
@@ -98,6 +131,10 @@ InvariantReport check_trace(const std::vector<obs::TraceEvent>& events,
                             const EndState* expected) {
   InvariantReport report;
   std::map<std::uint64_t, ClientTrack> clients;
+
+  // Control-plane failsafe (src/control/control_plane.h).
+  std::map<std::pair<std::uint64_t, std::uint64_t>, ControlTrack> control;
+  std::map<std::uint64_t, std::int64_t> failsafe_state;  // node → state
 
   std::uint64_t sheds = 0;  // split + reclaim completions seen so far
   // Contiguous same-instant same-source run of handoff-sent events — one
@@ -387,6 +424,50 @@ InvariantReport check_trace(const std::vector<obs::TraceEvent>& events,
         break;
       }
 
+      case obs::TraceKind::kControlApplied: {
+        // subject=node, actor=ControlKind, a=epoch, b=seq.  Heartbeats and
+        // announces are freshness signals with their own epoch rule; the
+        // sequenced kinds recorded here must be strictly increasing.
+        ControlTrack& track = control[{event.subject, event.actor}];
+        if (track.seen && (event.a < track.epoch ||
+                           (event.a == track.epoch && event.b <= track.seq))) {
+          std::ostringstream out;
+          out << "node " << event.subject << " applied control kind "
+              << event.actor << " (epoch " << event.a << ", seq " << event.b
+              << ") at t=" << event.at.us() << "us after (epoch "
+              << track.epoch << ", seq " << track.seq
+              << ") — a stale or duplicate update changed state";
+          report.add(kInvControlMonotonic, out.str());
+        }
+        track.seen = true;
+        track.epoch = event.a;
+        track.seq = event.b;
+        break;
+      }
+
+      case obs::TraceKind::kFailsafeTransition: {
+        // subject=node, a=new state, b=old state.
+        std::int64_t& state = failsafe_state[event.subject];
+        std::ostringstream where;
+        where << "node " << event.subject << " failsafe " << event.b << "→"
+              << event.a << " at t=" << event.at.us() << "us";
+        if (event.a == event.b) {
+          report.add(kInvFailsafeTimeline,
+                     where.str() + " (self-transition)");
+        } else if (event.b != state) {
+          std::ostringstream out;
+          out << where.str() << " does not chain from the tracked state "
+              << state;
+          report.add(kInvFailsafeTimeline, out.str());
+        } else if (!failsafe_edge_legal(event.b, event.a)) {
+          report.add(kInvFailsafeTimeline,
+                     where.str() + " (illegal edge — states may not be "
+                                   "skipped)");
+        }
+        state = event.a;
+        break;
+      }
+
       default:
         break;  // engine / partition / admission events: censused above
     }
@@ -470,6 +551,8 @@ InvariantReport check_trace(const std::vector<obs::TraceEvent>& events,
     compare("queued count", kInvQueueConservation, derived.queued_by_node,
             expected->queued_by_node);
   }
+
+  if (options.lossy_control_links) strip_delivery_invariants(report);
 
   return report;
 }
@@ -580,6 +663,31 @@ InvariantReport check_deployment(Deployment& deployment,
                "coordinator directive-floor timeline violates the "
                "dwell/recover_min contract");
   }
+
+  // Failsafe timeline validity, everywhere a control plane lives: both
+  // halves of every server pair record their own transitions, and each
+  // recorded heartbeat age must justify the transition it triggered.
+  const FailsafeConfig& failsafe = deployment.options().config.failsafe;
+  for (const MatrixServer* server : deployment.matrix_servers()) {
+    if (!failsafe_timeline_valid(server->control_plane().transitions(),
+                                 failsafe)) {
+      std::ostringstream out;
+      out << "matrix server " << server->server_id().value()
+          << " failsafe timeline violates the tau1/tau2 contract";
+      report.add(kInvFailsafeTimeline, out.str());
+    }
+  }
+  for (const GameServer* game : deployment.game_servers()) {
+    if (!failsafe_timeline_valid(game->control_plane().transitions(),
+                                 failsafe)) {
+      std::ostringstream out;
+      out << "game server " << game->server_id().value()
+          << " failsafe timeline violates the tau1/tau2 contract";
+      report.add(kInvFailsafeTimeline, out.str());
+    }
+  }
+
+  if (options.lossy_control_links) strip_delivery_invariants(report);
 
   return report;
 }

@@ -32,6 +32,14 @@
 //                         machine-checked everywhere.
 //   span-accounting       no span was dropped for capacity and, after a
 //                         quiesced run, no split/reclaim span leaks open.
+//   failsafe-timeline     every control-plane failsafe timeline is legal:
+//                         NORMAL→HOLD→FALLBACK→NORMAL transitions only, no
+//                         self-loops or skipped states in the trace, and the
+//                         live planes' recorded heartbeat ages respect the
+//                         configured tau1/tau2 (failsafe_timeline_valid).
+//   control-monotonic     applied control updates are strictly monotonic
+//                         per (node, kind) in (epoch, seq) — a stale or
+//                         duplicate coordinator message never changes state.
 //   setup                 not an invariant of the system but of the run:
 //                         the flight recorder must be deep enough to hold
 //                         the whole lifecycle history, else the checks
@@ -69,6 +77,18 @@ inline constexpr const char* kInvHandoffChurn = "handoff-churn";
 inline constexpr const char* kInvAdmissionTimeline = "admission-timeline";
 inline constexpr const char* kInvSpanAccounting = "span-accounting";
 inline constexpr const char* kInvSetup = "setup";
+/// Control-plane failsafe (src/control/control_plane.h): every failsafe
+/// timeline chains legally in the trace (NORMAL→HOLD→FALLBACK→NORMAL, no
+/// self-transitions, no skipped states), and — in check_deployment — every
+/// live plane's transition record satisfies failsafe_timeline_valid against
+/// the configured tau1/tau2.
+inline constexpr const char* kInvFailsafeTimeline = "failsafe-timeline";
+/// Applied control updates are strictly monotonic per (node, kind): each
+/// kControlApplied's (epoch, seq) lexicographically exceeds the previous
+/// one.  A duplicate or regression here means a stale coordinator message
+/// changed state — the bug class the epoch-stamped ControlUpdate API exists
+/// to make impossible.
+inline constexpr const char* kInvControlMonotonic = "control-monotonic";
 
 struct InvariantViolation {
   std::string invariant;
@@ -86,6 +106,15 @@ struct InvariantOptions {
   /// Compare the trace-derived end state against the live deployment's
   /// session tables and waiting rooms (check_deployment only).
   bool check_end_state = true;
+  /// The run degraded control links (drop > 0 on MC↔Matrix): weakened
+  /// invariant set.  Conservation stories that assume reliable delivery —
+  /// blackhole, client/queue/age conservation — are suppressed, because a
+  /// lost control message can legitimately strand a lifecycle mid-flight
+  /// (e.g. a directive that never re-opened a frozen waiting room).  The
+  /// control-plane invariants (admission-timeline, failsafe-timeline,
+  /// control-monotonic, span capacity, handoff churn) still apply in full:
+  /// loss may starve state machines, never corrupt them.
+  bool lossy_control_links = false;
 };
 
 /// Everything recorded about one checked run.  `violations` keeps at most

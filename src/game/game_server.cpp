@@ -79,11 +79,14 @@ void GameServer::wire(NodeId matrix_node) {
       [this](const AdmissionDirective& d) { handle_directive(d); });
   port_->on_queue_handoff(
       [this](const QueueHandoff& h) { handle_queue_handoff(h); });
+  port_->on_heartbeat([this](const McHeartbeat& b) { handle_heartbeat(b); });
 }
 
 void GameServer::handle_admission(const AdmissionUpdate& update) {
-  if (update.seq <= admission_seq_seen_) return;  // reordered/stale update
-  admission_seq_seen_ = update.seq;
+  if (control_plane_.admit(now(), {ControlKind::kAdmissionUpdate, 0,
+                                   update.seq}) != ControlVerdict::kApply) {
+    return;  // reordered/stale update
+  }
   admission_state_ = admission_state_from_wire(update.state);
   // A relaxed valve is a drain opportunity: NORMAL empties the waiting room
   // outright, SOFT lets it spend whatever the bucket has accrued.
@@ -94,8 +97,10 @@ void GameServer::handle_admission(const AdmissionUpdate& update) {
 }
 
 void GameServer::handle_directive(const AdmissionDirective& directive) {
-  if (directive.seq <= directive_seq_seen_) return;  // reordered/stale
-  directive_seq_seen_ = directive.seq;
+  if (control_plane_.admit(now(), {ControlKind::kDirective, 0,
+                                   directive.seq}) != ControlVerdict::kApply) {
+    return;  // reordered/stale — or held while the failsafe is degraded
+  }
   directive_active_ = directive.active;
   directive_floor_ = directive.active
                          ? admission_state_from_wire(directive.floor)
@@ -463,6 +468,50 @@ void GameServer::start() {
   last_report_at_ = now();
   schedule_load_report();
   schedule_update_tick();
+  control_plane_.bind(&network()->tracer(), node_id().value());
+  if (config_.failsafe.enabled) {
+    control_plane_.start(now());
+    schedule_failsafe_tick();
+  }
+}
+
+void GameServer::handle_heartbeat(const McHeartbeat& beat) {
+  if (!config_.failsafe.enabled) return;
+  control_plane_.admit(now(),
+                       {ControlKind::kHeartbeat, beat.generation, beat.seq});
+}
+
+void GameServer::schedule_failsafe_tick() {
+  const std::uint64_t epoch = started_epoch_;
+  network()->events().schedule_after(
+      config_.failsafe.check_interval, [this, epoch] {
+        if (!started_ || started_epoch_ != epoch) return;
+        const bool was_fallback = control_plane_.fallback();
+        if (control_plane_.tick(now()) && !was_fallback &&
+            control_plane_.fallback()) {
+          on_failsafe_degraded();
+        }
+        schedule_failsafe_tick();
+      });
+}
+
+void GameServer::on_failsafe_degraded() {
+  // FALLBACK: the coordinator (or the path to it) is gone — the directive
+  // in force is a frozen snapshot that will never be rescinded.  Drop it
+  // and run on the local valve alone, restoring the local token rate the
+  // directive's budget share had displaced.
+  if (directive_active_ || directive_floor_ != AdmissionState::kNormal) {
+    directive_active_ = false;
+    directive_floor_ = AdmissionState::kNormal;
+    join_bucket_.set_rate(now(), config_.admission.token_rate_per_sec);
+    MATRIX_INFO("game", name() << " failsafe FALLBACK: dropped directive "
+                               << "floor, restored local token rate");
+    // The relaxed gate may make the waiting room drainable right away.
+    if (!surge_queue_.empty()) {
+      drain_surge_queue();
+      if (!surge_queue_.empty()) schedule_queue_tick();
+    }
+  }
 }
 
 void GameServer::spawn_map_objects(std::size_t count, const Rect& area,

@@ -51,6 +51,7 @@
 
 #include "api/matrix_port.h"
 #include "control/admission.h"
+#include "control/control_plane.h"
 #include "control/surge_queue.h"
 #include "control/token_bucket.h"
 #include "core/config.h"
@@ -102,6 +103,14 @@ class GameServer : public ProtocolNode {
   }
   /// True while a coordinator directive is in force here.
   [[nodiscard]] bool directive_active() const { return directive_active_; }
+  /// This server's control-plane failsafe view (freshness is driven by
+  /// McHeartbeats relayed through the co-located Matrix server).
+  [[nodiscard]] const ControlPlane& control_plane() const {
+    return control_plane_;
+  }
+  [[nodiscard]] FailsafeState failsafe_state() const {
+    return control_plane_.state();
+  }
   /// The surge queue ("waiting room"); empty forever unless
   /// Config::admission.priority.queue_enabled.
   [[nodiscard]] const SurgeQueue& surge_queue() const { return surge_queue_; }
@@ -178,6 +187,12 @@ class GameServer : public ProtocolNode {
   void handle_admission(const AdmissionUpdate& update);
   void handle_directive(const AdmissionDirective& directive);
   void handle_queue_handoff(const QueueHandoff& handoff);
+  // Control-plane failsafe (src/control/control_plane.h): heartbeat intake,
+  // the degradation tick, and the FALLBACK entry hook that rescinds frozen
+  // coordinator state in favour of the local valve.
+  void handle_heartbeat(const McHeartbeat& beat);
+  void schedule_failsafe_tick();
+  void on_failsafe_degraded();
   /// The admission gate for a fresh (non-resume) join; true ⇒ admit.
   [[nodiscard]] bool admit_join(const ClientHello& hello, NodeId client_node);
   /// Trace-layer bookkeeping (src/obs/) for a refused join: records the
@@ -289,14 +304,17 @@ class GameServer : public ProtocolNode {
   // state; this server spends the SOFT-mode token budget locally so no
   // per-join round trip exists.
   AdmissionState admission_state_ = AdmissionState::kNormal;
-  std::uint64_t admission_seq_seen_ = 0;
   TokenBucket join_bucket_{config_.admission.token_rate_per_sec,
                            config_.admission.token_burst};
   // Coordinator-led global admission (src/control/global_admission.h):
   // floor composed into the gate, token share swapped into join_bucket_.
   AdmissionState directive_floor_ = AdmissionState::kNormal;
   bool directive_active_ = false;
-  std::uint64_t directive_seq_seen_ = 0;
+  /// Epoch/seq admission for every coordinator-originated state flip
+  /// (AdmissionUpdate, AdmissionDirective, relayed McHeartbeat) plus the
+  /// heartbeat-freshness failsafe state machine.  Replaces the old ad-hoc
+  /// admission_seq_seen_ / directive_seq_seen_ watermarks.
+  ControlPlane control_plane_{config_.failsafe};
   // Surge queue (src/control/surge_queue.h): the server-owned waiting room
   // replacing client-side defer-retry when enabled.
   SurgeQueue surge_queue_{config_.admission.priority};

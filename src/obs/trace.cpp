@@ -32,6 +32,10 @@ const char* trace_kind_name(TraceKind kind) {
     case TraceKind::kQueueHandoff: return "queue_handoff";
     case TraceKind::kQueueHandoffSent: return "queue_handoff_sent";
     case TraceKind::kQueueHandoffDrop: return "queue_handoff_drop";
+    case TraceKind::kFailsafeTransition: return "failsafe_transition";
+    case TraceKind::kControlEpochFlip: return "control_epoch_flip";
+    case TraceKind::kControlStaleDrop: return "control_stale_drop";
+    case TraceKind::kControlApplied: return "control_applied";
     case TraceKind::kCount: break;
   }
   return "?";

@@ -76,6 +76,14 @@ enum class TraceKind : std::uint8_t {
                         ///< subject=client, actor=game node,
                         ///< a=1 already has session / 2 already queued
 
+  // ---- control-plane failsafe ----------------------------------------------
+  kFailsafeTransition,  ///< subject=node, a=new failsafe state, b=old state
+  kControlEpochFlip,    ///< subject=node, a=new MC epoch, b=old epoch
+  kControlStaleDrop,    ///< stale control update rejected: subject=node,
+                        ///< actor=ControlKind, a=epoch, b=seq
+  kControlApplied,      ///< sequenced control update applied: subject=node,
+                        ///< actor=ControlKind, a=epoch, b=seq
+
   kCount,
 };
 

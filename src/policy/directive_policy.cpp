@@ -15,6 +15,10 @@ SplitDecision DirectivePolicy::decide_split(const LoadView& view) const {
   // with the caller, so a directive cannot stampede a server into
   // back-to-back splits.
   if (!config_.allow_split || !view.directive_active) return classic;
+  // Under a degraded control plane the directive is a frozen snapshot of a
+  // coordinator we may never hear from again — don't volunteer for splits
+  // on its say-so (classic reactive splits above remain available).
+  if (view.failsafe != kFailsafeNormal) return classic;
   // A proactive ask against a dry (or unknown) pool cannot be granted, but
   // the PoolDeny it provokes still feeds the denial-streak admission signal
   // and can slam the valve to HARD — freezing the very waiting room the
@@ -43,6 +47,9 @@ std::pair<Rect, Rect> DirectivePolicy::split_ranges(const LoadView& view) const 
 
 double DirectivePolicy::pool_need(const LoadView& view) const {
   if (!view.directive_active) return 0.0;  // no bias without a directive
+  // Degraded failsafe: the directive (and the pool view) are stale — bid
+  // like the classic pool instead of leaning on a dead coordinator's score.
+  if (view.failsafe != kFailsafeNormal) return 0.0;
   const auto overload =
       static_cast<double>(std::max(1u, config_.overload_clients));
   // The per-partition slice of the MC's pressure score: load fraction plus

@@ -90,6 +90,11 @@ struct LoadView {
   double directive_pressure = 0.0;
   /// Deployment-wide parked joins carried by the latest directive.
   std::uint32_t directive_waiting_total = 0;
+  /// Control-plane failsafe state (0 NORMAL, 1 HOLD, 2 FALLBACK — numeric
+  /// to keep this header free of control/ includes; see the constants
+  /// below).  Non-NORMAL means coordinator-derived state above is FROZEN:
+  /// policies must not derive new pool-grant-seeking decisions from it.
+  std::uint8_t failsafe = 0;
 };
 
 /// Numeric valve states as carried in LoadView (mirrors AdmissionState
@@ -97,6 +102,12 @@ struct LoadView {
 inline constexpr std::uint8_t kValveNormal = 0;
 inline constexpr std::uint8_t kValveSoft = 1;
 inline constexpr std::uint8_t kValveHard = 2;
+
+/// Numeric failsafe states as carried in LoadView (mirrors FailsafeState
+/// without pulling control/control_plane.h into this header).
+inline constexpr std::uint8_t kFailsafeNormal = 0;
+inline constexpr std::uint8_t kFailsafeHold = 1;
+inline constexpr std::uint8_t kFailsafeFallback = 2;
 
 /// The parent-visible slice of one child server, for reclaim decisions
 /// (fed by the child's PeerLoad heartbeats).

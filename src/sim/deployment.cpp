@@ -59,7 +59,12 @@ Deployment::Deployment(DeploymentOptions options)
   }
 
   coordinator_ = std::make_unique<Coordinator>(options_.config);
+  coordinator_->set_generation(mc_generation_);
   const NodeId mc_node = network_.attach(coordinator_.get(), options_.infra_node);
+  // Control-plane failsafe: the MC's liveness beat.  Started before any
+  // server registers — the first broadcast round is empty, but
+  // register_server sends each newcomer an immediate beat.
+  if (options_.config.failsafe.enabled) coordinator_->start_heartbeats();
   pool_ = std::make_unique<ResourcePool>();
   pool_->configure(options_.config);  // grant-arbitration policy (src/policy/)
   const NodeId pool_node = network_.attach(pool_.get(), options_.infra_node);
@@ -132,16 +137,31 @@ Deployment::Deployment(DeploymentOptions options)
 }
 
 void Deployment::fail_over_coordinator() {
+  kill_coordinator();
+  revive_coordinator();
+}
+
+void Deployment::kill_coordinator() {
+  if (!coordinator_alive()) return;
   // Kill the primary: undelivered control messages to it are lost, exactly
-  // like a process crash.
+  // like a process crash.  Its heartbeat loop stops itself on the next
+  // firing (Coordinator::schedule_heartbeat checks attachment) — the
+  // resulting silence is what drives every server's failsafe to HOLD and
+  // then FALLBACK.  The object itself is kept so its partition map stays
+  // readable out of band (login path).
   network_.detach(coordinator_->node_id());
+}
+
+void Deployment::revive_coordinator() {
+  if (coordinator_alive()) return;
   retired_coordinators_.push_back(std::move(coordinator_));
 
   // Bring up the standby and tell every Matrix server (ops-driven
   // reconfiguration; a production system would use a failure detector).
   coordinator_ = std::make_unique<Coordinator>(options_.config);
-  const NodeId standby = network_.attach(coordinator_.get(), options_.infra_node);
   ++mc_generation_;
+  coordinator_->set_generation(mc_generation_);
+  const NodeId standby = network_.attach(coordinator_.get(), options_.infra_node);
   for (MatrixServer* server : matrix_ptrs_) {
     network_.set_link_bidirectional(standby, server->node_id(), options_.lan);
     McAnnounce announce;
@@ -156,6 +176,18 @@ void Deployment::fail_over_coordinator() {
   network_.set_link_bidirectional(standby, pool_->node_id(), options_.lan);
   if (options_.config.admission.enabled) {
     pool_->wire(standby);  // re-point occupancy reports at the new MC
+  }
+  if (options_.config.failsafe.enabled) coordinator_->start_heartbeats();
+}
+
+bool Deployment::coordinator_alive() const {
+  return network_.attached(coordinator_->node_id());
+}
+
+void Deployment::set_control_links(const LinkConfig& link) {
+  for (MatrixServer* server : matrix_ptrs_) {
+    network_.set_link_bidirectional(coordinator_->node_id(),
+                                    server->node_id(), link);
   }
 }
 

@@ -110,8 +110,30 @@ class Deployment {
   /// (the paper's "well understood replication techniques" note, §3.2.4).
   /// The standby rebuilds the partition map from the re-registrations its
   /// McAnnounce solicits; routing continues uninterrupted throughout
-  /// because overlap tables live on the Matrix servers.
+  /// because overlap tables live on the Matrix servers.  Equivalent to
+  /// kill_coordinator() immediately followed by revive_coordinator().
   void fail_over_coordinator();
+
+  /// Kills the current MC and brings up NO standby: control messages to it
+  /// are lost and its heartbeats fall silent — the failsafe outage the
+  /// control plane (src/control/control_plane.h) is built to survive.  The
+  /// dead MC's partition map stays readable, so the out-of-band login path
+  /// (add_bot → server_for) keeps resolving entry servers, exactly like a
+  /// lobby service holding a cached map.
+  void kill_coordinator();
+
+  /// Brings up a fresh standby MC (next generation) after
+  /// kill_coordinator(): announces it to every Matrix server, re-points the
+  /// pool, and restarts heartbeats.  No-op if the MC is alive.
+  void revive_coordinator();
+
+  /// True while the current MC is attached (not killed).
+  [[nodiscard]] bool coordinator_alive() const;
+
+  /// Re-links every Matrix server to the MC with `link` in both directions
+  /// — the chaos knob for control-plane partitions (drop 1.0) and slow /
+  /// lossy control paths.  Data-plane and client links are untouched.
+  void set_control_links(const LinkConfig& link);
 
   /// True while the nodes of `server` index are attached/usable.
   [[nodiscard]] bool server_is_active(std::size_t index) const;

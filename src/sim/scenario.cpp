@@ -59,6 +59,141 @@ void Scenario::remove_bots_at(SimTime at, std::size_t count,
   });
 }
 
+// ---- ScenarioSpec -----------------------------------------------------------
+
+ScenarioSpec& ScenarioSpec::background(SimTime at, std::size_t count) {
+  Action action;
+  action.kind = Action::Kind::kBackground;
+  action.at = at;
+  action.count = count;
+  actions_.push_back(action);
+  offered_ += count;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::flash(SimTime at, std::size_t count, Vec2 center,
+                                  double spread, double vip_fraction) {
+  Action action;
+  action.kind = Action::Kind::kFlash;
+  action.at = at;
+  action.count = count;
+  action.center = center;
+  action.spread = spread;
+  action.vip_fraction = vip_fraction;
+  actions_.push_back(action);
+  offered_ += count;
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::ramp(SimTime from, std::size_t total,
+                                 std::size_t batch, SimTime interval,
+                                 Vec2 center, double spread,
+                                 double vip_fraction) {
+  SimTime t = from;
+  for (std::size_t joined = 0; joined < total;) {
+    // batch 0 would never advance; treat it as "everyone at once".
+    const std::size_t n =
+        std::min(batch > 0 ? batch : total, total - joined);
+    flash(t, n, center, spread, vip_fraction);
+    joined += n;
+    t = t + interval;
+  }
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::depart(SimTime at, std::size_t count,
+                                   std::optional<Vec2> near) {
+  Action action;
+  action.kind = Action::Kind::kDepart;
+  action.at = at;
+  action.count = count;
+  action.near = near;
+  actions_.push_back(action);
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::departures(SimTime from, std::size_t total,
+                                       std::size_t batch, SimTime interval,
+                                       std::optional<Vec2> near) {
+  SimTime t = from;
+  for (std::size_t left = 0; left < total;) {
+    const std::size_t n = std::min(batch > 0 ? batch : total, total - left);
+    depart(t, n, near);
+    left += n;
+    t = t + interval;
+  }
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::kill_mc(SimTime at) {
+  Action action;
+  action.kind = Action::Kind::kKillMc;
+  action.at = at;
+  actions_.push_back(action);
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::revive_mc(SimTime at) {
+  Action action;
+  action.kind = Action::Kind::kReviveMc;
+  action.at = at;
+  actions_.push_back(action);
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::degrade_control_links(SimTime at,
+                                                  const LinkConfig& link) {
+  Action action;
+  action.kind = Action::Kind::kControlLink;
+  action.at = at;
+  action.link = link;
+  actions_.push_back(action);
+  return *this;
+}
+
+ScenarioSpec& ScenarioSpec::run_for(SimTime duration) {
+  duration_ = duration;
+  return *this;
+}
+
+void ScenarioSpec::schedule(Deployment& deployment) const {
+  Scenario scenario(deployment);
+  Deployment* raw = &deployment;
+  for (const Action& action : actions_) {
+    switch (action.kind) {
+      case Action::Kind::kBackground:
+        scenario.add_background_bots(action.at, action.count);
+        break;
+      case Action::Kind::kFlash:
+        if (action.vip_fraction > 0.0) {
+          scenario.add_surge_bots(action.at, action.count, action.center,
+                                  action.spread, action.vip_fraction);
+        } else {
+          scenario.add_hotspot_bots(action.at, action.count, action.center,
+                                    action.spread);
+        }
+        break;
+      case Action::Kind::kDepart:
+        scenario.remove_bots_at(action.at, action.count, action.near);
+        break;
+      case Action::Kind::kKillMc:
+        deployment.network().events().schedule_at(
+            action.at, [raw] { raw->kill_coordinator(); });
+        break;
+      case Action::Kind::kReviveMc:
+        deployment.network().events().schedule_at(
+            action.at, [raw] { raw->revive_coordinator(); });
+        break;
+      case Action::Kind::kControlLink: {
+        const LinkConfig link = action.link;
+        deployment.network().events().schedule_at(
+            action.at, [raw, link] { raw->set_control_links(link); });
+        break;
+      }
+    }
+  }
+}
+
 void schedule_hotspot_scenario(Deployment& deployment,
                                const HotspotScenarioOptions& options) {
   Scenario scenario(deployment);
@@ -101,22 +236,14 @@ void schedule_hotspot_scenario(Deployment& deployment,
 
 void schedule_overload_scenario(Deployment& deployment,
                                 const OverloadScenarioOptions& options) {
-  Scenario scenario(deployment);
-  scenario.add_background_bots(SimTime::from_ms(100), options.background_bots);
-
   // The flash crowd arrives in waves, not one instant dump: real flash
   // crowds ramp, and the ramp is what lets splits race the arrivals until
   // the pool runs dry.
-  SimTime t = options.flash_at;
-  for (std::size_t joined = 0; joined < options.flash_bots;) {
-    // join_batch 0 would never advance; treat it as "everyone at once".
-    const std::size_t batch = std::min(
-        options.join_batch > 0 ? options.join_batch : options.flash_bots,
-        options.flash_bots - joined);
-    scenario.add_hotspot_bots(t, batch, options.center, options.spread);
-    joined += batch;
-    t += options.join_interval;
-  }
+  ScenarioSpec()
+      .background(SimTime::from_ms(100), options.background_bots)
+      .ramp(options.flash_at, options.flash_bots, options.join_batch,
+            options.join_interval, options.center, options.spread)
+      .schedule(deployment);
 }
 
 void schedule_surge_scenario(Deployment& deployment,
@@ -264,6 +391,31 @@ void schedule_mega_surge_scenario(Deployment& deployment,
 std::size_t deployment_capacity_clients(const Deployment& deployment) {
   return deployment.game_servers().size() *
          deployment.options().config.overload_clients;
+}
+
+void schedule_mc_outage_scenario(Deployment& deployment,
+                                 const McOutageScenarioOptions& options) {
+  ScenarioSpec spec;
+  spec.background(SimTime::from_ms(100), options.load.background_bots)
+      .ramp(options.load.flash_at, options.load.flash_bots,
+            options.load.join_batch, options.load.join_interval,
+            options.load.center, options.load.spread)
+      .kill_mc(options.kill_at);
+  if (options.revive_at.us() != 0) spec.revive_mc(options.revive_at);
+  spec.run_for(options.load.duration).schedule(deployment);
+}
+
+void schedule_control_partition_scenario(
+    Deployment& deployment, const ControlPartitionScenarioOptions& options) {
+  ScenarioSpec()
+      .background(SimTime::from_ms(100), options.load.background_bots)
+      .ramp(options.load.flash_at, options.load.flash_bots,
+            options.load.join_batch, options.load.join_interval,
+            options.load.center, options.load.spread)
+      .degrade_control_links(options.partition_at, options.degraded)
+      .degrade_control_links(options.heal_at, options.healed)
+      .run_for(options.load.duration)
+      .schedule(deployment);
 }
 
 }  // namespace matrix

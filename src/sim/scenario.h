@@ -42,6 +42,92 @@ class Scenario {
   Deployment& deployment_;
 };
 
+/// Fluent scenario composer — the one scheduling surface shared by the
+/// canned workloads here, the control-plane chaos scenarios below, and the
+/// randomized fuzzer (src/fuzz/fuzz_scenario.cpp).  Collect arrival waves,
+/// departures, and chaos actions; schedule() then scripts them all onto a
+/// deployment in insertion order (which is also the same-instant firing
+/// order, so two specs that list the same actions produce byte-identical
+/// runs).
+///
+///   ScenarioSpec()
+///       .background(SimTime::from_ms(100), 50)
+///       .ramp(flash_at, 1200, 150, SimTime::from_sec(2.0), center, 150.0)
+///       .kill_mc(SimTime::from_sec(15.0))
+///       .revive_mc(SimTime::from_sec(75.0))
+///       .run_for(SimTime::from_sec(90.0))
+///       .schedule(deployment);
+class ScenarioSpec {
+ public:
+  /// `count` bots spawn uniformly over the world at `at`.
+  ScenarioSpec& background(SimTime at, std::size_t count);
+  /// One flash wave at `center`.  A zero `vip_fraction` spawns plain
+  /// hotspot bots; non-zero mixes VIPs in (surge-queue priority classes).
+  ScenarioSpec& flash(SimTime at, std::size_t count, Vec2 center,
+                      double spread, double vip_fraction = 0.0);
+  /// Waved arrival: `total` bots in `batch`-sized flashes every `interval`
+  /// starting at `from` (batch 0 = everyone at once) — the canonical
+  /// flash-crowd ramp every canned scenario uses.
+  ScenarioSpec& ramp(SimTime from, std::size_t total, std::size_t batch,
+                     SimTime interval, Vec2 center, double spread,
+                     double vip_fraction = 0.0);
+  /// `count` connected bots leave at `at`, nearest `near` first.
+  ScenarioSpec& depart(SimTime at, std::size_t count,
+                       std::optional<Vec2> near = std::nullopt);
+  /// Staged departures: `total` bots in `batch` groups every `interval`.
+  ScenarioSpec& departures(SimTime from, std::size_t total, std::size_t batch,
+                           SimTime interval,
+                           std::optional<Vec2> near = std::nullopt);
+
+  // ---- control-plane chaos (src/control/control_plane.h) -------------------
+  /// The coordinator process dies at `at` (Deployment::kill_coordinator):
+  /// its heartbeats fall silent and every control message toward it is lost.
+  ScenarioSpec& kill_mc(SimTime at);
+  /// A standby MC (next generation) comes up at `at`
+  /// (Deployment::revive_coordinator).
+  ScenarioSpec& revive_mc(SimTime at);
+  /// Re-links MC↔Matrix with `link` at `at` (Deployment::set_control_links)
+  /// — drop 1.0 is a control partition, high latency a delayed/reordering
+  /// control path.  Schedule a second call with a healthy link to heal.
+  ScenarioSpec& degrade_control_links(SimTime at, const LinkConfig& link);
+
+  /// Declares the intended run length (recorded, not enforced — callers
+  /// still drive run_until), so scenario builders can hand the duration and
+  /// the schedule around as one value.
+  ScenarioSpec& run_for(SimTime duration);
+
+  [[nodiscard]] SimTime duration() const { return duration_; }
+  /// Crowd size at the crest (background + every flash wave).
+  [[nodiscard]] std::size_t offered_clients() const { return offered_; }
+
+  /// Scripts every collected action onto `deployment`'s event queue.
+  void schedule(Deployment& deployment) const;
+
+ private:
+  struct Action {
+    enum class Kind : std::uint8_t {
+      kBackground,
+      kFlash,
+      kDepart,
+      kKillMc,
+      kReviveMc,
+      kControlLink,
+    };
+    Kind kind;
+    SimTime at;
+    std::size_t count = 0;
+    Vec2 center;
+    double spread = 0.0;
+    double vip_fraction = 0.0;
+    std::optional<Vec2> near;
+    LinkConfig link;
+  };
+
+  std::vector<Action> actions_;
+  SimTime duration_{};
+  std::size_t offered_ = 0;
+};
+
 /// The paper's Fig. 2 workload, parameterised.
 struct HotspotScenarioOptions {
   std::size_t background_bots = 100;
@@ -330,5 +416,50 @@ void schedule_mega_surge_scenario(Deployment& deployment,
   for (std::size_t s = 0; s < surges; ++s) total += options.flash_bots[s];
   return total;
 }
+
+// ---- control-plane chaos workloads (src/control/control_plane.h) -----------
+
+/// MC-outage chaos: the overload flash crowd with the coordinator crashing
+/// mid-surge and — optionally — a standby reviving later.  The regime the
+/// heartbeat failsafe exists for: with Config::failsafe.enabled every
+/// matrix/game server rides NORMAL → HOLD → FALLBACK on the silence, keeps
+/// admitting on its local valve, and recovers when the standby's beats
+/// arrive; with it off, whatever directive floor was in force at the crash
+/// stays frozen forever.  bench_mc_outage runs exactly this head-to-head.
+struct McOutageScenarioOptions {
+  /// Crowd shape (arrivals keep coming THROUGH the outage).
+  OverloadScenarioOptions load;
+  /// Coordinator killed here — default mid-ramp, well before the crest.
+  SimTime kill_at = SimTime::from_sec(15.0);
+  /// Standby (next generation) brought up here; zero = dead for the rest
+  /// of the run.
+  SimTime revive_at{};
+};
+
+/// Schedules the flash crowd plus the outage.  Call
+/// deployment.run_until(options.load.duration) afterwards.
+void schedule_mc_outage_scenario(Deployment& deployment,
+                                 const McOutageScenarioOptions& options);
+
+/// Control-partition chaos: the MC stays alive but its links to every
+/// Matrix server degrade over a window — drop 1.0 is a full partition
+/// (silence, like an outage, but undelivered directives are LOST not
+/// queued), partial drop with high latency is the delayed/reordered
+/// control path that stale-epoch/stale-seq admission exists for.
+struct ControlPartitionScenarioOptions {
+  /// Crowd shape (arrivals keep coming through the partition).
+  OverloadScenarioOptions load;
+  SimTime partition_at = SimTime::from_sec(15.0);
+  SimTime heal_at = SimTime::from_sec(45.0);
+  /// MC↔Matrix link during the window; default black-holes everything.
+  LinkConfig degraded{SimTime::from_us(300), 125e6, 1.0};
+  /// Link restored at heal_at (the deployment's LAN defaults).
+  LinkConfig healed{SimTime::from_us(300), 125e6, 0.0};
+};
+
+/// Schedules the flash crowd plus the partition window.  Call
+/// deployment.run_until(options.load.duration) afterwards.
+void schedule_control_partition_scenario(
+    Deployment& deployment, const ControlPartitionScenarioOptions& options);
 
 }  // namespace matrix

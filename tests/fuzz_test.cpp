@@ -326,6 +326,71 @@ TEST(InvariantCheckerTest, ToleratedZombieRaceIsAnomalyNotViolation) {
   EXPECT_GE(report.anomalies, 1u);
 }
 
+TEST(InvariantCheckerTest, CleanControlStreamHolds) {
+  // Strictly increasing (epoch, seq) per (node, kind) — including an epoch
+  // flip that legally resets the seq — plus a full legal failsafe cycle.
+  const std::vector<obs::TraceEvent> events = {
+      event(100, obs::TraceKind::kControlApplied, 10, 2, /*a=*/1, /*b=*/1),
+      event(200, obs::TraceKind::kControlApplied, 10, 2, /*a=*/1, /*b=*/2),
+      event(300, obs::TraceKind::kControlApplied, 10, 2, /*a=*/2, /*b=*/1),
+      event(400, obs::TraceKind::kFailsafeTransition, 10, 0, /*a=*/1,
+            /*b=*/0),
+      event(500, obs::TraceKind::kFailsafeTransition, 10, 0, /*a=*/2,
+            /*b=*/1),
+      event(600, obs::TraceKind::kFailsafeTransition, 10, 0, /*a=*/0,
+            /*b=*/2),
+  };
+  const InvariantReport report = check_trace(events, {});
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(InvariantCheckerTest, StaleControlReplayIsMonotonicViolation) {
+  // A duplicate (epoch, seq) and an epoch regression both mean a stale
+  // coordinator message changed state.
+  const std::vector<obs::TraceEvent> events = {
+      event(100, obs::TraceKind::kControlApplied, 10, 2, /*a=*/2, /*b=*/5),
+      event(200, obs::TraceKind::kControlApplied, 10, 2, /*a=*/2, /*b=*/5),
+      event(300, obs::TraceKind::kControlApplied, 10, 2, /*a=*/1, /*b=*/9),
+  };
+  const InvariantReport report = check_trace(events, {});
+  note_fired(report);
+  EXPECT_TRUE(report.fired(kInvControlMonotonic)) << report.summary();
+  EXPECT_EQ(report.fired_counts.at(kInvControlMonotonic), 2u);
+}
+
+TEST(InvariantCheckerTest, MalformedFailsafeEdgesAreTimelineViolations) {
+  const std::vector<obs::TraceEvent> events = {
+      // NORMAL→FALLBACK skips HOLD: illegal edge.
+      event(100, obs::TraceKind::kFailsafeTransition, 10, 0, /*a=*/2,
+            /*b=*/0),
+      // FALLBACK→FALLBACK: self-transition.
+      event(200, obs::TraceKind::kFailsafeTransition, 10, 0, /*a=*/2,
+            /*b=*/2),
+      // Claims to leave HOLD while the tracked state is FALLBACK.
+      event(300, obs::TraceKind::kFailsafeTransition, 10, 0, /*a=*/0,
+            /*b=*/1),
+  };
+  const InvariantReport report = check_trace(events, {});
+  note_fired(report);
+  EXPECT_TRUE(report.fired(kInvFailsafeTimeline)) << report.summary();
+  EXPECT_EQ(report.fired_counts.at(kInvFailsafeTimeline), 3u);
+}
+
+TEST(InvariantCheckerTest, LossyControlLinksKeepStateMachineInvariants) {
+  // Under a lossy control link a stranded lifecycle is forgiven (the lost
+  // message explains it) but a corrupted state machine never is.
+  const std::vector<obs::TraceEvent> events = {
+      event(100, obs::TraceKind::kClientHello, 1, 10),  // never resolves
+      event(200, obs::TraceKind::kControlApplied, 10, 2, /*a=*/1, /*b=*/3),
+      event(300, obs::TraceKind::kControlApplied, 10, 2, /*a=*/1, /*b=*/3),
+  };
+  InvariantOptions options;
+  options.lossy_control_links = true;
+  const InvariantReport report = check_trace(events, options);
+  EXPECT_FALSE(report.fired(kInvBlackhole)) << report.summary();
+  EXPECT_TRUE(report.fired(kInvControlMonotonic)) << report.summary();
+}
+
 TEST(InvariantCheckerTest, ReportCapsDetailsButCountsEverything) {
   InvariantReport report;
   for (int i = 0; i < 100; ++i) {
@@ -422,6 +487,18 @@ TEST(FuzzMutationTest, TruncatedRingIsCaughtAsSetup) {
   EXPECT_TRUE(result.report.fired(kInvSetup)) << result.report.summary();
 }
 
+TEST(FuzzMutationTest, StaleDirectiveReplayIsCaughtAsControlMonotonic) {
+  const FuzzResult result = run_mutated([](DeploymentOptions& options) {
+    // The matrix re-applies every coordinator directive a second time,
+    // with the control plane's staleness rejection bypassed — the same
+    // (epoch, seq) acts twice and the applied stream stops increasing.
+    options.config.fault.stale_directive_replay = true;
+  });
+  note_fired(result.report);
+  EXPECT_TRUE(result.report.fired(kInvControlMonotonic))
+      << result.report.summary();
+}
+
 // ---------------------------------------------------------------------------
 // Capstone: full invariant coverage
 // ---------------------------------------------------------------------------
@@ -433,7 +510,8 @@ TEST(FuzzCoverageTest, EveryInvariantFiredSomewhereInThisBinary) {
   for (const char* invariant :
        {kInvBlackhole, kInvClientConservation, kInvQueueConservation,
         kInvAgeConservation, kInvHandoffChurn, kInvAdmissionTimeline,
-        kInvSpanAccounting, kInvSetup}) {
+        kInvSpanAccounting, kInvSetup, kInvFailsafeTimeline,
+        kInvControlMonotonic}) {
     EXPECT_TRUE(fired_registry().count(invariant) == 1)
         << "invariant '" << invariant
         << "' never fired in any synthetic or mutation test";

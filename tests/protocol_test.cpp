@@ -81,7 +81,7 @@ TEST(ServerSetTest, EqualityIsOrderIndependent) {
 // and adding a NEW message breaks the static_assert below until the
 // generator covers it.
 
-static_assert(std::variant_size_v<Message> == 38,
+static_assert(std::variant_size_v<Message> == 39,
               "New Message alternative: extend random_message() below");
 
 Vec2 rnd_vec(Rng& rng) {
@@ -390,6 +390,8 @@ Message random_message(std::size_t index, Rng& rng) {
       }
       return m;
     }
+    case 38:
+      return McHeartbeat{rnd_id<NodeId>(rng), rng.next_u64(), rng.next_u64()};
     default: break;
   }
   ADD_FAILURE() << "random_message: unhandled alternative " << index;
@@ -456,6 +458,17 @@ TEST(ProtocolTest, RecentFieldsSurviveDecoding) {
   EXPECT_DOUBLE_EQ(d.token_rate, 13.75);
   EXPECT_DOUBLE_EQ(d.pressure, 0.8125);
   EXPECT_EQ(d.waiting_total, 412u);
+
+  McHeartbeat beat;
+  beat.mc_node = NodeId(21);
+  beat.generation = 3;
+  beat.seq = 117;
+  const auto beat_out = decode_message(encode_message(Message{beat}));
+  ASSERT_TRUE(beat_out.has_value());
+  const auto& hb = std::get<McHeartbeat>(*beat_out);
+  EXPECT_EQ(hb.mc_node, NodeId(21));
+  EXPECT_EQ(hb.generation, 3u);
+  EXPECT_EQ(hb.seq, 117u);
 }
 
 // ---------------------------------------------------------------------------
