@@ -12,6 +12,11 @@
 //   mega_surge : MegaSurgeScenario — ≥10k concurrent clients across a 36-root
 //                grid, the scale the old engine could not reach in a usable
 //                wall-time budget.
+//   giga_shards_K : GigaSurgeScenario (≥100k offered clients, 64 roots) on
+//                the sharded conservative engine at K ∈ {1, 2, 4} — the
+//                shard-scaling curve.  K=1 is the serial engine; speedup at
+//                K>1 requires free cores (a single-core runner reports the
+//                synchronization overhead honestly instead).
 //
 // Alongside throughput it reports the engine counters (events processed,
 // peak event-heap depth, payload-buffer reuse rate) so a perf regression can
@@ -126,6 +131,45 @@ int main(int argc, char** argv) {
     report(json, "mega_surge", r);
     std::printf("  offered clients            %12zu (>= 10k scale)\n",
                 mega_surge_offered_clients(scenario));
+  }
+  {
+    // Shard-scaling curve on the 100k-client workload (trimmed to a 3 s sim
+    // so three engine configurations fit one bench run).  Wall-clock speedup
+    // needs as many free cores as shards; the per-shard hash chains pin the
+    // K>1 runs as deterministic regardless (tests/shard_engine_test.cpp).
+    GigaSurgeScenarioOptions scenario;
+    scenario.duration = 3_sec;
+    std::printf("\n[giga shard scaling: %zu offered clients]\n",
+                giga_surge_offered_clients(scenario));
+    double base_events_per_sec = 0.0;
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{4}}) {
+      auto r = run_workload(giga_surge_deployment_options(shards),
+                            scenario.duration, [&](Deployment& d) {
+                              schedule_giga_surge_scenario(d, scenario);
+                            });
+      char run[32];
+      std::snprintf(run, sizeof run, "giga_shards_%zu", shards);
+      report(json, run, r);
+      const double events_per_sec =
+          static_cast<double>(r.engine.events_processed) / r.wall_sec;
+      if (shards == 1) {
+        base_events_per_sec = events_per_sec;
+      } else if (base_events_per_sec > 0.0) {
+        const double speedup = events_per_sec / base_events_per_sec;
+        std::printf("  %-26s %12.2fx vs serial\n", "shard speedup", speedup);
+        json.add(run, "speedup_vs_serial", speedup, "x");
+      }
+      std::printf("  %-26s %12llu\n", "cross-shard messages",
+                  static_cast<unsigned long long>(
+                      r.engine.cross_shard_messages));
+      std::printf("  %-26s %12llu\n", "barrier windows",
+                  static_cast<unsigned long long>(r.engine.windows));
+      json.add(run, "cross_shard_messages",
+               static_cast<double>(r.engine.cross_shard_messages), "msgs");
+      json.add(run, "windows", static_cast<double>(r.engine.windows),
+               "windows");
+    }
   }
 
   return json.write(json_report_path(argc, argv)) ? 0 : 1;

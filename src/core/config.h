@@ -261,6 +261,22 @@ namespace obs {
 [[nodiscard]] bool default_trace_enabled();
 }  // namespace obs
 
+/// Knobs for the sharded parallel simulation engine (src/net/network.h,
+/// docs/ARCHITECTURE.md "Parallel engine").  Default: one shard — the serial
+/// engine, byte-identical to every pre-sharding golden trace.
+struct EngineConfig {
+  /// Number of event-queue shards the deployment's nodes are partitioned
+  /// into.  Each shard owns its own EventQueue, BufferPool, RNG stream, and
+  /// trace buffer; shards synchronize with conservative lookahead windows
+  /// derived from the minimum cross-shard link latency.  1 = serial.
+  std::size_t shards = 1;
+  /// Run shard windows on persistent worker threads.  Results are identical
+  /// either way — that is the determinism contract — so this only buys
+  /// wall-clock on multi-core hosts.  MATRIX_SHARD_THREADS overrides
+  /// ("0"/"off" forces sequential, "1"/"on" forces threads).
+  bool threads = true;
+};
+
 /// Knobs for the observability layer (src/obs/): structured tracing, the
 /// flight-recorder ring, and span pairing.  Mirrors obs::TraceOptions so
 /// configuring a deployment does not pull in the obs headers.  Disabled by
@@ -377,6 +393,9 @@ struct Config {
 
   // ---- observability (src/obs/) ---------------------------------------------
   ObsConfig obs;
+
+  // ---- parallel engine (src/net/network.h) ----------------------------------
+  EngineConfig engine;
 
   // ---- test-only fault injection (tests/fuzz_test.cpp) ----------------------
   FaultConfig fault;

@@ -89,7 +89,7 @@ void Coordinator::broadcast_heartbeat() {
 }
 
 void Coordinator::schedule_heartbeat() {
-  network()->events().schedule_after(
+  network()->events_for(node_id()).schedule_after(
       config_.failsafe.heartbeat_interval, [this] {
         // A killed/failed-over MC is detached; its silence is the signal.
         if (!network()->attached(node_id())) return;

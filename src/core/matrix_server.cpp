@@ -162,13 +162,42 @@ void MatrixServer::on_message(const Message& message, const Envelope& env) {
 // ---------------------------------------------------------------------------
 
 bool MatrixServer::on_frame(const Envelope& env) {
-  if (env.payload.empty() || env.payload[0] != kTaggedPacketWireType) {
-    return false;
+  if (env.payload.empty()) return false;
+  switch (env.payload[0]) {
+    case kTaggedPacketWireType: {
+      const auto view = parse_tagged_packet_frame(env.payload);
+      if (!view) return false;  // malformed: the generic path counts it
+      route_tagged_frame(*view, env);
+      return true;
+    }
+    case kLoadReportWireType: {
+      // Per-interval report from every game server: all fixed-width fields,
+      // so skip the Message variant on the floor's steadiest control stream.
+      const auto view = parse_load_report_frame(env.payload);
+      if (!view) return false;
+      LoadReport report;
+      report.client_count = view->client_count;
+      report.queue_length = view->queue_length;
+      report.msgs_per_sec = view->msgs_per_sec;
+      report.median_position = view->median_position;
+      report.waiting_count = view->waiting_count;
+      handle_load_report(report);
+      return true;
+    }
+    case kStateTransferWireType:
+    case kClientStateTransferWireType:
+    case kQueueHandoffWireType: {
+      // Relay legs (paper §3.2.2: state is forwarded "via Matrix"): only the
+      // destination field is read; the frame — shed blobs included — is
+      // forwarded verbatim, never decoded or copied through a struct.
+      const auto relay = parse_relay_frame(env.payload);
+      if (!relay) return false;
+      send_raw(relay->to_game, env.payload);
+      return true;
+    }
+    default:
+      return false;
   }
-  const auto view = parse_tagged_packet_frame(env.payload);
-  if (!view) return false;  // malformed: the generic path counts it
-  route_tagged_frame(*view, env);
-  return true;
 }
 
 std::size_t MatrixServer::send_peer_frame(NodeId peer,
@@ -435,7 +464,7 @@ void MatrixServer::handle_mc_heartbeat(const McHeartbeat& beat) {
 }
 
 void MatrixServer::start_failsafe(SimTime at) {
-  control_plane_.bind(&network()->tracer(), node_id().value());
+  control_plane_.bind(&network()->tracer_for(node_id()), node_id().value());
   if (!config_.failsafe.enabled) return;
   control_plane_.start(at);
   schedule_failsafe_tick();
@@ -443,7 +472,7 @@ void MatrixServer::start_failsafe(SimTime at) {
 
 void MatrixServer::schedule_failsafe_tick() {
   const std::uint64_t epoch = activation_epoch_;
-  network()->events().schedule_after(
+  network()->events_for(node_id()).schedule_after(
       config_.failsafe.check_interval, [this, epoch] {
         if (!active_ || activation_epoch_ != epoch) return;
         const bool was_fallback = control_plane_.fallback();
@@ -639,7 +668,7 @@ void MatrixServer::handle_adopt(const Adopt& adopt) {
 
 void MatrixServer::schedule_heartbeat() {
   const std::uint64_t epoch = activation_epoch_;
-  network()->events().schedule_after(config_.peer_load_interval, [this, epoch] {
+  network()->events_for(node_id()).schedule_after(config_.peer_load_interval, [this, epoch] {
     if (!active_ || activation_epoch_ != epoch || !parent_.valid()) return;
     PeerLoad load;
     load.server = id_;

@@ -834,6 +834,16 @@ static_assert(kClientActionWireType ==
               static_cast<std::uint8_t>(MsgType::kClientAction));
 static_assert(kServerUpdateWireType ==
               static_cast<std::uint8_t>(MsgType::kServerUpdate));
+static_assert(kLoadReportWireType ==
+              static_cast<std::uint8_t>(MsgType::kLoadReport));
+static_assert(kStateTransferWireType ==
+              static_cast<std::uint8_t>(MsgType::kStateTransfer));
+static_assert(kClientStateTransferWireType ==
+              static_cast<std::uint8_t>(MsgType::kClientStateTransfer));
+static_assert(kQueueUpdateWireType ==
+              static_cast<std::uint8_t>(MsgType::kQueueUpdate));
+static_assert(kQueueHandoffWireType ==
+              static_cast<std::uint8_t>(MsgType::kQueueHandoff));
 
 TaggedPacket TaggedPacketView::materialize() const {
   TaggedPacket packet;
@@ -896,6 +906,62 @@ std::optional<ServerUpdateView> parse_server_update_frame(
   view.ack_seq = r.u32();
   view.origin_sent_at = get_time(r);
   view.payload = r.raw_span();
+  if (!r.ok()) return std::nullopt;
+  return view;
+}
+
+std::optional<LoadReportView> parse_load_report_frame(
+    std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  if (r.u8() != kLoadReportWireType || !r.ok()) return std::nullopt;
+  LoadReportView view;
+  view.client_count = r.u32();
+  view.queue_length = r.u32();
+  view.msgs_per_sec = r.f64();
+  view.median_position = get_vec2(r);
+  view.waiting_count = r.u32();
+  if (!r.ok()) return std::nullopt;
+  return view;
+}
+
+std::optional<QueueUpdateView> parse_queue_update_frame(
+    std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  if (r.u8() != kQueueUpdateWireType || !r.ok()) return std::nullopt;
+  QueueUpdateView view;
+  view.client = r.id<ClientId>();
+  view.position = r.u32();
+  view.depth = r.u32();
+  view.eta = get_time(r);
+  if (!r.ok()) return std::nullopt;
+  return view;
+}
+
+std::optional<RelayFrameView> parse_relay_frame(
+    std::span<const std::uint8_t> frame) {
+  ByteReader r(frame);
+  RelayFrameView view;
+  view.wire_type = r.u8();
+  if (!r.ok()) return std::nullopt;
+  // `to_game` sits behind 1-2 leading ids; nothing after it is read, so the
+  // relay never walks the (possibly huge) blob/entry tail.
+  switch (view.wire_type) {
+    case kStateTransferWireType:
+      r.id<ServerId>();  // from_server
+      view.to_game = r.id<NodeId>();
+      break;
+    case kClientStateTransferWireType:
+      r.id<ClientId>();  // client
+      r.id<EntityId>();  // entity
+      view.to_game = r.id<NodeId>();
+      break;
+    case kQueueHandoffWireType:
+      r.id<ServerId>();  // from_server
+      view.to_game = r.id<NodeId>();
+      break;
+    default:
+      return std::nullopt;
+  }
   if (!r.ok()) return std::nullopt;
   return view;
 }

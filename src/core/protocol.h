@@ -509,6 +509,11 @@ void encode_one_into(ByteWriter& writer, const Body& body);
 inline constexpr std::uint8_t kTaggedPacketWireType = 1;
 inline constexpr std::uint8_t kClientActionWireType = 4;
 inline constexpr std::uint8_t kServerUpdateWireType = 5;
+inline constexpr std::uint8_t kLoadReportWireType = 8;
+inline constexpr std::uint8_t kStateTransferWireType = 18;
+inline constexpr std::uint8_t kClientStateTransferWireType = 19;
+inline constexpr std::uint8_t kQueueUpdateWireType = 35;
+inline constexpr std::uint8_t kQueueHandoffWireType = 38;
 
 struct TaggedPacketView {
   ClientId client;
@@ -549,11 +554,50 @@ struct ServerUpdateView {
   std::span<const std::uint8_t> payload;  ///< view into the frame
 };
 
+/// LoadReport decoded without touching the Message variant.  Every game
+/// server emits one per report interval, so at 100k-client scale the matrix
+/// tier decodes thousands per sim-second — all fixed-width fields, no reason
+/// to pay the 39-alternative variant construction for any of them.
+struct LoadReportView {
+  std::uint32_t client_count = 0;
+  std::uint32_t queue_length = 0;
+  double msgs_per_sec = 0.0;
+  Vec2 median_position;
+  std::uint32_t waiting_count = 0;
+};
+
+/// QueueUpdate decoded without the Message variant.  Surge scenarios park
+/// tens of thousands of clients, each pinged on every drain tick — the
+/// second-hottest client-bound frame after ServerUpdate.
+struct QueueUpdateView {
+  ClientId client;
+  std::uint32_t position = 0;
+  std::uint32_t depth = 0;
+  SimTime eta{};
+};
+
+/// The matrix leg of a game→matrix→game relay (StateTransfer,
+/// ClientStateTransfer, QueueHandoff) needs exactly one field: where to
+/// forward.  The relay re-sends the arriving frame bytes untouched
+/// (encode∘decode is the identity, so the raw forward is byte-identical to
+/// decode-then-re-encode) and the blob — unbounded during big sheds — is
+/// never copied through a decoded struct.
+struct RelayFrameView {
+  std::uint8_t wire_type = 0;
+  NodeId to_game;
+};
+
 [[nodiscard]] std::optional<TaggedPacketView> parse_tagged_packet_frame(
     std::span<const std::uint8_t> frame);
 [[nodiscard]] std::optional<ClientActionView> parse_client_action_frame(
     std::span<const std::uint8_t> frame);
 [[nodiscard]] std::optional<ServerUpdateView> parse_server_update_frame(
+    std::span<const std::uint8_t> frame);
+[[nodiscard]] std::optional<LoadReportView> parse_load_report_frame(
+    std::span<const std::uint8_t> frame);
+[[nodiscard]] std::optional<QueueUpdateView> parse_queue_update_frame(
+    std::span<const std::uint8_t> frame);
+[[nodiscard]] std::optional<RelayFrameView> parse_relay_frame(
     std::span<const std::uint8_t> frame);
 
 /// Parses bytes back into a Message; std::nullopt on malformed input.

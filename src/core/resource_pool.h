@@ -87,7 +87,7 @@ class ResourcePool : public ProtocolNode {
       pending_.push_back(request);
       if (!arbitration_scheduled_) {
         arbitration_scheduled_ = true;
-        network()->events().schedule_after(hold, [this] { arbitrate(); });
+        network()->events_for(node_id()).schedule_after(hold, [this] { arbitrate(); });
       }
     } else if (const auto* release = std::get_if<PoolRelease>(&message)) {
       ++releases_;

@@ -25,7 +25,8 @@ std::string FuzzPlan::describe() const {
   out << "seed=" << seed << " policy="
       << load_policy_kind_name(config.policy.kind) << " servers="
       << deployment.initial_servers << "+" << deployment.pool_size
-      << "pool overload=" << config.overload_clients << " admission="
+      << "pool overload=" << config.overload_clients << " shards="
+      << config.engine.shards << " admission="
       << (config.admission.enabled ? "on" : "off");
   if (config.admission.enabled) {
     out << " queue="
@@ -80,6 +81,18 @@ FuzzPlan make_fuzz_plan(std::uint64_t seed, LoadPolicyKind policy) {
   config.policy.kind = policy;
   d.spec = bzflag_like();
   config.visibility_radius = d.spec.visibility_radius;
+
+  // ---- engine ---------------------------------------------------------------
+  // A slice of cases runs the sharded conservative engine so the replay gate
+  // (run_fuzz_case twice, byte-identical traces) and every invariant check
+  // also cover barrier merges and per-shard RNG streams.  Drawn from a
+  // DERIVED stream, not `rng`: the shard count must not shift the scenario
+  // draws below, so every historical seed still expands to the same world —
+  // some of them just run it sharded now.
+  Rng shard_rng(seed ^ 0x5A4DED5A4DEDULL);
+  config.engine.shards =
+      shard_rng.next_bool(0.3) ? static_cast<std::size_t>(shard_rng.next_in(2, 4))
+                               : 1;
 
   // ---- link fabric ----------------------------------------------------------
   d.wan.latency = SimTime::from_ms(rng.next_double_in(5.0, 40.0));

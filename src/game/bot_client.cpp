@@ -46,7 +46,29 @@ void BotClient::leave() {
 
 bool BotClient::on_frame(const Envelope& envelope) {
   const std::vector<std::uint8_t>& frame = envelope.payload;
-  if (frame.empty() || frame[0] != kServerUpdateWireType) return false;
+  if (frame.empty()) return false;
+  if (frame[0] == kQueueUpdateWireType) {
+    // Waiting-room ping: sent to every parked client on every drain tick, so
+    // a deep surge queue makes this the second-hottest client-bound frame.
+    // Mirrors the QueueUpdate branch of on_message exactly.
+    const auto view = parse_queue_update_frame(frame);
+    if (!view) return false;  // malformed: the generic path counts it
+    if ((!playing_ && !queued_) || connected_ || view->client != id_) {
+      return true;
+    }
+    server_node_ = envelope.src;
+    ++metrics_.queue_updates;
+    metrics_.max_queue_position =
+        std::max(metrics_.max_queue_position, view->position);
+    if (!queued_) {
+      queued_ = true;
+      playing_ = false;
+      defer_pending_ = false;
+      ++play_epoch_;  // parks the action loop
+    }
+    return true;
+  }
+  if (frame[0] != kServerUpdateWireType) return false;
   const auto view = parse_server_update_frame(frame);
   if (!view) return false;  // malformed: the generic path counts it
   if (!playing_) return true;
@@ -167,7 +189,7 @@ void BotClient::on_message(const Message& message, const Envelope& envelope) {
     const double jitter = 1.0 + rng_.next_double() * 0.5;
     const auto delay =
         SimTime::from_ms(defer->retry_after.ms() * jitter);
-    network()->events().schedule_after(delay, [this, epoch] {
+    network()->events_for(node_id()).schedule_after(delay, [this, epoch] {
       if (playing_ || play_epoch_ != epoch || !defer_pending_) return;
       join(server_node_, position_);
     });
@@ -182,7 +204,7 @@ void BotClient::schedule_next_action() {
   const double mean_ms = spec_.action_interval.ms();
   const double gap_ms = std::clamp(rng_.next_exponential(mean_ms),
                                    mean_ms * 0.25, mean_ms * 4.0);
-  network()->events().schedule_after(SimTime::from_ms(gap_ms), [this, epoch] {
+  network()->events_for(node_id()).schedule_after(SimTime::from_ms(gap_ms), [this, epoch] {
     if (!playing_ || play_epoch_ != epoch) return;
     act();
     schedule_next_action();

@@ -348,7 +348,7 @@ void GameServer::send_queue_update(ClientId client, NodeId client_node,
 void GameServer::schedule_queue_tick() {
   if (queue_tick_scheduled_) return;
   queue_tick_scheduled_ = true;
-  network()->events().schedule_after(
+  network()->events_for(node_id()).schedule_after(
       config_.admission.priority.update_interval, [this] {
         queue_tick_scheduled_ = false;
         drain_surge_queue();
@@ -468,7 +468,7 @@ void GameServer::start() {
   last_report_at_ = now();
   schedule_load_report();
   schedule_update_tick();
-  control_plane_.bind(&network()->tracer(), node_id().value());
+  control_plane_.bind(&network()->tracer_for(node_id()), node_id().value());
   if (config_.failsafe.enabled) {
     control_plane_.start(now());
     schedule_failsafe_tick();
@@ -483,7 +483,7 @@ void GameServer::handle_heartbeat(const McHeartbeat& beat) {
 
 void GameServer::schedule_failsafe_tick() {
   const std::uint64_t epoch = started_epoch_;
-  network()->events().schedule_after(
+  network()->events_for(node_id()).schedule_after(
       config_.failsafe.check_interval, [this, epoch] {
         if (!started_ || started_epoch_ != epoch) return;
         const bool was_fallback = control_plane_.fallback();
@@ -925,7 +925,7 @@ LoadReport GameServer::build_load_report() {
 
 void GameServer::schedule_load_report() {
   const std::uint64_t epoch = started_epoch_;
-  network()->events().schedule_after(
+  network()->events_for(node_id()).schedule_after(
       config_.load_report_interval, [this, epoch] {
         if (!started_ || started_epoch_ != epoch) return;
         port_->report_load(build_load_report());
@@ -947,7 +947,7 @@ void GameServer::schedule_load_report() {
 
 void GameServer::schedule_update_tick() {
   const std::uint64_t epoch = started_epoch_;
-  network()->events().schedule_after(spec_.update_tick, [this, epoch] {
+  network()->events_for(node_id()).schedule_after(spec_.update_tick, [this, epoch] {
     if (!started_ || started_epoch_ != epoch) return;
 
     if (!sessions_.empty()) {

@@ -60,6 +60,7 @@
 #include "game/ghost_table.h"
 #include "game/game_model.h"
 #include "policy/load_view.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -247,7 +248,10 @@ class GameServer : public ProtocolNode {
   std::unique_ptr<MatrixPort> port_;
 
   Rect authority_;
-  std::map<ClientId, Session> sessions_;
+  /// The per-tick hot table (median/fan-out/estimate sweeps): sorted-vector
+  /// storage, ascending-ClientId iteration exactly like the std::map it
+  /// replaced (send order is trace-visible — the golden hashes pin it).
+  FlatMap<ClientId, Session> sessions_;
   std::map<EntityId, Entity> map_objects_;
   /// Ghost replicas of remote avatars, updated once per forwarded packet —
   /// a hot-path table (flat open-address storage; see game/ghost_table.h
@@ -255,7 +259,7 @@ class GameServer : public ProtocolNode {
   GhostTable ghosts_;
   /// Avatar state that arrived (ClientStateTransfer) before the client's
   /// hello; consumed when the hello lands.
-  std::map<ClientId, Entity> pending_avatars_;
+  FlatMap<ClientId, Entity> pending_avatars_;
 
   /// Events accumulated since the last update tick, flushed as one digest
   /// ServerUpdate per interested client (real servers batch exactly like

@@ -51,6 +51,10 @@ class EventQueue {
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  /// Timestamp of the earliest pending event.  Precondition: !empty().
+  /// The sharded engine (net/network.h) uses this to pick the next
+  /// conservative window horizon without popping anything.
+  [[nodiscard]] SimTime next_time() const { return heap_[0].when; }
 
   /// Total events executed since construction.
   [[nodiscard]] std::uint64_t events_processed() const {
@@ -82,6 +86,19 @@ class EventQueue {
       step();
     }
     if (now_ < until) now_ = until;
+  }
+
+  /// Runs all events with time strictly < `end`, then advances the clock to
+  /// `end`.  The EXCLUSIVE window the sharded engine's barrier loop needs:
+  /// events landing exactly on a window boundary (e.g. merged cross-shard
+  /// mail at the horizon) run in the next window, after the merge, so their
+  /// ordering is decided by the deterministic mailbox merge — never by
+  /// which side of the barrier happened to process them.
+  void run_window(SimTime end) {
+    while (!heap_.empty() && heap_[0].when < end) {
+      step();
+    }
+    if (now_ < end) now_ = end;
   }
 
   /// Drains the queue completely (use with care: periodic events must have

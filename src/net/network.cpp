@@ -1,5 +1,10 @@
 #include "net/network.h"
 
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <string>
+
 #include "util/log.h"
 
 namespace matrix {
@@ -19,9 +24,30 @@ void reserve_for_index(std::vector<T>& table, std::size_t index) {
   table.reserve(cap);
 }
 
+constexpr std::uint64_t kRngSalt = 0xA5A5A5A5DEADBEEFULL;
+constexpr std::uint64_t kShardSeedStride = 0x9E3779B97F4A7C15ULL;
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
 }  // namespace
 
-Network::Network(std::uint64_t seed) : rng_(seed ^ 0xA5A5A5A5DEADBEEFULL) {
+thread_local Network::Shard* Network::tls_shard_ = nullptr;
+
+bool resolve_shard_threads(bool config_default) {
+  const char* env = std::getenv("MATRIX_SHARD_THREADS");
+  if (env == nullptr || *env == '\0') return config_default;
+  const std::string value(env);
+  if (value == "0" || value == "off" || value == "false" || value == "no") {
+    return false;
+  }
+  return true;
+}
+
+Network::Network(std::uint64_t seed) : seed_(seed) {
+  // Shard 0 seeds exactly like the historical serial engine, so one-shard
+  // runs draw the identical RNG stream.
+  shards_.push_back(std::make_unique<Shard>(0, seed ^ kRngSalt));
+  shards_.front()->outbox.resize(1);
   // Sim-time-stamp all log output while this network lives (last network
   // constructed wins; owner matching in clear_clock keeps interleaved
   // lifetimes safe).
@@ -30,7 +56,39 @@ Network::Network(std::uint64_t seed) : rng_(seed ^ 0xA5A5A5A5DEADBEEFULL) {
   });
 }
 
-Network::~Network() { Logger::instance().clear_clock(this); }
+Network::~Network() {
+  stop_workers();
+  Logger::instance().clear_clock(this);
+}
+
+void Network::configure_shards(std::size_t count, bool use_threads) {
+  if (count == 0) count = 1;
+  // Sharding must be decided before any topology exists: shard assignment
+  // happens at attach, and the one-shard fast paths assume it never changes
+  // mid-run.
+  assert(nodes_.empty() && "configure_shards must precede attach");
+  assert(shards_.front()->events.empty() && control_queue_.empty());
+  stop_workers();
+  shards_.clear();
+  const std::uint64_t base = seed_ ^ kRngSalt;
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        static_cast<std::uint32_t>(i),
+        i == 0 ? base : base + kShardSeedStride * static_cast<std::uint64_t>(i)));
+  }
+  for (auto& shard : shards_) shard->outbox.resize(count);
+  use_threads_ = count > 1 && resolve_shard_threads(use_threads);
+  if (tracer_.enabled() && sharded()) {
+    for (auto& shard : shards_) shard->tracer.defer_like(tracer_);
+  }
+}
+
+void Network::enable_tracing(obs::TraceOptions options) {
+  tracer_.enable(options);
+  if (sharded()) {
+    for (auto& shard : shards_) shard->tracer.defer_like(tracer_);
+  }
+}
 
 Network::NodeState& Network::ensure_state(NodeId id) {
   const std::size_t index = id.value();
@@ -43,6 +101,9 @@ Network::NodeState& Network::ensure_state(NodeId id) {
 
 Network::LinkRecord& Network::link_record(NodeId src, NodeId dst) {
   NodeState& state = ensure_state(src);
+  // The record lives in the SOURCE owner's shard store: only that shard
+  // (or the main thread while workers idle) ever touches it.
+  std::vector<LinkRecord>& store = shards_[state.shard]->link_records;
   const std::size_t d = dst.value();
   if (state.out.size() <= d) {
     reserve_for_index(state.out, d);
@@ -50,14 +111,14 @@ Network::LinkRecord& Network::link_record(NodeId src, NodeId dst) {
   }
   std::int32_t slot = state.out[d];
   if (slot < 0) {
-    slot = static_cast<std::int32_t>(link_records_.size());
+    slot = static_cast<std::int32_t>(store.size());
     state.out[d] = slot;
     LinkRecord record;
     record.src = src;
     record.dst = dst;
-    link_records_.push_back(std::move(record));
+    store.push_back(std::move(record));
   }
-  return link_records_[static_cast<std::size_t>(slot)];
+  return store[static_cast<std::size_t>(slot)];
 }
 
 const Network::LinkRecord* Network::find_link_record(NodeId src,
@@ -66,34 +127,55 @@ const Network::LinkRecord* Network::find_link_record(NodeId src,
   if (state == nullptr) return nullptr;
   const std::size_t d = dst.value();
   if (d >= state->out.size() || state->out[d] < 0) return nullptr;
-  return &link_records_[static_cast<std::size_t>(state->out[d])];
+  return &shards_[state->shard]
+              ->link_records[static_cast<std::size_t>(state->out[d])];
 }
 
-NodeId Network::attach(Node* node, NodeConfig config) {
+NodeId Network::attach(Node* node, NodeConfig config, std::size_t shard) {
   const NodeId id = node_ids_.next();
   node->node_id_ = id;
   node->network_ = this;
   NodeState& state = ensure_state(id);
   state.node = node;
   state.config = config;
+  state.shard = static_cast<std::uint32_t>(
+      shard < shards_.size() ? shard : shards_.size() - 1);
   return id;
 }
 
 void Network::detach(NodeId id) {
   NodeState* state = find_state(id);
   if (state == nullptr) return;
-  total_dropped_ += state->queue.size();
-  for (Envelope& env : state->queue) pool_.release(std::move(env.payload));
+  Shard& owner = *shards_[state->shard];
+  owner.total_dropped += state->queue.size();
+  for (Envelope& env : state->queue) owner.pool.release(std::move(env.payload));
   state->queue.clear();
   state->node = nullptr;
   state->serving = false;
   ++state->epoch;  // cancels any in-flight service completion
 }
 
+void Network::fold_lookahead(SimTime latency) {
+  SimTime floor = SimTime::from_us(1);
+  if (latency < floor) latency = floor;
+  if (!lookahead_seeded_ || latency < lookahead_) lookahead_ = latency;
+  lookahead_seeded_ = true;
+}
+
+void Network::set_default_link(LinkConfig config) {
+  default_link_ = config;
+  // Any pair without an override — including node pairs created later —
+  // may ride the default link across shards, so it always bounds lookahead.
+  fold_lookahead(config.latency);
+}
+
 void Network::set_link(NodeId src, NodeId dst, LinkConfig config) {
   LinkRecord& record = link_record(src, dst);
   record.has_override = true;
   record.config = config;
+  if (sharded() && shard_of(src) != shard_of(dst)) {
+    fold_lookahead(config.latency);
+  }
 }
 
 void Network::set_node_config(NodeId id, NodeConfig config) {
@@ -112,29 +194,56 @@ std::size_t Network::send(NodeId src, NodeId dst,
 
   LinkRecord& record = link_record(src, dst);
   const LinkConfig& cfg = record.has_override ? record.config : default_link_;
+  // Sender-side state (RNG stream, golden hash, totals, payload pool) lives
+  // on the shard that owns `src`; inside a window that IS the running shard.
+  Shard& sh = *shards_[find_state(src)->shard];
 
   const bool dropped =
       !attached(dst) ||
-      (cfg.drop_probability > 0.0 && rng_.next_bool(cfg.drop_probability));
-  if (trace_hash_on_) trace_record(src, dst, envelope.payload, dropped);
-  if (tracer_.records_sends()) {
-    tracer_.record(now(), obs::TraceKind::kSend, src.value(), dst.value(),
-                   static_cast<std::int64_t>(wire), dropped ? 1 : 0);
+      (cfg.drop_probability > 0.0 && sh.rng.next_bool(cfg.drop_probability));
+  if (trace_hash_on_) trace_record(sh, src, dst, envelope.payload, dropped);
+  obs::Tracer& tr = tracer();
+  if (tr.records_sends()) {
+    tr.record(envelope.sent_at, obs::TraceKind::kSend, src.value(),
+              dst.value(), static_cast<std::int64_t>(wire), dropped ? 1 : 0);
   }
   if (dropped) {
     ++record.stats.dropped_messages;
-    ++total_dropped_;
-    pool_.release(std::move(envelope.payload));
+    ++sh.total_dropped;
+    sh.pool.release(std::move(envelope.payload));
     return wire;
   }
 
   record.stats.messages += 1;
   record.stats.bytes += wire;
-  total_bytes_ += wire;
-  total_messages_ += 1;
+  sh.total_bytes += wire;
+  sh.total_messages += 1;
 
-  const SimTime delay = cfg.latency + cfg.transfer_delay(wire);
-  events_.schedule_after(delay, [this, dst, env = std::move(envelope)]() mutable {
+  const SimTime deliver_at =
+      envelope.sent_at + cfg.latency + cfg.transfer_delay(wire);
+  if (sharded() && tls_shard_ != nullptr &&
+      shard_of(dst) != tls_shard_->index) {
+    // Cross-shard: park in the mailbox; the barrier merges all mailboxes
+    // for a destination in deterministic (time, src shard, order) order.
+    // Conservative lookahead guarantees deliver_at is at or past the window
+    // horizon, so the destination has not run past it.
+    Shard& here = *tls_shard_;
+    ++here.cross_sends;
+    Mail mail;
+    mail.deliver_at = deliver_at;
+    mail.dst = dst;
+    mail.env = std::move(envelope);
+    here.outbox[shard_of(dst)].push_back(std::move(mail));
+    return wire;
+  }
+  // Same-shard inside a window, the serial engine, or the main-thread
+  // control context (scenario drivers, revive paths — workers idle, so
+  // scheduling straight onto the destination shard's queue is race-free).
+  EventQueue& queue = !sharded() ? shards_.front()->events
+                     : tls_shard_ != nullptr
+                         ? tls_shard_->events
+                         : shards_[shard_of(dst)]->events;
+  queue.schedule_at(deliver_at, [this, dst, env = std::move(envelope)]() mutable {
     env.delivered_at = now();
     deliver(dst, std::move(env));
   });
@@ -142,17 +251,24 @@ std::size_t Network::send(NodeId src, NodeId dst,
 }
 
 void Network::deliver(NodeId dst, Envelope envelope) {
+  Shard& here = current_shard();
   NodeState* state = find_state(dst);
   if (state == nullptr || state->node == nullptr) {
-    ++total_dropped_;
-    pool_.release(std::move(envelope.payload));
+    ++here.total_dropped;
+    here.pool.release(std::move(envelope.payload));
     return;  // node detached while the message was in flight
   }
   if (state->config.queue_capacity &&
       state->queue.size() >= *state->config.queue_capacity) {
-    ++total_dropped_;
-    ++link_record(envelope.src, dst).stats.dropped_messages;
-    pool_.release(std::move(envelope.payload));
+    ++here.total_dropped;
+    // Per-pair stats live on the SENDING shard's store; only touch them when
+    // that is us, else aggregate (engine_stats().cross_tail_drops).
+    if (!sharded() || shard_of(envelope.src) == here.index) {
+      ++link_record(envelope.src, dst).stats.dropped_messages;
+    } else {
+      ++here.cross_tail_drops;
+    }
+    here.pool.release(std::move(envelope.payload));
     return;  // tail drop: the overloaded-static-server failure mode
   }
   state->queue.push_back(std::move(envelope));
@@ -169,7 +285,7 @@ void Network::start_service(NodeId dst) {
   const std::uint64_t epoch = state->epoch;
   const SimTime service =
       state->config.service_time(state->queue.front().wire_size());
-  events_.schedule_after(service, [this, dst, epoch] {
+  current_shard().events.schedule_after(service, [this, dst, epoch] {
     NodeState* s = find_state(dst);
     if (s == nullptr || s->epoch != epoch || s->node == nullptr ||
         s->queue.empty()) {
@@ -180,7 +296,7 @@ void Network::start_service(NodeId dst) {
     // Handle *before* scheduling the next service so handlers observe a
     // queue that no longer contains the message being processed.
     s->node->handle_message(env);
-    pool_.release(std::move(env.payload));
+    current_shard().pool.release(std::move(env.payload));
     // The handler may have detached this node (e.g. reclamation) or attached
     // new ones (the node table may have grown) — re-resolve.
     s = find_state(dst);
@@ -190,14 +306,14 @@ void Network::start_service(NodeId dst) {
   });
 }
 
-void Network::trace_record(NodeId src, NodeId dst,
+void Network::trace_record(Shard& shard, NodeId src, NodeId dst,
                            const std::vector<std::uint8_t>& payload,
                            bool dropped) {
-  constexpr std::uint64_t kPrime = 0x100000001B3ULL;
-  auto mix = [this](std::uint64_t v) {
+  std::uint64_t h = shard.trace_hash;
+  auto mix = [&h](std::uint64_t v) {
     for (int i = 0; i < 8; ++i) {
-      trace_hash_ ^= (v >> (8 * i)) & 0xFF;
-      trace_hash_ *= kPrime;
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= kFnvPrime;
     }
   };
   mix(static_cast<std::uint64_t>(now().us()));
@@ -206,10 +322,191 @@ void Network::trace_record(NodeId src, NodeId dst,
   mix(dropped ? 1u : 0u);
   mix(payload.size());
   for (const std::uint8_t b : payload) {
-    trace_hash_ ^= b;
-    trace_hash_ *= kPrime;
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  shard.trace_hash = h;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded barrier loop
+// ---------------------------------------------------------------------------
+
+void Network::run_until(SimTime t) {
+  if (!sharded()) {
+    shards_.front()->events.run_until(t);
+    return;
+  }
+  run_sharded(t);
+}
+
+void Network::run_sharded(SimTime t) {
+  // Catch up control events scheduled at or before the current barrier time
+  // (e.g. a scenario wave registered for "now" between run_until calls).
+  control_queue_.run_until(global_now_);
+  while (global_now_ < t) {
+    // Earliest pending shard work; the horizon may jump straight to it when
+    // every shard idles (quiesce tails would otherwise spin empty windows).
+    SimTime earliest = t;
+    bool any = false;
+    for (const auto& shard : shards_) {
+      if (shard->events.empty()) continue;
+      const SimTime next = shard->events.next_time();
+      if (!any || next < earliest) earliest = next;
+      any = true;
+    }
+    SimTime window = t;
+    if (any) {
+      const SimTime base = earliest > global_now_ ? earliest : global_now_;
+      const SimTime horizon = base + lookahead_;
+      if (horizon < window) window = horizon;
+    }
+    if (!control_queue_.empty() &&
+        control_queue_.next_time() < window) {
+      window = control_queue_.next_time();
+    }
+    // Final step runs INCLUSIVE so events landing exactly at `t` execute,
+    // matching the serial engine's run_until contract.  Interior windows are
+    // EXCLUSIVE: boundary events wait for the mailbox merge, so their order
+    // against merged cross-shard mail is decided deterministically.
+    const bool inclusive = window == t;
+    run_windows(window, inclusive);
+    merge_mailboxes();
+    if (tracer_.enabled()) merge_trace_ops();
+    global_now_ = window;
+    ++windows_;
+    control_queue_.run_until(window);
   }
 }
+
+void Network::run_one_window(Shard& shard, SimTime end, bool inclusive) {
+  tls_shard_ = &shard;
+  if (inclusive) {
+    shard.events.run_until(end);
+  } else {
+    shard.events.run_window(end);
+  }
+  tls_shard_ = nullptr;
+}
+
+void Network::run_windows(SimTime end, bool inclusive) {
+  if (!use_threads_) {
+    for (auto& shard : shards_) run_one_window(*shard, end, inclusive);
+    return;
+  }
+  start_workers();
+  std::unique_lock<std::mutex> lock(work_mutex_);
+  window_end_ = end;
+  window_inclusive_ = inclusive;
+  work_pending_ = shards_.size();
+  ++work_generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return work_pending_ == 0; });
+}
+
+void Network::merge_mailboxes() {
+  const std::size_t count = shards_.size();
+  for (std::size_t d = 0; d < count; ++d) {
+    merge_scratch_.clear();
+    for (auto& src : shards_) {
+      std::vector<Mail>& box = src->outbox[d];
+      for (Mail& mail : box) merge_scratch_.push_back(std::move(mail));
+      box.clear();
+    }
+    if (merge_scratch_.empty()) continue;
+    // Stable sort on time alone: equal times keep concatenation order, i.e.
+    // (deliver time, src shard, send order) — the determinism contract.
+    std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
+                     [](const Mail& a, const Mail& b) {
+                       return a.deliver_at < b.deliver_at;
+                     });
+    EventQueue& queue = shards_[d]->events;
+    for (Mail& mail : merge_scratch_) {
+      // Conservative lookahead means nothing lands behind the horizon the
+      // destination already reached.
+      assert(mail.deliver_at >= queue.now());
+      queue.schedule_at(mail.deliver_at,
+                        [this, dst = mail.dst,
+                         env = std::move(mail.env)]() mutable {
+                          env.delivered_at = now();
+                          deliver(dst, std::move(env));
+                        });
+    }
+  }
+  merge_scratch_.clear();
+}
+
+void Network::merge_trace_ops() {
+  // K-way merge of the per-shard deferred-op buffers by (time, shard index);
+  // each buffer is already time-sorted (sim time is monotone in a window).
+  const std::size_t count = shards_.size();
+  std::size_t pos[64] = {};
+  assert(count <= 64);
+  while (true) {
+    std::size_t best = count;
+    SimTime best_at{};
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto& ops = shards_[i]->tracer.deferred_ops();
+      if (pos[i] >= ops.size()) continue;
+      const SimTime at = ops[pos[i]].at;
+      if (best == count || at < best_at) {
+        best = i;
+        best_at = at;
+      }
+    }
+    if (best == count) break;
+    tracer_.apply(shards_[best]->tracer.deferred_ops()[pos[best]]);
+    ++pos[best];
+  }
+  for (auto& shard : shards_) shard->tracer.deferred_ops().clear();
+}
+
+void Network::start_workers() {
+  if (!workers_.empty()) return;
+  workers_.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void Network::stop_workers() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    workers_stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  workers_stop_ = false;
+}
+
+void Network::worker_loop(std::size_t index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    SimTime end{};
+    bool inclusive = false;
+    {
+      std::unique_lock<std::mutex> lock(work_mutex_);
+      work_cv_.wait(lock, [this, seen] {
+        return workers_stop_ || work_generation_ != seen;
+      });
+      if (workers_stop_) return;
+      seen = work_generation_;
+      end = window_end_;
+      inclusive = window_inclusive_;
+    }
+    run_one_window(*shards_[index], end, inclusive);
+    {
+      std::lock_guard<std::mutex> lock(work_mutex_);
+      if (--work_pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation
+// ---------------------------------------------------------------------------
 
 std::size_t Network::queue_length(NodeId id) const {
   const NodeState* state = find_state(id);
@@ -222,13 +519,70 @@ const LinkStats& Network::stats(NodeId src, NodeId dst) const {
   return record != nullptr ? record->stats : kEmpty;
 }
 
+std::uint64_t Network::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& shard : shards_) sum += shard->total_bytes;
+  return sum;
+}
+
+std::uint64_t Network::total_messages() const {
+  std::uint64_t sum = 0;
+  for (const auto& shard : shards_) sum += shard->total_messages;
+  return sum;
+}
+
+std::uint64_t Network::total_dropped() const {
+  std::uint64_t sum = 0;
+  for (const auto& shard : shards_) sum += shard->total_dropped;
+  return sum;
+}
+
 std::uint64_t Network::bytes_matching(
     const std::function<bool(NodeId, NodeId)>& pred) const {
   std::uint64_t sum = 0;
-  for (const LinkRecord& record : link_records_) {
-    if (pred(record.src, record.dst)) sum += record.stats.bytes;
+  for (const auto& shard : shards_) {
+    for (const LinkRecord& record : shard->link_records) {
+      if (pred(record.src, record.dst)) sum += record.stats.bytes;
+    }
   }
   return sum;
+}
+
+Network::EngineStats Network::engine_stats() const {
+  EngineStats stats;
+  for (const auto& shard : shards_) {
+    stats.events_processed += shard->events.events_processed();
+    if (shard->events.peak_pending() > stats.event_peak_pending) {
+      stats.event_peak_pending = shard->events.peak_pending();
+    }
+    stats.buffers_acquired += shard->pool.counters().acquired;
+    stats.buffers_reused += shard->pool.counters().reused;
+    stats.buffers_idle += shard->pool.idle();
+    stats.cross_shard_messages += shard->cross_sends;
+  }
+  stats.events_processed += control_queue_.events_processed();
+  stats.windows = windows_;
+  return stats;
+}
+
+std::uint64_t Network::trace_hash() const {
+  if (!sharded()) return shards_.front()->trace_hash;
+  std::uint64_t h = kFnvOffset;
+  for (const auto& shard : shards_) {
+    const std::uint64_t v = shard->trace_hash;
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= kFnvPrime;
+    }
+  }
+  return h;
+}
+
+std::vector<std::uint64_t> Network::shard_trace_hashes() const {
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(shards_.size());
+  for (const auto& shard : shards_) hashes.push_back(shard->trace_hash);
+  return hashes;
 }
 
 }  // namespace matrix

@@ -192,6 +192,16 @@ struct TraceOptions {
 /// The deployment-wide trace sink: flight-recorder ring + open-span table +
 /// per-span-kind latency histograms.  Disabled by default; enable()
 /// preallocates everything so recording never allocates.
+///
+/// Sharded engine (net/network.h): each worker shard gets a Tracer in
+/// DEFERRED mode (defer_like()).  A deferred tracer buffers every
+/// record/open/close as a DeferredOp instead of touching ring/span state;
+/// the engine replays the per-shard buffers into the one master tracer at
+/// every window barrier, k-way merged in (time, shard) order, so the master
+/// stays coherent — and deterministic for a fixed shard count — without any
+/// cross-thread writes.  Cross-shard spans (e.g. a kHandoff opened on one
+/// server's shard and closed on another's) pair correctly because both ops
+/// land in the same master table in time order.
 class Tracer {
  public:
   Tracer() = default;
@@ -207,11 +217,49 @@ class Tracer {
     return enabled_ && options_.record_sends;
   }
 
+  /// One buffered trace operation of a deferred (shard-local) tracer.
+  struct DeferredOp {
+    SimTime at{};
+    std::uint8_t op = 0;  ///< 0 = record, 1 = open_span, 2 = close_span
+    TraceKind kind = TraceKind::kSend;
+    SpanKind span = SpanKind::kAdmit;
+    bool success = true;
+    std::uint64_t subject = 0;
+    std::uint64_t actor = 0;
+    std::int64_t a = 0;
+    std::int64_t b = 0;
+  };
+
+  /// Puts this tracer in deferred mode, mirroring `master`'s enablement so
+  /// the hot-path gates (enabled(), records_sends()) answer identically.
+  void defer_like(const Tracer& master) {
+    deferred_ = true;
+    enabled_ = master.enabled_;
+    options_ = master.options_;
+    ops_.clear();
+  }
+  [[nodiscard]] bool deferred() const { return deferred_; }
+  /// Buffered ops since the last barrier (time-sorted: sim time within one
+  /// shard window is monotone).  The engine drains and clear()s this.
+  [[nodiscard]] std::vector<DeferredOp>& deferred_ops() { return ops_; }
+  /// Replays one drained op into this (master) tracer.
+  void apply(const DeferredOp& op) {
+    switch (op.op) {
+      case 0: record(op.at, op.kind, op.subject, op.actor, op.a, op.b); break;
+      case 1: open_span(op.at, op.span, op.subject); break;
+      default: close_span(op.at, op.span, op.subject, op.success); break;
+    }
+  }
+
   /// Records one event into the ring.  A no-op branch when disabled.
   void record(SimTime at, TraceKind kind, std::uint64_t subject,
               std::uint64_t actor = 0, std::int64_t a = 0,
               std::int64_t b = 0) {
     if (!enabled_) return;
+    if (deferred_) {
+      ops_.push_back({at, 0, kind, SpanKind::kAdmit, true, subject, actor, a, b});
+      return;
+    }
     push(at, kind, subject, actor, a, b);
   }
 
@@ -220,15 +268,24 @@ class Tracer {
   /// retry does not erase the wait already served).
   void open_span(SimTime at, SpanKind kind, std::uint64_t key) {
     if (!enabled_) return;
+    if (deferred_) {
+      ops_.push_back({at, 1, TraceKind::kSend, kind, true, key, 0, 0, 0});
+      return;
+    }
     span_insert(at, kind, key);
   }
 
   /// Closes the span if open.  `success` feeds the duration into the kind's
   /// histogram; a failed close (deny/defer/bye) just retires the span.
-  /// Returns whether a span was actually open.
+  /// Returns whether a span was actually open (deferred mode cannot know
+  /// yet and reports true; no caller branches on it mid-run).
   bool close_span(SimTime at, SpanKind kind, std::uint64_t key,
                   bool success = true) {
     if (!enabled_) return false;
+    if (deferred_) {
+      ops_.push_back({at, 2, TraceKind::kSend, kind, success, key, 0, 0, 0});
+      return true;
+    }
     return span_erase(at, kind, key, success);
   }
 
@@ -272,7 +329,9 @@ class Tracer {
   static std::uint64_t span_hash(SpanKind kind, std::uint64_t key);
 
   bool enabled_ = false;
+  bool deferred_ = false;
   TraceOptions options_{};
+  std::vector<DeferredOp> ops_;
   std::vector<TraceEvent> ring_;      // capacity fixed at enable()
   std::uint64_t total_events_ = 0;    // ring index = total % capacity
   std::vector<OpenSpan> spans_;       // open-addressed, linear probe

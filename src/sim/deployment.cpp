@@ -44,6 +44,10 @@ Deployment::Deployment(DeploymentOptions options)
     : options_(std::move(options)),
       network_(options_.seed),
       rng_(options_.seed * 0x9E3779B97F4A7C15ULL + 1) {
+  // Parallel engine (src/net/network.h): shard the event queues before any
+  // node attaches — configure_shards requires an empty network.
+  network_.configure_shards(std::max<std::size_t>(1, options_.config.engine.shards),
+                            options_.config.engine.threads);
   network_.set_default_link(options_.wan);
 
   // Observability (src/obs/): enable the tracer before any node attaches so
@@ -55,19 +59,25 @@ Deployment::Deployment(DeploymentOptions options)
     trace.ring_capacity = options_.config.obs.ring_capacity;
     trace.span_capacity = options_.config.obs.span_capacity;
     trace.record_sends = options_.config.obs.record_sends;
-    network_.tracer().enable(trace);
+    network_.enable_tracing(trace);
   }
 
   coordinator_ = std::make_unique<Coordinator>(options_.config);
   coordinator_->set_generation(mc_generation_);
-  const NodeId mc_node = network_.attach(coordinator_.get(), options_.infra_node);
+  // Shard plan: control-plane infrastructure (MC, pool) lives on shard 0;
+  // each active root server pair takes a contiguous slab of the grid so
+  // neighbouring regions — and their handoff chatter — tend to stay
+  // intra-shard.  A matrix server and its co-located game server ALWAYS
+  // share a shard, keeping the 30us co-located links out of the cross-shard
+  // lookahead fold (the conservative window stays the 300us LAN latency).
+  const NodeId mc_node = network_.attach(coordinator_.get(), options_.infra_node, 0);
   // Control-plane failsafe: the MC's liveness beat.  Started before any
   // server registers — the first broadcast round is empty, but
   // register_server sends each newcomer an immediate beat.
   if (options_.config.failsafe.enabled) coordinator_->start_heartbeats();
   pool_ = std::make_unique<ResourcePool>();
   pool_->configure(options_.config);  // grant-arbitration policy (src/policy/)
-  const NodeId pool_node = network_.attach(pool_.get(), options_.infra_node);
+  const NodeId pool_node = network_.attach(pool_.get(), options_.infra_node, 0);
   // The pool reports occupancy to the MC, which rebroadcasts pool pressure
   // to every Matrix server (admission subsystem, src/control/).  Left
   // unwired when the valve is off so baseline runs carry zero extra
@@ -78,13 +88,22 @@ Deployment::Deployment(DeploymentOptions options)
       options_.initial_servers + options_.pool_size;
   std::vector<NodeId> infra_nodes{mc_node, pool_node};
 
+  const std::size_t shard_count = network_.shard_count();
   for (std::size_t i = 0; i < total_servers; ++i) {
     const ServerId sid(i + 1);
+    // Active root i owns grid tile i: contiguous slab mapping keeps adjacent
+    // tiles on the same shard.  Pool spares round-robin across shards so the
+    // servers a hotspot split activates don't all pile onto one queue.
+    const std::size_t shard =
+        i < options_.initial_servers && options_.initial_servers > 0
+            ? i * shard_count / options_.initial_servers
+            : (i - options_.initial_servers) % shard_count;
     auto matrix = std::make_unique<MatrixServer>(sid, options_.config);
     auto game =
         std::make_unique<GameServer>(sid, options_.spec, options_.config);
-    const NodeId matrix_node = network_.attach(matrix.get(), options_.matrix_node);
-    const NodeId game_node = network_.attach(game.get(), options_.game_node);
+    const NodeId matrix_node =
+        network_.attach(matrix.get(), options_.matrix_node, shard);
+    const NodeId game_node = network_.attach(game.get(), options_.game_node, shard);
     matrix->wire({game_node, mc_node, pool_node});
     matrix->set_content_keys({"terrain/main.pak", "textures/atlas.pak",
                               "models/base.pak"});
@@ -161,7 +180,8 @@ void Deployment::revive_coordinator() {
   coordinator_ = std::make_unique<Coordinator>(options_.config);
   ++mc_generation_;
   coordinator_->set_generation(mc_generation_);
-  const NodeId standby = network_.attach(coordinator_.get(), options_.infra_node);
+  const NodeId standby =
+      network_.attach(coordinator_.get(), options_.infra_node, 0);
   for (MatrixServer* server : matrix_ptrs_) {
     network_.set_link_bidirectional(standby, server->node_id(), options_.lan);
     McAnnounce announce;
@@ -231,10 +251,15 @@ BotClient* Deployment::add_bot(Vec2 position, std::optional<Vec2> attraction,
                                double attraction_spread, bool vip) {
   auto bot = std::make_unique<BotClient>(client_ids_.next(), options_.spec,
                                          options_.config.world, rng_.fork());
-  network_.attach(bot.get(), options_.client_node);
+  // Resolve the entry server BEFORE attaching so the bot can land on that
+  // server's shard — its WAN chatter then starts (and usually stays)
+  // intra-shard until a handoff migrates it.
+  GameServer* entry = server_for(position);
+  network_.attach(bot.get(), options_.client_node,
+                  network_.shard_of(entry->node_id()));
   bot->set_attraction(attraction, attraction_spread);
   bot->set_vip(vip);
-  bot->join(server_for(position)->node_id(), position);
+  bot->join(entry->node_id(), position);
   BotClient* raw = bot.get();
   bot_ptrs_.push_back(raw);
   bots_.push_back(std::move(bot));

@@ -388,6 +388,22 @@ void schedule_mega_surge_scenario(Deployment& deployment,
   }
 }
 
+void schedule_giga_surge_scenario(Deployment& deployment,
+                                  const GigaSurgeScenarioOptions& options) {
+  // Identical grid mechanics to the mega surge, rebottled at 10× the crowd.
+  MegaSurgeScenarioOptions mega;
+  mega.background_bots = options.background_bots;
+  mega.hotspots_x = options.hotspots_x;
+  mega.hotspots_y = options.hotspots_y;
+  mega.bots_per_hotspot = options.bots_per_hotspot;
+  mega.join_batch = options.join_batch;
+  mega.join_interval = options.join_interval;
+  mega.flash_at = options.flash_at;
+  mega.spread = options.spread;
+  mega.duration = options.duration;
+  schedule_mega_surge_scenario(deployment, mega);
+}
+
 std::size_t deployment_capacity_clients(const Deployment& deployment) {
   return deployment.game_servers().size() *
          deployment.options().config.overload_clients;

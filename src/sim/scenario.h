@@ -407,6 +407,69 @@ void schedule_mega_surge_scenario(Deployment& deployment,
   return options;
 }
 
+/// Hundred-thousand-client macro workload — the SHARDED engine's scale
+/// proof (net/network.h conservative parallel engine).  The same grid-of-
+/// hotspots shape as MegaSurgeScenario, an order of magnitude bigger: 8×4
+/// hotspot centers × 2880 bots + 8000 background = 100,160 offered clients.
+/// Runs at RPG traffic rates (4 Hz actions/updates) so the per-client cost
+/// is the paper's Daimonin signature, not an FPS firehose; the point is the
+/// ENGINE carrying a six-figure concurrent population, partitioned across
+/// shards, not the admission story.  tests/giga_surge_test.cpp and
+/// bench_engine_throughput's scaling mode run exactly this.
+struct GigaSurgeScenarioOptions {
+  std::size_t background_bots = 8000;
+
+  std::size_t hotspots_x = 8;
+  std::size_t hotspots_y = 4;
+  std::size_t bots_per_hotspot = 2880;
+
+  std::size_t join_batch = 1440;
+  SimTime join_interval = SimTime::from_ms(250);
+  SimTime flash_at = SimTime::from_ms(500);
+  double spread = 60.0;
+
+  SimTime duration = SimTime::from_sec(4.0);
+};
+
+/// Schedules the giga grid of flash crowds.  Call
+/// deployment.run_until(options.duration) afterwards.
+void schedule_giga_surge_scenario(Deployment& deployment,
+                                  const GigaSurgeScenarioOptions& options);
+
+/// Offered clients at the crest of a GigaSurgeScenario (100,160 with the
+/// defaults — the ≥100k bar).
+[[nodiscard]] inline std::size_t giga_surge_offered_clients(
+    const GigaSurgeScenarioOptions& options) {
+  return options.background_bots +
+         options.hotspots_x * options.hotspots_y * options.bots_per_hotspot;
+}
+
+/// The canonical deployment for the default GigaSurgeScenario, shared by
+/// tests/giga_surge_test.cpp and bench_engine_throughput's shard-scaling
+/// mode.  64 roots × an 1800-client overload threshold = 115k capacity on
+/// heavyweight hosts (20 µs per message), so the 100k crowd is admitted and
+/// plays; `shards` picks the engine partition count (1 = the serial engine).
+[[nodiscard]] inline DeploymentOptions giga_surge_deployment_options(
+    std::size_t shards) {
+  DeploymentOptions options;
+  options.config.world = Rect(0, 0, 2000, 2000);
+  options.config.overload_clients = 1800;
+  options.config.underload_clients = 900;
+  options.config.sustain_reports_to_split = 4;
+  options.config.topology_cooldown = SimTime::from_sec(5.0);
+  options.config.load_report_interval = SimTime::from_sec(1.0);
+  options.config.policy.kind = LoadPolicyKind::kClassic;
+  options.config.engine.shards = shards;
+  options.spec = daimonin_like();
+  options.config.visibility_radius = options.spec.visibility_radius;
+  options.game_node.service_per_message = SimTime::from_us(20);
+  options.initial_servers = 64;
+  options.pool_size = 4;
+  options.map_objects = 640;
+  options.seed = 2005;
+  return options;
+}
+
 /// Offered clients at the crest of a ContestedPoolScenario.
 [[nodiscard]] inline std::size_t contested_pool_offered_clients(
     const ContestedPoolScenarioOptions& options) {

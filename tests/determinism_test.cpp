@@ -38,6 +38,12 @@ using namespace time_literals;
 constexpr std::uint64_t kGoldenOverload = 0x39e1b04c52dfc957ULL;
 constexpr std::uint64_t kGoldenContested = 0xfda836a0cdff6b67ULL;
 constexpr std::uint64_t kGoldenHotspot = 0xf1fd0ee5b0a7fb6eULL;
+// The sharded engine's pin (PR 9): the overload scenario under K=4 shards,
+// hashed as the FNV fold of the four per-shard send-trace chains.  A fixed
+// K>1 is a different (but equally deterministic) event interleaving than
+// serial, so this pins its own constant; K=1 runs reproduce the serial pins
+// above byte-for-byte through the same code path.
+constexpr std::uint64_t kGoldenShardedOverload = 0x3c4dd77adff34eacULL;
 
 DeploymentOptions golden_overload_options() {
   DeploymentOptions options;
@@ -177,6 +183,25 @@ TEST(DeterminismTest, TracingEnabledIsPassive) {
       });
   EXPECT_EQ(hash, kGoldenOverload)
       << "Tracing perturbed the run: the obs layer must be passive.";
+}
+
+TEST(DeterminismTest, ShardedOverloadScenarioMatchesPinnedHash) {
+  // K=4, worker threads on: the conservative engine's interleaving is pinned
+  // the same way the serial engine's is.  Threads are an execution detail —
+  // tests/shard_engine_test.cpp separately proves threaded == sequential.
+  DeploymentOptions options = golden_overload_options();
+  options.config.engine.shards = 4;
+  OverloadScenarioOptions scenario;
+  scenario.flash_bots = 400;
+  scenario.duration = 15_sec;
+  const std::uint64_t hash =
+      trace_hash_of(std::move(options), scenario.duration, [&](Deployment& d) {
+        schedule_overload_scenario(d, scenario);
+      });
+  EXPECT_EQ(hash, kGoldenShardedOverload)
+      << "K=4 sharded trace diverged from its pin: the mailbox merge order, "
+         "window schedule, or a shard RNG stream changed.  Hash was 0x"
+      << std::hex << hash;
 }
 
 TEST(DeterminismTest, SameSeedSameTraceDifferentSeedDifferentTrace) {

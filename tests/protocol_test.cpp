@@ -472,6 +472,96 @@ TEST(ProtocolTest, RecentFieldsSurviveDecoding) {
 }
 
 // ---------------------------------------------------------------------------
+// Zero-copy frame fast paths
+// ---------------------------------------------------------------------------
+// Each parse_*_frame view must agree field-for-field with the full decode of
+// the same bytes — the on_frame overrides that use them promise behavioral
+// identity with their on_message twins.
+
+TEST(ProtocolTest, LoadReportViewMatchesFullDecode) {
+  LoadReport report;
+  report.client_count = 312;
+  report.queue_length = 17;
+  report.msgs_per_sec = 1234.5;
+  report.median_position = {40.0, 60.5};
+  report.waiting_count = 41;
+  const auto bytes = encode_message(Message{report});
+  const auto view = parse_load_report_frame(bytes);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->client_count, report.client_count);
+  EXPECT_EQ(view->queue_length, report.queue_length);
+  EXPECT_DOUBLE_EQ(view->msgs_per_sec, report.msgs_per_sec);
+  EXPECT_EQ(view->median_position, report.median_position);
+  EXPECT_EQ(view->waiting_count, report.waiting_count);
+  // Non-LoadReport and truncated frames fall back to the generic path.
+  EXPECT_FALSE(parse_load_report_frame(encode_message(Message{PoolDeny{}})));
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(parse_load_report_frame({bytes.data(), len}));
+  }
+}
+
+TEST(ProtocolTest, QueueUpdateViewMatchesFullDecode) {
+  QueueUpdate update;
+  update.client = ClientId(77);
+  update.position = 5;
+  update.depth = 230;
+  update.eta = SimTime::from_ms(1500);
+  const auto bytes = encode_message(Message{update});
+  const auto view = parse_queue_update_frame(bytes);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->client, update.client);
+  EXPECT_EQ(view->position, update.position);
+  EXPECT_EQ(view->depth, update.depth);
+  EXPECT_EQ(view->eta, update.eta);
+  EXPECT_FALSE(parse_queue_update_frame(encode_message(Message{PoolDeny{}})));
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(parse_queue_update_frame({bytes.data(), len}));
+  }
+}
+
+TEST(ProtocolTest, RelayViewExtractsDestinationForAllRelayLegs) {
+  StateTransfer st;
+  st.from_server = ServerId(3);
+  st.to_game = NodeId(44);
+  st.range = Rect::from_corners({0, 0}, {10, 10});
+  st.object_count = 2;
+  st.blob = {1, 2, 3, 4};
+
+  ClientStateTransfer cst;
+  cst.client = ClientId(9);
+  cst.entity = EntityId(12);
+  cst.to_game = NodeId(45);
+  cst.blob = {5, 6};
+
+  QueueHandoff handoff;
+  handoff.from_server = ServerId(8);
+  handoff.to_game = NodeId(46);
+  handoff.entries.push_back(
+      {ClientId(1), NodeId(100), {1.0, 2.0}, 1, SimTime::from_ms(5)});
+
+  const struct {
+    Message message;
+    std::uint8_t wire_type;
+    NodeId to_game;
+  } cases[] = {
+      {Message{st}, kStateTransferWireType, st.to_game},
+      {Message{cst}, kClientStateTransferWireType, cst.to_game},
+      {Message{handoff}, kQueueHandoffWireType, handoff.to_game},
+  };
+  for (const auto& c : cases) {
+    const auto bytes = encode_message(c.message);
+    const auto view = parse_relay_frame(bytes);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->wire_type, c.wire_type);
+    EXPECT_EQ(view->to_game, c.to_game);
+  }
+  // Any non-relay type is refused — the relay fast path must never trigger
+  // on a frame whose second field is not a destination.
+  EXPECT_FALSE(parse_relay_frame(encode_message(Message{PoolDeny{}})));
+  EXPECT_FALSE(parse_relay_frame({}));
+}
+
+// ---------------------------------------------------------------------------
 // Robustness
 // ---------------------------------------------------------------------------
 

@@ -7,6 +7,7 @@
 //   matrix_fuzz --policy classic       # classic | directive | both (default both)
 //   matrix_fuzz --time-budget 60       # stop launching new cases after N wall seconds
 //   matrix_fuzz --dump-dir DIR         # write failing traces to DIR/fuzz_seed_N.jsonl
+//   matrix_fuzz --json FILE            # sweep tallies as matrix_bench_json
 //
 // Every case expands its seed into a full scenario (src/fuzz/fuzz_scenario.h),
 // runs it to rest, and checks every trace invariant.  On violation the tool
@@ -37,12 +38,14 @@ struct Args {
   std::string policy = "both";
   double time_budget_sec = 0.0;     // 0 = no budget
   std::string dump_dir;
+  std::string json_path;            // sweep tallies, matrix_bench_json shape
 };
 
 void usage() {
   std::cerr << "usage: matrix_fuzz [--seed N]... [--count N] [--start-seed N]\n"
                "                   [--policy classic|directive|both]\n"
-               "                   [--time-budget SEC] [--dump-dir DIR]\n";
+               "                   [--time-budget SEC] [--dump-dir DIR]\n"
+               "                   [--json FILE]\n";
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -84,6 +87,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = need_value("--dump-dir");
       if (v == nullptr) return false;
       args.dump_dir = v;
+    } else if (flag == "--json") {
+      const char* v = need_value("--json");
+      if (v == nullptr) return false;
+      args.json_path = v;
     } else if (flag == "--help" || flag == "-h") {
       usage();
       std::exit(0);
@@ -182,5 +189,23 @@ int main(int argc, char** argv) {
   std::cout << "\nmatrix_fuzz: " << ran << " cases, " << failed << " failed";
   if (budget_hit) std::cout << " (time budget reached)";
   std::cout << "\n";
+
+  // Sweep tallies in the same matrix_bench_json shape the benches emit, so
+  // `matrix_sweep` (which appends `--json tmpfile` to every child) can
+  // aggregate fuzz jobs alongside bench jobs.
+  if (!args.json_path.empty()) {
+    std::ofstream out(args.json_path);
+    if (!out) {
+      std::cerr << "matrix_fuzz: cannot write " << args.json_path << "\n";
+      return 1;
+    }
+    out << "{\n  \"context\": {\n    \"executable\": \"matrix_fuzz\",\n"
+           "    \"format\": \"matrix_bench_json\"\n  },\n"
+           "  \"benchmarks\": [\n"
+           "    {\"name\": \"cases_run\", \"value\": " << ran
+        << ", \"unit\": \"cases\"},\n"
+           "    {\"name\": \"cases_failed\", \"value\": " << failed
+        << ", \"unit\": \"cases\"}\n  ]\n}\n";
+  }
   return failed == 0 ? 0 : 1;
 }
