@@ -22,14 +22,114 @@
 // peak event-heap depth, payload-buffer reuse rate) so a perf regression can
 // be localized from the JSON artifact alone.  CI gates on events/sec via
 // scripts/check_bench_regression.py against bench/baselines/engine_baseline.json.
+#include <algorithm>
 #include <chrono>
 
 #include "bench_common.h"
+#include "net/event_queue.h"
+#include "util/rng.h"
 
 namespace matrix::bench {
 namespace {
 
 using namespace time_literals;
+
+// ---- scheduler microbench ---------------------------------------------------
+// Steady-state schedule+pop churn on a raw EventQueue at a fixed pending
+// depth — the classic calendar-queue "hold model".  Run for both priority
+// structures so the ladder's claimed win over the heap is measured, not
+// assumed, at every depth the macro workloads visit (fig2 idles near 1k
+// pending; giga peaks past 100k).
+double scheduler_churn_ops_per_sec(EventQueue::Scheduler scheduler,
+                                   std::size_t depth, std::uint64_t ops) {
+  EventQueue queue;
+  queue.set_scheduler(scheduler);
+  Rng rng(0xB16B00B5ULL + depth);
+  // Uniform horizons out to 10 sim-seconds: events land across the whole
+  // ring, forcing bucket folds and periodic reseeds rather than a hot front.
+  for (std::size_t i = 0; i < depth; ++i) {
+    queue.schedule_at(SimTime::from_us(rng.next_in(0, 10'000'000)), [] {});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    queue.step();
+    queue.schedule_at(queue.now() + SimTime::from_us(rng.next_in(0, 10'000'000)),
+                      [] {});
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+  // One pop + one push per iteration.
+  return 2.0 * static_cast<double>(ops) / wall;
+}
+
+void run_scheduler_microbench(JsonReport& json) {
+  std::printf("\n[scheduler churn: pop+push ops/sec by pending depth]\n");
+  std::printf("  %-12s %14s %14s %9s\n", "depth", "heap", "ladder", "speedup");
+  for (const std::size_t depth :
+       {std::size_t{1'000}, std::size_t{100'000}, std::size_t{1'000'000}}) {
+    const std::uint64_t ops = 1'000'000;
+    const double heap =
+        scheduler_churn_ops_per_sec(EventQueue::Scheduler::kHeap, depth, ops);
+    const double ladder =
+        scheduler_churn_ops_per_sec(EventQueue::Scheduler::kLadder, depth, ops);
+    std::printf("  %-12zu %14.0f %14.0f %8.2fx\n", depth, heap, ladder,
+                ladder / heap);
+    char run[32];
+    std::snprintf(run, sizeof run, "sched_depth_%zuk", depth / 1'000);
+    json.add(run, "heap_ops_per_sec", heap, "ops/s");
+    json.add(run, "ladder_ops_per_sec", ladder, "ops/s");
+    json.add(run, "ladder_speedup", ladder / heap, "x");
+  }
+}
+
+/// The giga crowd with every hotspot confined to the TOP HALF of the world.
+/// The deployment's shard plan hands each shard a contiguous slab of the
+/// row-major root grid — i.e. a horizontal band of the world — so a top-half
+/// crowd loads the first bands' shards while the bottom bands see only
+/// background bots.  This is the workload the static grid-locality plan
+/// cannot fix — the rebalancer's A/B demonstration runs on it.
+void schedule_skewed_giga_scenario(Deployment& deployment,
+                                   const GigaSurgeScenarioOptions& options) {
+  Scenario scenario(deployment);
+  scenario.add_background_bots(SimTime::from_ms(100), options.background_bots);
+  const Rect& world = deployment.options().config.world;
+  const double cell_w =
+      (world.x1() - world.x0()) / static_cast<double>(options.hotspots_x);
+  const double cell_h = (world.y1() - world.y0()) / 2.0 /
+                        static_cast<double>(options.hotspots_y);
+  for (std::size_t ix = 0; ix < options.hotspots_x; ++ix) {
+    for (std::size_t iy = 0; iy < options.hotspots_y; ++iy) {
+      const Vec2 center{world.x0() + (static_cast<double>(ix) + 0.5) * cell_w,
+                        world.y0() + (static_cast<double>(iy) + 0.5) * cell_h};
+      SimTime t = options.flash_at;
+      for (std::size_t joined = 0; joined < options.bots_per_hotspot;) {
+        const std::size_t batch =
+            std::min(options.join_batch > 0 ? options.join_batch
+                                            : options.bots_per_hotspot,
+                     options.bots_per_hotspot - joined);
+        scenario.add_hotspot_bots(t, batch, center, options.spread);
+        joined += batch;
+        t += options.join_interval;
+      }
+    }
+  }
+}
+
+/// Busiest-shard events over the per-shard mean — 1.0 is a perfectly level
+/// engine; the gap above 1.0 is wall-time the busiest core spends while the
+/// others wait at the barrier.
+double balance_ratio(const Network::EngineStats& engine) {
+  if (engine.shard_events.size() < 2) return 1.0;
+  std::uint64_t busiest = 0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t events : engine.shard_events) {
+    busiest = std::max(busiest, events);
+    total += events;
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(engine.shard_events.size());
+  return mean > 0.0 ? static_cast<double>(busiest) / mean : 1.0;
+}
 
 DeploymentOptions fig2_options() {
   DeploymentOptions options = paper_options();
@@ -114,6 +214,8 @@ int main(int argc, char** argv) {
          "engine hot-path throughput on macro workloads");
   JsonReport json("engine_throughput");
 
+  run_scheduler_microbench(json);
+
   {
     HotspotScenarioOptions scenario;  // the paper's Fig. 2 timeline
     auto r = run_workload(fig2_options(), scenario.duration,
@@ -169,6 +271,40 @@ int main(int argc, char** argv) {
                static_cast<double>(r.engine.cross_shard_messages), "msgs");
       json.add(run, "windows", static_cast<double>(r.engine.windows),
                "windows");
+      if (shards > 1) {
+        const double balance = balance_ratio(r.engine);
+        std::printf("  %-26s %12.3fx busiest/mean\n", "shard balance",
+                    balance);
+        json.add(run, "balance_ratio", balance, "x");
+      }
+    }
+    // Rebalancer A/B on the SKEWED giga crowd (all hotspots in the top
+    // half of the world — the imbalance the static grid plan cannot fix;
+    // the uniform curve above already sits near 1.0 busiest/mean).  The
+    // rebalance-on run's busiest/mean ratio must sit below the off run's —
+    // that gap is wall-time the busiest core spends grinding while the
+    // other workers wait at the barrier.
+    for (const bool rebalance : {false, true}) {
+      DeploymentOptions options = giga_surge_deployment_options(4);
+      if (rebalance) {
+        options.config.engine.rebalance_threshold = 1.10;
+        options.config.engine.rebalance_interval_events = 200'000;
+      }
+      auto r = run_workload(std::move(options), scenario.duration,
+                            [&](Deployment& d) {
+                              schedule_skewed_giga_scenario(d, scenario);
+                            });
+      const char* run = rebalance ? "giga_skew_4_rebalance" : "giga_skew_4";
+      report(json, run, r);
+      const double balance = balance_ratio(r.engine);
+      std::printf("  %-26s %12.3fx busiest/mean\n", "shard balance", balance);
+      json.add(run, "balance_ratio", balance, "x");
+      if (rebalance) {
+        std::printf("  %-26s %12llu\n", "rebalances",
+                    static_cast<unsigned long long>(r.engine.rebalances));
+        json.add(run, "rebalances",
+                 static_cast<double>(r.engine.rebalances), "moves");
+      }
     }
   }
 

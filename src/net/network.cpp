@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <string>
 
@@ -43,11 +45,25 @@ bool resolve_shard_threads(bool config_default) {
   return true;
 }
 
+bool resolve_ladder_scheduler(bool config_default) {
+  const char* env = std::getenv("MATRIX_EVENT_SCHEDULER");
+  if (env == nullptr || *env == '\0') return config_default;
+  const std::string value(env);
+  if (value == "heap" || value == "0" || value == "off" || value == "false") {
+    return false;
+  }
+  return true;
+}
+
 Network::Network(std::uint64_t seed) : seed_(seed) {
   // Shard 0 seeds exactly like the historical serial engine, so one-shard
   // runs draw the identical RNG stream.
   shards_.push_back(std::make_unique<Shard>(0, seed ^ kRngSalt));
   shards_.front()->outbox.resize(1);
+  scheduler_ = resolve_ladder_scheduler(true) ? EventQueue::Scheduler::kLadder
+                                              : EventQueue::Scheduler::kHeap;
+  shards_.front()->events.set_scheduler(scheduler_);
+  control_queue_.set_scheduler(scheduler_);
   // Sim-time-stamp all log output while this network lives (last network
   // constructed wins; owner matching in clear_clock keeps interleaved
   // lifetimes safe).
@@ -76,12 +92,34 @@ void Network::configure_shards(std::size_t count, bool use_threads) {
         static_cast<std::uint32_t>(i),
         i == 0 ? base : base + kShardSeedStride * static_cast<std::uint64_t>(i)));
   }
-  for (auto& shard : shards_) shard->outbox.resize(count);
+  for (auto& shard : shards_) {
+    shard->outbox.resize(count);
+    shard->events.set_scheduler(scheduler_);
+  }
   use_threads_ = count > 1 && resolve_shard_threads(use_threads);
   if (tracer_.enabled() && sharded()) {
     for (auto& shard : shards_) shard->tracer.defer_like(tracer_);
   }
 }
+
+void Network::set_scheduler(EventQueue::Scheduler scheduler) {
+  scheduler_ = scheduler;
+  for (auto& shard : shards_) shard->events.set_scheduler(scheduler);
+  control_queue_.set_scheduler(scheduler);
+}
+
+void Network::set_rebalance(double threshold, std::uint64_t interval_events) {
+  rebalance_threshold_ = threshold;
+  rebalance_interval_events_ = interval_events;
+}
+
+void Network::define_colocated_group(std::vector<NodeId> nodes) {
+  ColocatedGroup group;
+  group.nodes = std::move(nodes);
+  groups_.push_back(std::move(group));
+}
+
+bool Network::force_rebalance() { return evaluate_rebalance(true); }
 
 void Network::enable_tracing(obs::TraceOptions options) {
   tracer_.enable(options);
@@ -243,10 +281,11 @@ std::size_t Network::send(NodeId src, NodeId dst,
                      : tls_shard_ != nullptr
                          ? tls_shard_->events
                          : shards_[shard_of(dst)]->events;
-  queue.schedule_at(deliver_at, [this, dst, env = std::move(envelope)]() mutable {
-    env.delivered_at = now();
-    deliver(dst, std::move(env));
-  });
+  queue.schedule_at(deliver_at, dst.value(),
+                    [this, dst, env = std::move(envelope)]() mutable {
+                      env.delivered_at = now();
+                      deliver(dst, std::move(env));
+                    });
   return wire;
 }
 
@@ -285,7 +324,8 @@ void Network::start_service(NodeId dst) {
   const std::uint64_t epoch = state->epoch;
   const SimTime service =
       state->config.service_time(state->queue.front().wire_size());
-  current_shard().events.schedule_after(service, [this, dst, epoch] {
+  current_shard().events.schedule_after(service, dst.value(), [this, dst,
+                                                               epoch] {
     NodeState* s = find_state(dst);
     if (s == nullptr || s->epoch != epoch || s->node == nullptr ||
         s->queue.empty()) {
@@ -296,6 +336,7 @@ void Network::start_service(NodeId dst) {
     // Handle *before* scheduling the next service so handlers observe a
     // queue that no longer contains the message being processed.
     s->node->handle_message(env);
+    ++s->served;  // the rebalancer's per-node load proxy
     current_shard().pool.release(std::move(env.payload));
     // The handler may have detached this node (e.g. reclamation) or attached
     // new ones (the node table may have grown) — re-resolve.
@@ -375,6 +416,9 @@ void Network::run_sharded(SimTime t) {
     if (tracer_.enabled()) merge_trace_ops();
     global_now_ = window;
     ++windows_;
+    // Barrier: workers parked, mailboxes merged — the one safe point to
+    // migrate node groups between shards.
+    maybe_rebalance();
     control_queue_.run_until(window);
   }
 }
@@ -395,13 +439,20 @@ void Network::run_windows(SimTime end, bool inclusive) {
     return;
   }
   start_workers();
-  std::unique_lock<std::mutex> lock(work_mutex_);
-  window_end_ = end;
-  window_inclusive_ = inclusive;
-  work_pending_ = shards_.size();
-  ++work_generation_;
-  work_cv_.notify_all();
-  done_cv_.wait(lock, [this] { return work_pending_ == 0; });
+  const auto wall_start = std::chrono::steady_clock::now();
+  {
+    std::unique_lock<std::mutex> lock(work_mutex_);
+    window_end_ = end;
+    window_inclusive_ = inclusive;
+    work_pending_ = shards_.size();
+    ++work_generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [this] { return work_pending_ == 0; });
+  }
+  windows_wall_us_ += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count());
 }
 
 void Network::merge_mailboxes() {
@@ -425,7 +476,7 @@ void Network::merge_mailboxes() {
       // Conservative lookahead means nothing lands behind the horizon the
       // destination already reached.
       assert(mail.deliver_at >= queue.now());
-      queue.schedule_at(mail.deliver_at,
+      queue.schedule_at(mail.deliver_at, mail.dst.value(),
                         [this, dst = mail.dst,
                          env = std::move(mail.env)]() mutable {
                           env.delivered_at = now();
@@ -459,6 +510,151 @@ void Network::merge_trace_ops() {
     ++pos[best];
   }
   for (auto& shard : shards_) shard->tracer.deferred_ops().clear();
+}
+
+// ---------------------------------------------------------------------------
+// Shard load rebalancing
+// ---------------------------------------------------------------------------
+
+void Network::maybe_rebalance() {
+  if (rebalance_threshold_ <= 0.0 || !sharded()) return;
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->events.events_processed();
+  if (total - rebalance_last_total_ < rebalance_interval_events_) return;
+  rebalance_last_total_ = total;
+  evaluate_rebalance(false);
+}
+
+bool Network::evaluate_rebalance(bool force) {
+  if (!sharded()) return false;
+  const std::size_t count = shards_.size();
+  if (shard_event_base_.size() != count) shard_event_base_.assign(count, 0);
+
+  // Executed-event deltas for the elapsed epoch; baselines reset at every
+  // evaluation so one early hot phase cannot dominate forever.
+  std::size_t busiest = 0;
+  std::size_t idlest = 0;
+  std::uint64_t delta_total = 0;
+  std::vector<std::uint64_t> delta(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t events = shards_[i]->events.events_processed();
+    delta[i] = events - shard_event_base_[i];
+    shard_event_base_[i] = events;
+    delta_total += delta[i];
+    if (delta[i] > delta[busiest]) busiest = i;
+    if (delta[i] < delta[idlest]) idlest = i;
+  }
+  auto group_served = [this](const ColocatedGroup& group) {
+    std::uint64_t sum = 0;
+    for (const NodeId id : group.nodes) {
+      const NodeState* state = find_state(id);
+      if (state != nullptr) sum += state->served;
+    }
+    return sum;
+  };
+  auto snapshot_groups = [&] {
+    for (ColocatedGroup& group : groups_) group.served_base = group_served(group);
+  };
+
+  const double mean =
+      static_cast<double>(delta_total) / static_cast<double>(count);
+  const double ratio =
+      mean > 0.0 ? static_cast<double>(delta[busiest]) / mean : 1.0;
+  if (busiest == idlest || (!force && ratio < rebalance_threshold_)) {
+    snapshot_groups();
+    return false;
+  }
+
+  // Pick the colocated group on the busiest shard whose epoch load best
+  // matches the ideal transfer (half the busiest-idlest gap): moving the
+  // hottest group outright would often just swap the imbalance.
+  const double ideal =
+      static_cast<double>(delta[busiest] - delta[idlest]) / 2.0;
+  std::size_t best = groups_.size();
+  double best_miss = 0.0;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const ColocatedGroup& group = groups_[g];
+    bool eligible = !group.nodes.empty();
+    for (const NodeId id : group.nodes) {
+      const NodeState* state = find_state(id);
+      if (state == nullptr || state->node == nullptr ||
+          state->shard != busiest) {
+        eligible = false;
+        break;
+      }
+    }
+    if (!eligible) continue;
+    const std::uint64_t served = group_served(group);
+    const double load =
+        static_cast<double>(served - std::min(served, group.served_base));
+    const double miss = std::abs(load - ideal);
+    if (best == groups_.size() || miss < best_miss) {
+      best = g;
+      best_miss = miss;
+    }
+  }
+  snapshot_groups();
+  if (best == groups_.size()) return false;
+
+  for (const NodeId id : groups_[best].nodes) migrate_node(id, idlest);
+  refold_cross_shard_lookahead();
+  ++rebalance_count_;
+  if (tracer_.enabled()) {
+    tracer_.record(global_now_, obs::TraceKind::kShardRebalance,
+                   groups_[best].nodes.front().value(), busiest,
+                   static_cast<std::int64_t>(idlest),
+                   static_cast<std::int64_t>(ratio * 1000.0));
+  }
+  return true;
+}
+
+void Network::migrate_node(NodeId id, std::size_t to) {
+  NodeState* state = find_state(id);
+  if (state == nullptr || state->shard == to) return;
+  Shard& from = *shards_[state->shard];
+  Shard& dest = *shards_[to];
+
+  // 1. Re-home this node's source link records.  Record indices are shared
+  // with no one (each source's out[] table points only at its own records),
+  // but sibling records in the old store ARE index-addressed by other
+  // sources on that shard — so vacated slots are deadened in place, never
+  // erased.
+  for (std::size_t d = 0; d < state->out.size(); ++d) {
+    const std::int32_t slot = state->out[d];
+    if (slot < 0) continue;
+    LinkRecord& old_record = from.link_records[static_cast<std::size_t>(slot)];
+    state->out[d] = static_cast<std::int32_t>(dest.link_records.size());
+    dest.link_records.push_back(old_record);
+    old_record = LinkRecord{};  // dead slot: zero stats, no override
+  }
+
+  // 2. Re-home pending events (deliveries, the in-flight service
+  // completion, periodic self-ticks — everything stamped with this node's
+  // tag).  Both queues sit at the barrier time, and extraction preserves
+  // (when, seq) order, so the events replay on the new shard in the exact
+  // order they would have run — after any same-instant events the new
+  // shard already holds, which is a deterministic order either way.
+  state->shard = static_cast<std::uint32_t>(to);
+  migrate_scratch_.clear();
+  from.events.extract_tagged(id.value(), migrate_scratch_);
+  for (EventQueue::MigratedEvent& event : migrate_scratch_) {
+    dest.events.schedule_at(event.when, id.value(), std::move(event.action));
+  }
+  migrate_scratch_.clear();
+
+  // 3. Let the node re-acquire shard-affine bindings (deferred tracer).
+  if (state->node != nullptr) state->node->on_shard_migrated();
+}
+
+void Network::refold_cross_shard_lookahead() {
+  for (const auto& shard : shards_) {
+    for (const LinkRecord& record : shard->link_records) {
+      if (!record.has_override) continue;
+      if (shard_of(record.src) != shard_of(record.dst)) {
+        fold_lookahead(record.config.latency);
+      }
+    }
+  }
 }
 
 void Network::start_workers() {
@@ -496,9 +692,15 @@ void Network::worker_loop(std::size_t index) {
       end = window_end_;
       inclusive = window_inclusive_;
     }
+    const auto active_start = std::chrono::steady_clock::now();
     run_one_window(*shards_[index], end, inclusive);
+    const auto active_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - active_start)
+            .count());
     {
       std::lock_guard<std::mutex> lock(work_mutex_);
+      shards_[index]->active_wall_us += active_us;
       if (--work_pending_ == 0) done_cv_.notify_one();
     }
   }
@@ -550,8 +752,11 @@ std::uint64_t Network::bytes_matching(
 
 Network::EngineStats Network::engine_stats() const {
   EngineStats stats;
+  std::uint64_t active_us = 0;
+  stats.shard_events.reserve(shards_.size());
   for (const auto& shard : shards_) {
     stats.events_processed += shard->events.events_processed();
+    stats.shard_events.push_back(shard->events.events_processed());
     if (shard->events.peak_pending() > stats.event_peak_pending) {
       stats.event_peak_pending = shard->events.peak_pending();
     }
@@ -559,9 +764,15 @@ Network::EngineStats Network::engine_stats() const {
     stats.buffers_reused += shard->pool.counters().reused;
     stats.buffers_idle += shard->pool.idle();
     stats.cross_shard_messages += shard->cross_sends;
+    active_us += shard->active_wall_us;
   }
   stats.events_processed += control_queue_.events_processed();
   stats.windows = windows_;
+  stats.rebalances = rebalance_count_;
+  // Stall = dispatch wall time summed over shards minus the time shards
+  // actually ran: what every core spent waiting on the slowest sibling.
+  const std::uint64_t dispatched = windows_wall_us_ * shards_.size();
+  stats.window_stall_us = dispatched > active_us ? dispatched - active_us : 0;
   return stats;
 }
 

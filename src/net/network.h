@@ -71,6 +71,12 @@ class Node {
 
   virtual void handle_message(const Envelope& envelope) = 0;
 
+  /// Called (control context, workers parked) after shard rebalancing moved
+  /// this node to a new shard.  Nodes that BIND shard-affine resources — a
+  /// tracer_for pointer, say — must re-acquire them here; everything routed
+  /// through the context-sensitive accessors needs nothing.
+  virtual void on_shard_migrated() {}
+
  private:
   friend class Network;
   NodeId node_id_;
@@ -119,6 +125,37 @@ struct LinkStats {
 /// keeps `config_default`).  Same pattern as MATRIX_LOAD_POLICY.
 [[nodiscard]] bool resolve_shard_threads(bool config_default);
 
+/// Process-level default for EngineConfig::ladder_scheduler: reads the
+/// MATRIX_EVENT_SCHEDULER environment variable once ("heap"/"0"/"off"
+/// forces the reference 4-ary heap, "ladder"/"1"/"on" forces the calendar
+/// queue, unset keeps `config_default`).  Pop order is identical either way
+/// — the knob exists for A/B benchmarking and as a fallback.
+[[nodiscard]] bool resolve_ladder_scheduler(bool config_default);
+
+/// Tag-stamping façade over a node's owner-shard EventQueue (see
+/// Network::events_for): every event scheduled through it carries the
+/// node's id, so shard rebalancing can extract and re-home the node's
+/// pending timers along with the node.
+class NodeEventQueue {
+ public:
+  NodeEventQueue(EventQueue& queue, NodeId id)
+      : queue_(queue), tag_(id.value()) {}
+
+  template <typename F>
+  void schedule_at(SimTime when, F&& action) {
+    queue_.schedule_at(when, tag_, std::forward<F>(action));
+  }
+  template <typename F>
+  void schedule_after(SimTime delay, F&& action) {
+    queue_.schedule_after(delay, tag_, std::forward<F>(action));
+  }
+  [[nodiscard]] SimTime now() const { return queue_.now(); }
+
+ private:
+  EventQueue& queue_;
+  EventQueue::Tag tag_;
+};
+
 class Network {
  public:
   /// Defined in network.cpp: construction also registers this network as
@@ -148,6 +185,42 @@ class Network {
   /// Conservative lookahead: min latency over the default link and every
   /// cross-shard override, floored at 1µs.
   [[nodiscard]] SimTime lookahead() const { return lookahead_; }
+
+  /// Selects the event-queue priority structure (ladder calendar queue vs
+  /// the reference 4-ary heap) for every shard queue and the control queue.
+  /// Pop order — and every golden hash — is identical for both.  Only
+  /// callable while no event is pending; Deployment calls it right after
+  /// configure_shards from Config::engine.ladder_scheduler.
+  void set_scheduler(EventQueue::Scheduler scheduler);
+
+  // ---- shard load rebalancing ---------------------------------------------
+
+  /// Arms locality-preserving shard rebalancing: every `interval_events`
+  /// executed events (summed over shards, evaluated at window barriers) the
+  /// engine compares per-shard executed-event counts for the elapsed epoch,
+  /// and when busiest/mean exceeds `threshold` migrates one colocated node
+  /// group (see define_colocated_group) from the busiest shard to the
+  /// idlest.  `threshold <= 0` disables (the default; behavior is then
+  /// byte-identical to the pre-rebalancing engine).  The trigger is derived
+  /// from event counts only — never wall time — so any fixed K stays
+  /// run-to-run reproducible, threaded or not.
+  void set_rebalance(double threshold, std::uint64_t interval_events);
+
+  /// Registers a group of nodes that must always share a shard (a matrix
+  /// server and its co-located game server): rebalancing only ever migrates
+  /// whole groups, so the 30µs colocated links never cross shards and the
+  /// LAN lookahead survives every migration.  Deployment registers each
+  /// server pair at bring-up.
+  void define_colocated_group(std::vector<NodeId> nodes);
+
+  /// Runs one rebalance evaluation immediately (control context only,
+  /// between run_until calls), ignoring the interval and threshold gates.
+  /// Returns true when a group actually migrated.  Test hook.
+  bool force_rebalance();
+
+  [[nodiscard]] std::uint64_t rebalance_count() const {
+    return rebalance_count_;
+  }
 
   // ---- topology -----------------------------------------------------------
 
@@ -215,9 +288,11 @@ class Network {
   /// every re-arm, capping each conservative window at the next timer and
   /// serializing per-node work onto the main thread.  Only safe for a node
   /// scheduling for ITSELF (handlers run on the owning shard's thread) or
-  /// from control context at a barrier (workers parked).
-  [[nodiscard]] EventQueue& events_for(NodeId id) {
-    return shards_[shard_of(id)]->events;
+  /// from control context at a barrier (workers parked).  The returned
+  /// façade stamps every event with the node's id so shard rebalancing can
+  /// re-home pending timers when the node migrates.
+  [[nodiscard]] NodeEventQueue events_for(NodeId id) {
+    return NodeEventQueue(shards_[shard_of(id)]->events, id);
   }
 
   [[nodiscard]] SimTime now() const {
@@ -260,6 +335,12 @@ class Network {
     std::size_t buffers_idle = 0;         ///< freelist depth right now
     std::uint64_t cross_shard_messages = 0;  ///< sends merged through mailboxes
     std::uint64_t windows = 0;            ///< barrier windows executed
+    std::uint64_t rebalances = 0;         ///< shard group migrations executed
+    /// Wall-clock µs shards spent parked at window barriers waiting for the
+    /// slowest sibling (threaded runs only; 0 sequential).  The direct
+    /// measure of shard imbalance that rebalancing exists to shrink.
+    std::uint64_t window_stall_us = 0;
+    std::vector<std::uint64_t> shard_events;  ///< per-shard events executed
   };
   [[nodiscard]] EngineStats engine_stats() const;
 
@@ -317,6 +398,8 @@ class Network {
     bool serving = false;
     std::uint32_t shard = 0;  // owning shard index
     std::uint64_t epoch = 0;  // bumped on detach to cancel stale service events
+    std::uint64_t served = 0;  // messages handled — the rebalancer's per-node
+                               // load proxy (written only by the owner shard)
     /// Dense NodeId-indexed jump table: out[dst.value()] is this source's
     /// record index in its owner shard's link store, or -1 before first use.
     std::vector<std::int32_t> out;
@@ -351,6 +434,9 @@ class Network {
     /// sending shard and must not be written from here).
     std::uint64_t cross_tail_drops = 0;
     std::uint64_t cross_sends = 0;
+    /// Wall-clock µs this shard spent actively running windows (threaded
+    /// runs; written under work_mutex_, read at barriers).
+    std::uint64_t active_wall_us = 0;
     /// outbox[k]: mail for shard k, in send order.
     std::vector<std::vector<Mail>> outbox;
   };
@@ -380,6 +466,15 @@ class Network {
   void trace_record(Shard& shard, NodeId src, NodeId dst,
                     const std::vector<std::uint8_t>& payload, bool dropped);
 
+  // ---- shard rebalancing (network.cpp) ------------------------------------
+  void maybe_rebalance();
+  bool evaluate_rebalance(bool force);
+  void migrate_node(NodeId id, std::size_t to);
+  /// Folds every cross-shard link override into the lookahead again after a
+  /// migration changed which links cross shards.  Folding only ever shrinks
+  /// the lookahead, so it is always conservative-safe.
+  void refold_cross_shard_lookahead();
+
   // ---- sharded barrier loop (network.cpp) ---------------------------------
   void run_sharded(SimTime t);
   void run_windows(SimTime end, bool inclusive);
@@ -398,8 +493,12 @@ class Network {
   SimTime lookahead_ = SimTime::from_us(1);
   bool lookahead_seeded_ = false;
   bool use_threads_ = true;
+  EventQueue::Scheduler scheduler_ = EventQueue::Scheduler::kLadder;
   std::uint64_t seed_ = 0;
   std::uint64_t windows_ = 0;
+  /// Total wall-clock µs spent inside threaded window dispatches (control
+  /// thread measurement; engine_stats derives barrier stall from it).
+  std::uint64_t windows_wall_us_ = 0;
 
   std::vector<NodeState> nodes_;       // dense, index = NodeId::value()
   LinkConfig default_link_;
@@ -407,6 +506,19 @@ class Network {
   bool trace_hash_on_ = false;
   obs::Tracer tracer_;
   std::vector<Mail> merge_scratch_;
+
+  // ---- shard rebalancing state --------------------------------------------
+  struct ColocatedGroup {
+    std::vector<NodeId> nodes;
+    std::uint64_t served_base = 0;  // served sum at the last epoch boundary
+  };
+  std::vector<ColocatedGroup> groups_;
+  double rebalance_threshold_ = 0.0;            // <= 0: rebalancing off
+  std::uint64_t rebalance_interval_events_ = 0;
+  std::uint64_t rebalance_last_total_ = 0;      // events at the last check
+  std::vector<std::uint64_t> shard_event_base_;  // per-shard epoch baselines
+  std::uint64_t rebalance_count_ = 0;
+  std::vector<EventQueue::MigratedEvent> migrate_scratch_;
 
   // ---- worker pool (sharded + threads) ------------------------------------
   std::vector<std::thread> workers_;

@@ -19,6 +19,12 @@ Registry collect_registry(Deployment& deployment) {
   registry.counter("engine.buffers_reused", engine.buffers_reused);
   registry.gauge("engine.buffers_idle",
                  static_cast<double>(engine.buffers_idle));
+  registry.counter("engine.rebalance_count", engine.rebalances);
+  registry.counter("engine.window_stall_us", engine.window_stall_us, "us");
+  for (std::size_t i = 0; i < engine.shard_events.size(); ++i) {
+    registry.counter("engine.shard." + std::to_string(i) + ".events",
+                     engine.shard_events[i]);
+  }
 
   // ---- network --------------------------------------------------------------
   registry.counter("net.messages", net.total_messages(), "msgs");

@@ -48,6 +48,14 @@ Deployment::Deployment(DeploymentOptions options)
   // node attaches — configure_shards requires an empty network.
   network_.configure_shards(std::max<std::size_t>(1, options_.config.engine.shards),
                             options_.config.engine.threads);
+  network_.set_scheduler(
+      resolve_ladder_scheduler(options_.config.engine.ladder_scheduler)
+          ? EventQueue::Scheduler::kLadder
+          : EventQueue::Scheduler::kHeap);
+  if (options_.config.engine.rebalance_threshold > 0.0) {
+    network_.set_rebalance(options_.config.engine.rebalance_threshold,
+                           options_.config.engine.rebalance_interval_events);
+  }
   network_.set_default_link(options_.wan);
 
   // Observability (src/obs/): enable the tracer before any node attaches so
@@ -110,6 +118,9 @@ Deployment::Deployment(DeploymentOptions options)
     game->wire(matrix_node);
     network_.set_link_bidirectional(matrix_node, game_node,
                                     options_.colocated);
+    // Rebalancing migrates the pair as one group, so the 30µs colocated
+    // link above can never become a cross-shard lookahead bound.
+    network_.define_colocated_group({matrix_node, game_node});
     infra_nodes.push_back(matrix_node);
     infra_nodes.push_back(game_node);
 

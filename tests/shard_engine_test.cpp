@@ -214,6 +214,113 @@ TEST(ShardEngineTest, ThreadedMatchesSequentialExecution) {
   EXPECT_EQ(threaded, sequential);
 }
 
+// ---------------------------------------------------------------------------
+// Shard rebalancing (load-driven group migration at window barriers)
+// ---------------------------------------------------------------------------
+
+TEST(ShardEngineTest, ForcedMigrationPreservesDeliveryTiming) {
+  // A forced mid-run migration moves the group to the idle shard without
+  // touching the simulated timeline: every delivery lands at the same time
+  // with the same payload as in the run that never migrated.
+  const NodeConfig instant{0_us, 0_us, std::nullopt};
+  auto run = [&](bool migrate) {
+    Network net;
+    net.configure_shards(2, /*use_threads=*/false);
+    Recorder dst;
+    Fanout relay{/*tag=*/9, /*count=*/4};
+    net.attach(&dst, instant, 0);
+    net.attach(&relay, instant, 1);
+    relay.target = dst.node_id();
+    net.set_default_link({3_ms, 0.0, 0.0});
+    net.define_colocated_group({relay.node_id()});
+    net.send(dst.node_id(), relay.node_id(), {1});
+    net.run_until(4_ms);  // relay handled the kick; replies are in flight
+    if (migrate) {
+      EXPECT_TRUE(net.force_rebalance());
+      // Shard 1 did all the work so far, so the relay group moves to 0.
+      EXPECT_EQ(net.shard_of(relay.node_id()), 0u);
+      EXPECT_EQ(net.rebalance_count(), 1u);
+    }
+    net.run_until(1_sec);
+    std::vector<std::pair<std::int64_t, int>> out;
+    for (const Envelope& env : dst.received) {
+      out.emplace_back(env.delivered_at.us(), env.payload[1]);
+    }
+    return out;
+  };
+  const auto stay = run(false);
+  const auto moved = run(true);
+  ASSERT_EQ(stay.size(), 4u);
+  EXPECT_EQ(stay, moved);
+}
+
+DeploymentOptions rebalancing_options(bool threads) {
+  DeploymentOptions options = sharded_options(4, threads);
+  options.config.engine.rebalance_threshold = 1.05;
+  options.config.engine.rebalance_interval_events = 50'000;
+  return options;
+}
+
+std::vector<std::uint64_t> rebalancing_scenario_hashes(
+    bool threads, std::uint64_t* rebalances = nullptr) {
+  OverloadScenarioOptions scenario;
+  scenario.flash_bots = 300;
+  scenario.duration = 12_sec;
+  Deployment deployment(rebalancing_options(threads));
+  deployment.network().enable_trace_hash();
+  schedule_overload_scenario(deployment, scenario);
+  deployment.run_until(scenario.duration);
+  if (rebalances != nullptr) {
+    *rebalances = deployment.network().rebalance_count();
+  }
+  return deployment.network().shard_trace_hashes();
+}
+
+TEST(ShardEngineTest, RebalancingKeepsScenarioTotalsIdentical) {
+  // Migration changes WHERE events execute, never WHAT executes: with the
+  // deployment's drop-free links, every message/event total must match the
+  // rebalance-off run exactly.
+  auto totals = [](bool rebalance) {
+    OverloadScenarioOptions scenario;
+    scenario.flash_bots = 300;
+    scenario.duration = 12_sec;
+    DeploymentOptions options =
+        rebalance ? rebalancing_options(false) : sharded_options(4, false);
+    Deployment deployment(options);
+    schedule_overload_scenario(deployment, scenario);
+    deployment.run_until(scenario.duration);
+    const Network::EngineStats stats = deployment.network().engine_stats();
+    if (rebalance) {
+      EXPECT_GT(stats.rebalances, 0u)
+          << "threshold 1.05 over a flash crowd should migrate something";
+    } else {
+      EXPECT_EQ(stats.rebalances, 0u);
+    }
+    // Byte totals are NOT pinned: same-instant cross-shard ties merge by
+    // (source shard, send order), and migration changes a node's source
+    // shard — so same-timestamp handler interleavings, and with them the
+    // sizes of variable-length control payloads, may legitimately differ.
+    return std::tuple(deployment.network().total_messages(),
+                      stats.events_processed, deployment.total_clients());
+  };
+  EXPECT_EQ(totals(false), totals(true));
+}
+
+TEST(ShardEngineTest, RebalancingRunIsRunToRunStable) {
+  std::uint64_t rebalances = 0;
+  const auto first = rebalancing_scenario_hashes(/*threads=*/true, &rebalances);
+  const auto second = rebalancing_scenario_hashes(/*threads=*/true);
+  EXPECT_GT(rebalances, 0u);
+  EXPECT_EQ(first, second)
+      << "rebalance decisions must derive from event counts only — any wall "
+         "time in the trigger breaks K=4 run-to-run stability.";
+}
+
+TEST(ShardEngineTest, RebalancingThreadedMatchesSequential) {
+  EXPECT_EQ(rebalancing_scenario_hashes(/*threads=*/true),
+            rebalancing_scenario_hashes(/*threads=*/false));
+}
+
 TEST(ShardEngineTest, ShardedDeploymentServesClients) {
   // Sanity beyond hashing: a K=2 deployment actually runs the scenario —
   // clients join, servers split, traffic flows across the shard boundary.
